@@ -1,0 +1,31 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one table or figure of the paper on the
+*full* scene sets, saves the paper-style text under
+``benchmarks/results/``, asserts its shape claims, and times a
+representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_text(results_dir):
+    """Persist one experiment's formatted output."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,24 @@
+"""Fig. 15: area and power breakdown of the accelerator."""
+
+import pytest
+
+from repro.analysis import figure15_breakdowns
+from repro.core import UniRenderAccelerator
+
+
+def test_fig15_breakdown(benchmark, save_text):
+    result = figure15_breakdowns()
+    save_text("fig15_breakdown", result["text"])
+
+    area = result["area"]
+    power = result["power"]
+    assert area.total == pytest.approx(14.96, rel=0.01)
+    assert power.chip_total == pytest.approx(5.78, rel=0.03)
+    for key, want in result["paper"]["area"].items():
+        assert area.breakdown()[key] == pytest.approx(want, abs=0.02), key
+    for key, want in result["paper"]["power"].items():
+        assert power.fractions()[key] == pytest.approx(want, abs=0.03), key
+
+    benchmark(UniRenderAccelerator().area)
+    benchmark.extra_info["area_mm2"] = round(area.total, 2)
+    benchmark.extra_info["typical_power_w"] = round(power.chip_total, 2)

@@ -1,0 +1,46 @@
+"""Fig. 16: speedup (a) and energy-efficiency improvement (b) of
+Uni-Render over the seven baselines on all five pipelines, full
+Unbounded-360 scene set."""
+
+import pytest
+
+from repro.analysis import figure16_speedup_energy
+
+
+def test_fig16_speedup_energy(benchmark, save_text):
+    result = benchmark.pedantic(figure16_speedup_energy, rounds=1, iterations=1)
+    save_text("fig16_speedup_energy", result["text"])
+
+    sp = result["speedup"]
+    en = result["energy"]
+
+    # --- headline ranges over commercial devices ----------------------
+    commercial = ("Orin NX", "Xavier NX", "8Gen2", "AMD 780M")
+    sp_vals = [v for d in commercial for v in sp[d].values()]
+    en_vals = [v for d in commercial for v in en[d].values()]
+    assert min(sp_vals) == pytest.approx(0.7, rel=0.3)      # "0.7x to
+    assert max(sp_vals) == pytest.approx(119.0, rel=0.3)    #  119x"
+    assert min(en_vals) == pytest.approx(1.5, rel=0.4)      # "1.5x to
+    assert max(en_vals) == pytest.approx(354.0, rel=0.4)    #  354x"
+
+    # --- the mesh crossover: optimized commercial GPUs win ------------
+    assert sp["8Gen2"]["mesh"] < 1.0
+    assert en["8Gen2"]["mesh"] > 1.0     # but we still win on energy
+    assert en["Orin NX"]["mesh"] == pytest.approx(4.0, rel=0.35)
+
+    # --- dedicated accelerators ----------------------------------------
+    assert sp["RT-NeRF"]["lowrank"] == pytest.approx(3.0, rel=0.35)
+    assert en["RT-NeRF"]["lowrank"] == pytest.approx(6.0, rel=0.35)
+    assert sp["Instant-3D"]["hashgrid"] == pytest.approx(6.0, rel=0.35)
+    assert en["Instant-3D"]["hashgrid"] == pytest.approx(2.2, rel=0.35)
+    assert sp["MetaVRain"]["mlp"] == pytest.approx(0.10, rel=0.35)
+
+    # --- every baseline loses on at least one pipeline ------------------
+    # (the reconfigurability argument: geomean > 1 for every device that
+    # supports more than one pipeline)
+    for device in commercial:
+        assert result["speedup_geomean"][device] > 1.0, device
+
+    benchmark.extra_info["speedup_geomean"] = {
+        d: round(g, 2) for d, g in result["speedup_geomean"].items()
+    }

@@ -1,0 +1,31 @@
+"""Fig. 17: MixRT hybrid-pipeline speedups on the four indoor scenes."""
+
+from repro.analysis import figure17_hybrid
+
+
+def test_fig17_hybrid(benchmark, save_text):
+    result = benchmark.pedantic(figure17_hybrid, rounds=1, iterations=1)
+    save_text("fig17_hybrid", result["text"])
+
+    data = result["data"]
+    values = [v for row in data.values() for v in row.values()]
+
+    # "a 2.0x to 3.7x speedup across all evaluated baselines"
+    assert min(values) >= 2.0 * 0.85
+    assert max(values) <= 3.7 * 1.15
+
+    # "consistently achieves a speedup of 2.0x to 2.6x compared to the
+    # most competitive baselines, Xavier NX and Orin NX"
+    for device in ("Orin NX", "Xavier NX"):
+        for scene, value in data[device].items():
+            assert 2.0 * 0.85 <= value <= 2.6 * 1.15, (device, scene)
+
+    # Speedups are consistent across scenes (each scene has its own
+    # model, yet the ratio stays in a narrow band).
+    for device, row in data.items():
+        vals = list(row.values())
+        assert max(vals) / min(vals) < 1.4, device
+
+    benchmark.extra_info["geomean"] = {
+        d: round(g, 2) for d, g in result["geomean"].items()
+    }

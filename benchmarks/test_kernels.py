@@ -1,0 +1,76 @@
+"""Microbenchmarks of the core computational kernels.
+
+These time the actual work the library performs — functional rendering
+stages and the performance simulator — so regressions in any substrate
+show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.renderers import build_representation, PIPELINE_RENDERERS
+from repro.renderers.gaussian.sort import merge_sort
+from repro.renderers.hashgrid import spatial_hash
+from repro.renderers.nerf import positional_encoding
+from repro.scenes import Camera, get_scene, orbit_poses
+
+
+@pytest.fixture(scope="module")
+def lego_camera():
+    return Camera(48, 48, pose=orbit_poses(3.0, 4)[0])
+
+
+def test_bench_simulator(benchmark):
+    """One full frame through the cycle/energy model."""
+    program = compile_program("room", "hashgrid", 1280, 720)
+    accel = UniRenderAccelerator()
+    result = benchmark(accel.simulate, program)
+    assert result.fps > 0
+
+
+def test_bench_compile(benchmark):
+    """Pipeline lowering (measurement cached, pricing live)."""
+    compile_program("room", "gaussian", 1280, 720)  # warm the caches
+    program = benchmark(compile_program, "room", "gaussian", 1280, 720)
+    assert program.invocations
+
+
+@pytest.mark.parametrize("pipeline", ["mesh", "gaussian", "hashgrid"])
+def test_bench_functional_render(benchmark, lego_camera, pipeline):
+    """Functional rendering of a small frame per pipeline."""
+    kwargs = {
+        "mesh": {"quality": 0.6, "train_steps": 20},
+        "gaussian": {"n_gaussians": 2000},
+        "hashgrid": {"n_levels": 6, "train_steps": 30, "samples_per_ray": 48},
+    }[pipeline]
+    model = build_representation("lego", pipeline, **kwargs)
+    renderer = PIPELINE_RENDERERS[pipeline](model, get_scene("lego").field())
+    image, _stats = benchmark(renderer.render, lego_camera)
+    assert image.shape == (48, 48, 3)
+
+
+def test_bench_positional_encoding(benchmark):
+    pts = np.random.default_rng(0).uniform(-1, 1, (16384, 3))
+    out = benchmark(positional_encoding, pts, 10)
+    assert out.shape == (16384, 63)
+
+
+def test_bench_spatial_hash(benchmark):
+    coords = np.random.default_rng(0).integers(0, 4096, (65536, 3))
+    idx = benchmark(spatial_hash, coords, 1 << 19)
+    assert idx.shape == (65536,)
+
+
+def test_bench_merge_sort(benchmark):
+    keys = list(np.random.default_rng(0).integers(0, 10_000, 512))
+    out, _comps = benchmark(merge_sort, keys)
+    assert out == sorted(keys)
+
+
+def test_bench_reference_render(benchmark):
+    field = get_scene("lego").field()
+    camera = Camera(32, 32, pose=orbit_poses(3.0, 4)[0])
+    image = benchmark(field.render_reference, camera, 32)
+    assert image.shape == (32, 32, 3)

@@ -1,0 +1,22 @@
+"""Deployment-sweep benchmark: the hash-grid design neighbourhood."""
+
+from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
+
+
+def test_hashgrid_deployment_sweep(benchmark, save_text):
+    result = benchmark.pedantic(hashgrid_deployment_sweep, rounds=1, iterations=1)
+    save_text("ext_hashgrid_deployment", result["text"])
+    data = result["data"]
+
+    # FPS falls monotonically with table size at every level count, and
+    # big deployments sit deeper in the memory-bound regime — the spill
+    # mechanism behind Table V, seen from the model-size axis.
+    for levels in (8, 16, 24):
+        fps = [data[(levels, t)]["fps"] for t in (17, 19, 21, 23)]
+        assert all(a >= b for a, b in zip(fps, fps[1:])), levels
+    assert data[(16, 23)]["memory_share"] >= data[(16, 17)]["memory_share"]
+
+    # The paper's deployment (16 levels, 2^21) stays (near-)real-time;
+    # the 4x-larger table does not.
+    assert data[(16, 21)]["fps"] > 25.0
+    assert data[(16, 23)]["fps"] < data[(16, 21)]["fps"]

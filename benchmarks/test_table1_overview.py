@@ -1,0 +1,27 @@
+"""Table I: comparative overview of the five typical pipelines."""
+
+from repro.analysis import table1_overview
+
+
+def test_table1_overview(benchmark, save_text):
+    result = benchmark.pedantic(table1_overview, rounds=1, iterations=1)
+    save_text("table1_overview", result["text"])
+
+    data = result["data"]
+    # The paper's overview shape on the Orin NX speed column: mesh is the
+    # fastest pipeline, MLP by far the slowest, everything under 30 FPS.
+    fps = {p: row["orin_fps"] for p, row in data.items()}
+    assert fps["mesh"] == max(fps.values())
+    assert fps["mlp"] == min(fps.values())
+    assert all(v < 30.0 for v in fps.values())
+    # Table I bounds: <=20 / <=0.2 / <=10 / <=1 / <=5 FPS.
+    bounds = {"mesh": 20, "mlp": 0.2, "lowrank": 10, "hashgrid": 1, "gaussian": 5}
+    for pipeline, bound in bounds.items():
+        assert fps[pipeline] <= bound * 1.05, pipeline
+    # Storage column: MLP most efficient, everything within ~25% of the
+    # cited bounds (see tests/test_storage_and_summary.py for details).
+    storage = {p: row["storage_mb"] for p, row in data.items()}
+    assert storage["mlp"] == min(storage.values())
+    assert storage["gaussian"] > storage["hashgrid"]
+    benchmark.extra_info["orin_fps"] = {k: round(v, 2) for k, v in fps.items()}
+    benchmark.extra_info["storage_mb"] = {k: round(v) for k, v in storage.items()}

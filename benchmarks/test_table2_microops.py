@@ -1,0 +1,36 @@
+"""Table II: micro-operator clustering, checked against the compilers.
+
+Structural: the clustering is only meaningful if every pipeline's
+compiled program really uses the micro-operators Table II assigns to its
+steps.
+"""
+
+from repro.analysis import table2_microops
+from repro.compile import compile_program
+from repro.core import MicroOp
+
+
+EXPECTED_OPS = {
+    "mesh": {MicroOp.GEMM, MicroOp.GEOMETRIC, MicroOp.COMBINED_GRID},
+    "mlp": {MicroOp.GEMM},
+    "lowrank": {MicroOp.DECOMPOSED_GRID, MicroOp.GEMM},
+    "hashgrid": {MicroOp.COMBINED_GRID, MicroOp.GEMM},
+    "gaussian": {MicroOp.GEMM, MicroOp.GEOMETRIC, MicroOp.SORTING},
+    "mixrt": {MicroOp.GEMM, MicroOp.GEOMETRIC, MicroOp.COMBINED_GRID},
+}
+
+
+def test_table2_microops(benchmark, save_text):
+    result = benchmark.pedantic(table2_microops, rounds=1, iterations=1)
+    text = result["text"] + "\n\npipeline -> micro-operators actually emitted:\n"
+
+    for pipeline, expected in EXPECTED_OPS.items():
+        scene = "room" if pipeline == "mixrt" else "lego"
+        program = compile_program(scene, pipeline, 160, 160)
+        used = set(program.ops_used())
+        assert used == expected, (pipeline, used)
+        text += f"  {pipeline:9s} {sorted(op.value for op in used)}\n"
+
+    # All five micro-operators are exercised by some pipeline.
+    assert set().union(*EXPECTED_OPS.values()) == set(MicroOp)
+    save_text("table2_microops", text)

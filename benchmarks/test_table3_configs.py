@@ -1,0 +1,23 @@
+"""Table III: hardware-module status per micro-operator."""
+
+from repro.analysis import table3_module_status
+from repro.core import MicroOp
+from repro.core.alu import ALUMode
+from repro.core.dataflow import MODULE_STATUS
+from repro.core.network import ArrayMode, ReductionLinks
+
+
+def test_table3_configs(benchmark, save_text):
+    result = benchmark.pedantic(table3_module_status, rounds=1, iterations=1)
+    save_text("table3_module_status", result["text"])
+
+    # Spot-check every cell the paper prints.
+    status = MODULE_STATUS
+    assert not status[MicroOp.GEOMETRIC].input_network
+    assert status[MicroOp.COMBINED_GRID].reduction_links is ReductionLinks.HORIZONTAL
+    assert status[MicroOp.DECOMPOSED_GRID].reduction_links is ReductionLinks.FULL
+    assert status[MicroOp.SORTING].alu_mode is ALUMode.COMPARATOR
+    assert status[MicroOp.GEMM].array_mode is ArrayMode.SYSTOLIC
+    # Only GEMM runs in Mode 1 (systolic); everything else is Mode 2.
+    mode1 = [op for op, s in status.items() if s.array_mode is ArrayMode.SYSTOLIC]
+    assert mode1 == [MicroOp.GEMM]

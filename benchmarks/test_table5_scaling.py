@@ -1,0 +1,28 @@
+"""Table V: PE-array / SRAM scaling study on the hash-grid pipeline."""
+
+import pytest
+
+from repro.analysis import table5_scaling
+from repro.analysis.tables import PAPER_TABLE_V
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+
+
+def test_table5_scaling(benchmark, save_text):
+    result = table5_scaling(scene="room")
+    save_text("table5_scaling", result["text"])
+
+    matrix = result["data"]
+    for key, paper in PAPER_TABLE_V.items():
+        assert matrix[key] == pytest.approx(paper, rel=0.15), key
+
+    # The qualitative statement: speed is maximized at a 1:1 ratio
+    # between PE-array and SRAM scaling (the diagonal dominates its row).
+    assert matrix[(2, 2)] > matrix[(2, 1)]
+    assert matrix[(4, 4)] > matrix[(4, 2)] > matrix[(4, 1)]
+
+    # Benchmark one simulation of the scaled design point.
+    program = compile_program("room", "hashgrid", 1280, 720)
+    accel = UniRenderAccelerator(UniRenderAccelerator().config.scaled(4, 4))
+    benchmark(accel.simulate, program)
+    benchmark.extra_info["matrix"] = {str(k): round(v, 2) for k, v in matrix.items()}

@@ -1,0 +1,22 @@
+"""Table VI: supported pipelines vs other reconfigurable accelerators."""
+
+from repro.analysis import table6_support
+from repro.analysis.tables import PIPELINES
+
+
+def test_table6_support(benchmark, save_text):
+    result = benchmark.pedantic(table6_support, rounds=1, iterations=1)
+    save_text("table6_support", result["text"])
+
+    matrix = result["data"]
+    ours = matrix["Uni-Render (ours)"]
+    assert all(ours[p] for p in PIPELINES)
+    # No prior reconfigurable accelerator covers more than two pipelines.
+    for name, row in matrix.items():
+        if name == "Uni-Render (ours)":
+            continue
+        assert sum(row[p] for p in PIPELINES) <= 2, name
+    # All NPUs support the MLP pipeline and nothing else.
+    for name in ("Flexagon (NPU)", "STIFT (NPU)", "SIGMA (NPU)", "Eyeriss (NPU)"):
+        assert matrix[name]["mlp"]
+        assert sum(matrix[name][p] for p in PIPELINES) == 1

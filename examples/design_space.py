@@ -1,0 +1,49 @@
+"""Design-space exploration (Table V and beyond).
+
+Run:  python examples/design_space.py
+
+Sweeps PE-array and SRAM scaling for every pipeline, reproducing
+Table V's hash-grid study and extending it to the other four pipelines —
+the "scaling up the proposed accelerator to handle even larger 3D
+scenes" direction the paper points to in Sec. VII-D.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table5_scaling
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.core.area import area_report
+
+PIPELINES = ("mesh", "mlp", "lowrank", "hashgrid", "gaussian")
+SCALES = (1, 2, 4)
+
+
+def main() -> None:
+    print("=== Table V (hash-grid pipeline, Unbounded-360-like) ===")
+    print(table5_scaling()["text"])
+
+    accel = UniRenderAccelerator()
+    print("\n=== extension: the same sweep for every pipeline ===")
+    for pipeline in PIPELINES:
+        program = compile_program("room", pipeline, 1280, 720)
+        matrix = accel.scale_study(program, SCALES, SCALES)
+        print(f"\n{pipeline} (relative speed, rows = SRAM scale):")
+        header = "        " + "".join(f"{pe}xPE    " for pe in SCALES)
+        print(header)
+        for sram in SCALES:
+            cells = "".join(f"{matrix[(pe, sram)]:5.2f}   " for pe in SCALES)
+            print(f"  {sram}xSRAM {cells}")
+
+    print("\n=== area cost of scaling (28 nm) ===")
+    for pe in SCALES:
+        for sram in SCALES:
+            config = accel.config.scaled(pe, sram)
+            area = area_report(config)
+            print(f"  {pe}xPE/{sram}xSRAM: {area.total:6.2f} mm^2 "
+                  f"({config.n_pes} PEs, "
+                  f"{config.total_sram_bytes / 1024:.0f} KB SRAM)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: render one scene with every pipeline, functionally and on
+the Uni-Render accelerator model.
+
+Run:  python examples/quickstart.py [scene]
+
+This touches the whole public API in ~a minute:
+1. build a scene representation per pipeline from the procedural field,
+2. render a small frame functionally and score it against the reference,
+3. compile the frame into micro-operators and simulate the accelerator.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.metrics import psnr
+from repro.renderers import PIPELINE_RENDERERS, build_representation
+from repro.scenes import Camera, get_scene, orbit_poses
+
+#: Small build budgets: quickstart favours latency over fidelity.
+QUICK_BUILDS = {
+    "mesh": {"quality": 0.8, "train_steps": 80},
+    "mlp": {"grid_size": 4, "train_steps": 150, "samples_per_ray": 64},
+    "lowrank": {"train_steps": 120, "samples_per_ray": 64},
+    "hashgrid": {"n_levels": 6, "train_steps": 150, "samples_per_ray": 64},
+    "gaussian": {"n_gaussians": 6000},
+}
+
+
+def main(scene_name: str = "lego") -> None:
+    spec = get_scene(scene_name)
+    field = spec.field()
+    camera = Camera(48, 48, pose=orbit_poses(spec.camera_radius, 8)[0])
+    reference = field.render_reference(camera, n_samples=64)
+    accelerator = UniRenderAccelerator()
+    eval_res = (800, 800) if spec.kind == "synthetic" else (1280, 720)
+
+    print(f"scene: {scene_name} ({spec.kind}), probe frame 48x48, "
+          f"accelerator frame {eval_res[0]}x{eval_res[1]}")
+    print(f"{'pipeline':10s} {'PSNR':>7s} {'storage':>10s} "
+          f"{'sim FPS':>8s} {'power':>7s} {'real-time':>9s}")
+    for pipeline, kwargs in QUICK_BUILDS.items():
+        model = build_representation(scene_name, pipeline, **kwargs)
+        renderer = PIPELINE_RENDERERS[pipeline](model, field)
+        image, _stats = renderer.render(camera)
+        quality = psnr(image, reference)
+
+        program = compile_program(scene_name, pipeline, *eval_res)
+        result = accelerator.simulate(program)
+        print(
+            f"{pipeline:10s} {quality:6.2f}d {model.storage_bytes() / 1024:8.1f}KB "
+            f"{result.fps:8.1f} {result.power_w:6.2f}W "
+            f"{'yes' if result.real_time else 'no':>9s}"
+        )
+
+    area = accelerator.area()
+    print(f"\naccelerator: {accelerator.config.n_pes} PEs, "
+          f"{area.total:.2f} mm^2 @ 28 nm, "
+          f"{accelerator.config.dram_bandwidth / 1e9:.1f} GB/s DRAM")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "lego")

@@ -1,0 +1,72 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Run:  python examples/reproduce_paper.py [--exp table4] [--fast]
+
+Without arguments this produces the full evaluation (a few minutes);
+``--fast`` restricts the scene sets to two scenes per dataset;
+``--exp`` selects a single experiment by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    figure7_motivating,
+    figure15_breakdowns,
+    figure16_speedup_energy,
+    figure17_hybrid,
+    gating_ablation,
+    reconfiguration_overhead,
+    related_work_comparisons,
+    table1_overview,
+    table2_microops,
+    table3_module_status,
+    table4_realtime,
+    table5_scaling,
+    table6_support,
+)
+
+FAST_UNBOUNDED = ("room", "garden")
+FAST_SYNTHETIC = ("lego", "chair")
+FAST_INDOOR = ("room", "kitchen")
+
+
+def experiments(fast: bool):
+    ub = FAST_UNBOUNDED if fast else None
+    syn = FAST_SYNTHETIC if fast else None
+    indoor = FAST_INDOOR if fast else None
+    return {
+        "table1": lambda: table1_overview(scenes=ub),
+        "table2": table2_microops,
+        "table3": table3_module_status,
+        "table4": lambda: table4_realtime(scenes=syn),
+        "table5": table5_scaling,
+        "table6": table6_support,
+        "fig7": lambda: figure7_motivating(scenes=ub),
+        "fig15": figure15_breakdowns,
+        "fig16": lambda: figure16_speedup_energy(scenes=ub),
+        "fig17": lambda: figure17_hybrid(scenes=indoor),
+        "ablation_reconfig": reconfiguration_overhead,
+        "ablation_gating": gating_ablation,
+        "related_work": related_work_comparisons,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exp", default=None, help="single experiment id")
+    parser.add_argument("--fast", action="store_true", help="reduced scene sets")
+    args = parser.parse_args()
+
+    table = experiments(args.fast)
+    ids = [args.exp] if args.exp else list(table)
+    for exp_id in ids:
+        if exp_id not in table:
+            raise SystemExit(f"unknown experiment {exp_id!r}; choose from {list(table)}")
+        print(f"\n{'=' * 72}\n{exp_id}\n{'=' * 72}")
+        print(table[exp_id]()["text"])
+
+
+if __name__ == "__main__":
+    main()

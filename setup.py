@@ -1,0 +1,11 @@
+"""Classic setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (`pip install -e .`) cannot build an editable wheel.
+`python setup.py develop` achieves the same result with the tooling that is
+available offline. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

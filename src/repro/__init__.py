@@ -1,0 +1,73 @@
+"""Uni-Render (HPCA 2025) reproduction.
+
+The package is organized around the paper's structure:
+
+* :mod:`repro.nn` — minimal neural-network substrate (linear layers,
+  activations, Adam) used by every pipeline's MLP stage.
+* :mod:`repro.scenes` — procedural ground-truth scenes, cameras, and
+  builders that derive all five scene representations from one field.
+* :mod:`repro.renderers` — functional implementations of the five typical
+  neural rendering pipelines (Sec. II) plus the MixRT hybrid (Sec. VII-C).
+* :mod:`repro.compile` — lowers a pipeline invocation into a trace of the
+  five common micro-operators (Sec. IV, Table II).
+* :mod:`repro.core` — the Uni-Render accelerator model itself: the
+  reconfigurable PE array, the five dataflows (Sec. VI), and the cycle /
+  energy / area models (Sec. V, Fig. 15).
+* :mod:`repro.devices` — baseline device and accelerator models used in
+  the paper's comparisons (Sec. III, Sec. VII).
+* :mod:`repro.metrics` — PSNR / FPS / speedup / energy-efficiency metrics.
+* :mod:`repro.analysis` — regenerates every table and figure of the paper.
+
+Quickstart::
+
+    from repro import quick_render
+    image, stats = quick_render("lego", pipeline="hashgrid", size=(64, 64))
+"""
+
+from __future__ import annotations
+
+from repro.version import __version__
+from repro.errors import (
+    CompileError,
+    ConfigError,
+    ReproError,
+    SceneError,
+    SimulationError,
+    UnsupportedPipelineError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigError",
+    "SceneError",
+    "CompileError",
+    "UnsupportedPipelineError",
+    "SimulationError",
+    "quick_render",
+    "UniRenderAccelerator",
+    "PIPELINES",
+]
+
+#: Canonical names of the five typical pipelines (Table I ordering).
+PIPELINES = ("mesh", "mlp", "lowrank", "hashgrid", "gaussian")
+
+
+def quick_render(scene_name, pipeline="hashgrid", size=(64, 64)):
+    """Render a named scene with one pipeline; returns ``(image, stats)``.
+
+    Convenience wrapper used by the examples; see
+    :func:`repro.renderers.render_scene` for the full-control API.
+    """
+    from repro.renderers import render_scene
+
+    return render_scene(scene_name, pipeline=pipeline, size=size)
+
+
+def __getattr__(name):
+    # Lazy import so that `import repro` stays light.
+    if name == "UniRenderAccelerator":
+        from repro.core.simulator import UniRenderAccelerator
+
+        return UniRenderAccelerator
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,75 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``table*`` / ``figure*`` function returns structured data (rows,
+dicts) and has a matching ``format_*`` printer producing the paper-style
+text the benchmarks and EXPERIMENTS.md embed.
+"""
+
+from repro.analysis.runner import (
+    uni_result,
+    uni_fps,
+    clear_result_cache,
+    UNBOUNDED_EVAL_SCENES,
+    SYNTHETIC_EVAL_SCENES,
+)
+from repro.analysis.tables import (
+    table1_overview,
+    table2_microops,
+    table3_module_status,
+    table4_realtime,
+    table5_scaling,
+    table6_support,
+    format_table,
+)
+from repro.analysis.figures import (
+    figure7_motivating,
+    figure15_breakdowns,
+    figure16_speedup_energy,
+    figure17_hybrid,
+)
+from repro.analysis.ablations import (
+    reconfiguration_overhead,
+    gating_ablation,
+    related_work_comparisons,
+)
+from repro.analysis.trajectory import trajectory_study
+from repro.analysis.scaling_scenes import scale_scene_workload, scene_scaling_study
+from repro.analysis.sensitivity import (
+    bandwidth_boundness,
+    bandwidth_sensitivity,
+    efficiency_sensitivity,
+)
+from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
+from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
+
+__all__ = [
+    "uni_result",
+    "uni_fps",
+    "clear_result_cache",
+    "UNBOUNDED_EVAL_SCENES",
+    "SYNTHETIC_EVAL_SCENES",
+    "table1_overview",
+    "table2_microops",
+    "table3_module_status",
+    "table4_realtime",
+    "table5_scaling",
+    "table6_support",
+    "format_table",
+    "figure7_motivating",
+    "figure15_breakdowns",
+    "figure16_speedup_energy",
+    "figure17_hybrid",
+    "reconfiguration_overhead",
+    "gating_ablation",
+    "related_work_comparisons",
+    "trajectory_study",
+    "scene_scaling_study",
+    "scale_scene_workload",
+    "bandwidth_sensitivity",
+    "bandwidth_boundness",
+    "efficiency_sensitivity",
+    "hashgrid_deployment_sweep",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "full_report",
+]

@@ -1,0 +1,217 @@
+"""Regenerate the paper's figures (7, 15, 16, 17) as data + text."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.runner import UNBOUNDED_EVAL_SCENES, uni_result
+from repro.analysis.tables import PIPELINES, format_table
+from repro.core import UniRenderAccelerator
+from repro.core.energy import nameplate_power
+from repro.devices import DEVICES, get_device
+from repro.errors import UnsupportedPipelineError
+from repro.metrics import energy_efficiency_ratio, geometric_mean, speedup
+from repro.scenes import UNBOUNDED_INDOOR_SCENES
+
+#: Fig. 7 / Fig. 16 device order (commercial first, then dedicated).
+FIGURE_DEVICES = (
+    "Orin NX",
+    "Xavier NX",
+    "8Gen2",
+    "AMD 780M",
+    "Instant-3D",
+    "RT-NeRF",
+    "MetaVRain",
+)
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — motivating benchmark (devices only, no Uni-Render)
+# ----------------------------------------------------------------------
+def figure7_motivating(scenes: Sequence[str] | None = None) -> dict:
+    """FPS of every device on every pipeline; None marks unsupported.
+
+    The paper's observation: across all settings only three reach the
+    30 FPS real-time bar.
+    """
+    scenes = tuple(scenes) if scenes is not None else UNBOUNDED_EVAL_SCENES
+    grid: dict[str, dict[str, float | None]] = {}
+    for device_name in FIGURE_DEVICES:
+        device = get_device(device_name)
+        grid[device_name] = {}
+        for pipeline in PIPELINES:
+            try:
+                fps = geometric_mean(
+                    [device.fps(s, pipeline, 1280, 720) for s in scenes]
+                )
+            except UnsupportedPipelineError:
+                fps = None
+            grid[device_name][pipeline] = fps
+
+    real_time = [
+        (d, p)
+        for d, row in grid.items()
+        for p, fps in row.items()
+        if fps is not None and fps > 30.0
+    ]
+    rows = []
+    for device_name, row in grid.items():
+        rows.append(
+            [device_name]
+            + [("x" if row[p] is None else f"{row[p]:.2f}") for p in PIPELINES]
+        )
+    text = format_table(["device"] + list(PIPELINES), rows)
+    text += f"\nreal-time (>30 FPS) settings: {len(real_time)}: {real_time}"
+    return {"data": grid, "real_time": real_time, "text": text, "scenes": scenes}
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — area and power breakdowns
+# ----------------------------------------------------------------------
+PAPER_FIG15 = {
+    "area": {
+        "computing_and_control_logic": 0.54,
+        "sram_inside_pe_array": 0.31,
+        "sram_outside_pe_array": 0.15,
+    },
+    "power": {
+        "computing_and_control_logic": 0.75,
+        "sram_inside_pe_array": 0.10,
+        "sram_outside_pe_array": 0.15,
+    },
+    "total_area_mm2": 14.96,
+    "typical_power_w": 5.78,
+}
+
+
+def figure15_breakdowns() -> dict:
+    accel = UniRenderAccelerator()
+    area = accel.area()
+    power = nameplate_power(accel.config)
+    rows = []
+    for key in PAPER_FIG15["area"]:
+        rows.append(
+            [
+                key,
+                f"{area.breakdown()[key] * 100:.1f}%",
+                f"{PAPER_FIG15['area'][key] * 100:.0f}%",
+                f"{power.fractions()[key] * 100:.1f}%",
+                f"{PAPER_FIG15['power'][key] * 100:.0f}%",
+            ]
+        )
+    text = format_table(
+        ["component", "area (ours)", "area (paper)", "power (ours)", "power (paper)"],
+        rows,
+    )
+    text += (
+        f"\ntotal area {area.total:.2f} mm^2 (paper {PAPER_FIG15['total_area_mm2']}),"
+        f" typical power {power.chip_total:.2f} W (paper {PAPER_FIG15['typical_power_w']})"
+    )
+    return {
+        "area": area,
+        "power": power,
+        "paper": PAPER_FIG15,
+        "text": text,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 — speedup and energy efficiency over the baselines
+# ----------------------------------------------------------------------
+def figure16_speedup_energy(scenes: Sequence[str] | None = None) -> dict:
+    """Uni-Render vs the seven baselines on the five pipelines.
+
+    Returns per (device, pipeline): speedup and energy-efficiency ratio
+    (geomean across scenes; None where the baseline lacks support), plus
+    each device's geomean across its supported pipelines.
+    """
+    scenes = tuple(scenes) if scenes is not None else UNBOUNDED_EVAL_SCENES
+    speedups: dict[str, dict[str, float | None]] = {}
+    energy: dict[str, dict[str, float | None]] = {}
+
+    for device_name in FIGURE_DEVICES:
+        device = get_device(device_name)
+        speedups[device_name] = {}
+        energy[device_name] = {}
+        for pipeline in PIPELINES:
+            per_scene_speed = []
+            per_scene_energy = []
+            for scene in scenes:
+                ours = uni_result(scene, pipeline)
+                try:
+                    base_fps = device.fps(scene, pipeline, 1280, 720)
+                except UnsupportedPipelineError:
+                    per_scene_speed = []
+                    break
+                per_scene_speed.append(speedup(ours.fps, base_fps))
+                per_scene_energy.append(
+                    energy_efficiency_ratio(
+                        ours.fps, ours.power_w, base_fps, device.power_w
+                    )
+                )
+            if per_scene_speed:
+                speedups[device_name][pipeline] = geometric_mean(per_scene_speed)
+                energy[device_name][pipeline] = geometric_mean(per_scene_energy)
+            else:
+                speedups[device_name][pipeline] = None
+                energy[device_name][pipeline] = None
+
+    geomeans = {
+        d: geometric_mean([v for v in row.values() if v is not None])
+        for d, row in speedups.items()
+    }
+    energy_geomeans = {
+        d: geometric_mean([v for v in row.values() if v is not None])
+        for d, row in energy.items()
+    }
+
+    def _rows(table):
+        out = []
+        for device_name, row in table.items():
+            out.append(
+                [device_name]
+                + [("x" if row[p] is None else f"{row[p]:.2f}") for p in PIPELINES]
+            )
+        return out
+
+    text = "(a) speedup of Uni-Render over baselines\n"
+    text += format_table(["device"] + list(PIPELINES), _rows(speedups))
+    text += "\ngeomean: " + ", ".join(f"{d}: {g:.1f}x" for d, g in geomeans.items())
+    text += "\n\n(b) energy-efficiency improvement\n"
+    text += format_table(["device"] + list(PIPELINES), _rows(energy))
+    text += "\ngeomean: " + ", ".join(
+        f"{d}: {g:.1f}x" for d, g in energy_geomeans.items()
+    )
+    return {
+        "speedup": speedups,
+        "energy": energy,
+        "speedup_geomean": geomeans,
+        "energy_geomean": energy_geomeans,
+        "text": text,
+        "scenes": scenes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 — hybrid MixRT speedups on the four indoor scenes
+# ----------------------------------------------------------------------
+FIG17_DEVICES = ("Orin NX", "Xavier NX", "8Gen2", "AMD 780M")
+
+
+def figure17_hybrid(scenes: Sequence[str] | None = None) -> dict:
+    scenes = tuple(scenes) if scenes is not None else UNBOUNDED_INDOOR_SCENES
+    table: dict[str, dict[str, float]] = {}
+    for device_name in FIG17_DEVICES:
+        device = get_device(device_name)
+        table[device_name] = {}
+        for scene in scenes:
+            ours = uni_result(scene, "mixrt")
+            base = device.fps(scene, "mixrt", 1280, 720)
+            table[device_name][scene] = speedup(ours.fps, base)
+    geomeans = {d: geometric_mean(list(row.values())) for d, row in table.items()}
+    rows = [
+        [d] + [f"{table[d][s]:.2f}" for s in scenes] + [f"{geomeans[d]:.2f}"]
+        for d in FIG17_DEVICES
+    ]
+    text = format_table(["device"] + list(scenes) + ["geomean"], rows)
+    return {"data": table, "geomean": geomeans, "text": text, "scenes": scenes}

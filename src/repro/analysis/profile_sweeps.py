@@ -1,0 +1,81 @@
+"""Deployment-parameter sweeps: how model size moves the bottleneck.
+
+The paper fixes one deployment per pipeline; an architect adopting the
+accelerator wants the neighbourhood too. This study sweeps the
+Instant-NGP deployment (hash-table size, level count) through the
+simulator and exposes the spill crossover: small tables are
+compute-bound and scale freely, large ones thrash the on-chip capacity
+and collapse onto the DRAM roofline — the same mechanism behind
+Table V and the CICERO/Instant-3D comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import format_table
+from repro.compile import compile_program, profile_for
+from repro.compile.profiles import FULL_SCALE_PROFILES
+from repro.core import UniRenderAccelerator
+from repro.errors import ConfigError
+
+
+def _with_profile(pipeline: str, kind: str, **changes):
+    """Context-style helper: temporarily replace one profile entry."""
+    key = (pipeline, kind)
+    original = FULL_SCALE_PROFILES[key]
+    FULL_SCALE_PROFILES[key] = replace(original, **changes)
+    return original
+
+
+def hashgrid_deployment_sweep(
+    scene: str = "room",
+    log2_table_sizes: tuple[int, ...] = (17, 19, 21, 23),
+    level_counts: tuple[int, ...] = (8, 16, 24),
+) -> dict:
+    """FPS over (table size, level count) for the hash-grid pipeline.
+
+    Table bytes scale with both knobs; lookups scale with levels only.
+    """
+    if not log2_table_sizes or not level_counts:
+        raise ConfigError("sweep needs at least one point per axis")
+    kind = "unbounded"
+    base = profile_for("hashgrid", kind)
+    base_entry_bytes = base.table_bytes // (16 * (1 << 21))  # per entry
+    accel = UniRenderAccelerator()
+
+    data: dict[tuple[int, int], dict] = {}
+    for levels in level_counts:
+        for log2_t in log2_table_sizes:
+            original = _with_profile(
+                "hashgrid",
+                kind,
+                lookups_per_sample=levels * 8,
+                table_bytes=levels * (1 << log2_t) * base_entry_bytes,
+            )
+            try:
+                result = accel.simulate(
+                    compile_program(scene, "hashgrid", 1280, 720)
+                )
+                memory_share = sum(
+                    p.phase_cycles
+                    for p in result.schedule.phases
+                    if p.bound == "memory"
+                ) / result.cycles
+                data[(levels, log2_t)] = {
+                    "fps": result.fps,
+                    "memory_share": memory_share,
+                }
+            finally:
+                FULL_SCALE_PROFILES[("hashgrid", kind)] = original
+
+    rows = []
+    for levels in level_counts:
+        rows.append(
+            [f"{levels} levels"]
+            + [f"{data[(levels, t)]['fps']:.1f}" for t in log2_table_sizes]
+        )
+    text = format_table(
+        ["deployment"] + [f"T=2^{t}" for t in log2_table_sizes], rows
+    )
+    return {"data": data, "text": text, "scene": scene}

@@ -1,0 +1,67 @@
+"""One-call full evaluation report (all tables, figures, ablations)."""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import (
+    gating_ablation,
+    reconfiguration_overhead,
+    related_work_comparisons,
+)
+from repro.analysis.figures import (
+    figure7_motivating,
+    figure15_breakdowns,
+    figure16_speedup_energy,
+    figure17_hybrid,
+)
+from repro.analysis.scaling_scenes import scene_scaling_study
+from repro.analysis.tables import (
+    table1_overview,
+    table2_microops,
+    table3_module_status,
+    table4_realtime,
+    table5_scaling,
+    table6_support,
+)
+from repro.analysis.trajectory import trajectory_study
+
+#: Experiment id -> (title, callable) in paper order.
+ALL_EXPERIMENTS = {
+    "table1": ("Table I — pipeline overview", table1_overview),
+    "table2": ("Table II — micro-operator clustering", table2_microops),
+    "table3": ("Table III — module status", table3_module_status),
+    "fig7": ("Fig. 7 — motivating benchmark", figure7_motivating),
+    "fig15": ("Fig. 15 — area & power breakdown", figure15_breakdowns),
+    "table4": ("Table IV — real-time rendering", table4_realtime),
+    "fig16": ("Fig. 16 — speedup & energy efficiency", figure16_speedup_energy),
+    "fig17": ("Fig. 17 — hybrid pipeline", figure17_hybrid),
+    "table5": ("Table V — PE/SRAM scaling", table5_scaling),
+    "table6": ("Table VI — supported pipelines", table6_support),
+    "ablation_reconfig": ("Sec. VII-E — reconfiguration overhead",
+                          reconfiguration_overhead),
+    "ablation_gating": ("Sec. VII-E — power/clock gating", gating_ablation),
+    "related_work": ("Sec. VIII — related-work comparisons",
+                     related_work_comparisons),
+    "ext_trajectory": ("Extension — FPS along a camera trajectory",
+                       trajectory_study),
+    "ext_scene_scaling": ("Extension — scaling to larger scenes",
+                          scene_scaling_study),
+}
+
+
+def run_all(experiment_ids: tuple[str, ...] | None = None) -> dict[str, dict]:
+    """Run every (or the selected) experiment; returns id -> result."""
+    ids = experiment_ids if experiment_ids is not None else tuple(ALL_EXPERIMENTS)
+    results = {}
+    for exp_id in ids:
+        _title, fn = ALL_EXPERIMENTS[exp_id]
+        results[exp_id] = fn()
+    return results
+
+
+def full_report(experiment_ids: tuple[str, ...] | None = None) -> str:
+    """Formatted text of the whole evaluation."""
+    sections = []
+    for exp_id, result in run_all(experiment_ids).items():
+        title, _fn = ALL_EXPERIMENTS[exp_id]
+        sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{result['text']}")
+    return "\n\n".join(sections)

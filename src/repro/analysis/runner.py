@@ -1,0 +1,56 @@
+"""Shared evaluation plumbing: resolutions, scene sets, result caching."""
+
+from __future__ import annotations
+
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.core.config import AcceleratorConfig
+from repro.core.simulator import FrameResult
+from repro.scenes import NERF_SYNTHETIC_SCENES, UNBOUNDED_360_SCENES
+
+#: Evaluation resolutions, following the paper's settings.
+UNBOUNDED_RESOLUTION = (1280, 720)   # [51], [88]
+SYNTHETIC_RESOLUTION = (800, 800)    # [48], [50]
+
+#: Scene sets used by the harness. The full sets match the datasets'
+#: seven/eight scenes; benchmarks can pass reduced sets for speed.
+UNBOUNDED_EVAL_SCENES = tuple(UNBOUNDED_360_SCENES)
+SYNTHETIC_EVAL_SCENES = tuple(NERF_SYNTHETIC_SCENES)
+
+_RESULT_CACHE: dict[tuple, FrameResult] = {}
+
+
+def clear_result_cache() -> None:
+    _RESULT_CACHE.clear()
+
+
+def resolution_for(scene_name: str) -> tuple[int, int]:
+    """The paper's evaluation resolution for a scene's dataset kind."""
+    from repro.scenes import get_scene
+
+    if get_scene(scene_name).kind == "synthetic":
+        return SYNTHETIC_RESOLUTION
+    return UNBOUNDED_RESOLUTION
+
+
+def uni_result(
+    scene_name: str,
+    pipeline: str,
+    resolution: tuple[int, int] | None = None,
+    config: AcceleratorConfig | None = None,
+) -> FrameResult:
+    """Simulate Uni-Render on one (scene, pipeline), cached."""
+    if resolution is None:
+        resolution = resolution_for(scene_name)
+    key = (scene_name, pipeline, resolution, config)
+    if key in _RESULT_CACHE:
+        return _RESULT_CACHE[key]
+    program = compile_program(scene_name, pipeline, *resolution)
+    result = UniRenderAccelerator(config).simulate(program)
+    _RESULT_CACHE[key] = result
+    return result
+
+
+def uni_fps(scene_name: str, pipeline: str, **kwargs) -> float:
+    """FPS convenience wrapper over :func:`uni_result`."""
+    return uni_result(scene_name, pipeline, **kwargs).fps

@@ -1,0 +1,78 @@
+"""Larger-scene scaling study (the Sec. VII-D outlook).
+
+"This finding can guide us in scaling up the proposed accelerator to
+handle even larger 3D scenes [99]." Here we make that concrete: scale
+the hash-grid workload the way a Block-NeRF-style scene grows (more
+content per ray *and* a bigger feature table), then find the smallest
+balanced design point that restores real-time rendering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.core.microops import MicroOpProgram, Workload
+from repro.errors import ConfigError
+
+
+def scale_scene_workload(program: MicroOpProgram, factor: float) -> MicroOpProgram:
+    """A scene ``factor`` times larger: all work scales, and — unlike
+    :meth:`Workload.scaled` — so do the working sets (bigger tables)."""
+    if factor <= 0:
+        raise ConfigError("scene scale factor must be positive")
+    scaled = MicroOpProgram(pipeline=program.pipeline, pixels=program.pixels)
+    for inv in program.invocations:
+        w = inv.workload
+        scaled.append(
+            inv.op,
+            inv.name,
+            Workload(
+                int_ops=w.int_ops * factor,
+                bf16_ops=w.bf16_ops * factor,
+                sfu_ops=w.sfu_ops * factor,
+                sram_accesses=w.sram_accesses * factor,
+                dram_unique_bytes=w.dram_unique_bytes * factor,
+                working_set_bytes=w.working_set_bytes * factor,
+                streaming_bytes=w.streaming_bytes * factor,
+                items=w.items * factor,
+            ),
+        )
+    return scaled
+
+
+def scene_scaling_study(
+    scene: str = "room",
+    pipeline: str = "hashgrid",
+    scene_factors: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    design_scales: tuple[int, ...] = (1, 2, 4, 8),
+    target_fps: float = 30.0,
+) -> dict:
+    """For each scene-growth factor, the smallest balanced (n x PE,
+    n x SRAM) design point that stays above ``target_fps``."""
+    base_program = compile_program(scene, pipeline, 1280, 720)
+    base_config = UniRenderAccelerator().config
+
+    rows = []
+    data: dict[float, dict] = {}
+    for factor in scene_factors:
+        program = scale_scene_workload(base_program, factor)
+        chosen = None
+        fps_at = {}
+        for scale in design_scales:
+            accel = UniRenderAccelerator(base_config.scaled(scale, scale))
+            fps = accel.simulate(program).fps
+            fps_at[scale] = fps
+            if chosen is None and fps > target_fps:
+                chosen = scale
+        data[factor] = {"fps_at_scale": fps_at, "required_scale": chosen}
+        rows.append(
+            [f"{factor:.0f}x scene"]
+            + [f"{fps_at[s]:.1f}" for s in design_scales]
+            + [f"{chosen}x" if chosen else "> max"]
+        )
+    text = format_table(
+        ["scene size"] + [f"{s}x design" for s in design_scales] + ["needed"],
+        rows,
+    )
+    return {"data": data, "text": text, "scene": scene, "pipeline": pipeline}

@@ -1,0 +1,84 @@
+"""Frame-sequence study: FPS stability along a camera trajectory.
+
+Real-time means *every* frame under 33 ms, not the average — and the
+paper's Pixel-Reuse discussion (Sec. VII-B) hinges on camera motion.
+This study compiles one program per viewpoint of an orbit (per-view
+workload statistics measured from the field) and reports the FPS
+distribution over the trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.compile.compilers import COMPILERS
+from repro.compile.measure import PROBE_SAMPLES, PROBE_SIZE
+from repro.core import UniRenderAccelerator
+from repro.renderers.nerf.sampling import OccupancyGrid, sample_along_rays
+from repro.scenes import Camera, get_scene, orbit_poses
+
+
+def _view_live_fraction(field, occupancy, pose) -> float:
+    """Per-view ray statistic (occupancy skip + early termination)."""
+    camera = Camera(PROBE_SIZE, PROBE_SIZE, pose=pose)
+    origins, dirs = camera.rays()
+    points, dt = sample_along_rays(origins, dirs, field.ray_t_range(), PROBE_SAMPLES)
+    flat = points.reshape(-1, 3)
+    live = occupancy.query(flat).reshape(len(origins), PROBE_SAMPLES)
+    sigma = field.density(flat).reshape(len(origins), PROBE_SAMPLES)
+    alpha = 1.0 - np.exp(-np.maximum(sigma, 0.0) * dt)
+    transmittance = np.cumprod(1.0 - alpha + 1e-10, axis=1)
+    before = np.concatenate(
+        [np.ones_like(transmittance[:, :1], dtype=bool), transmittance[:, :-1] > 1e-2],
+        axis=1,
+    )
+    return float((live & before).mean())
+
+
+def trajectory_study(
+    scene: str = "room",
+    pipeline: str = "hashgrid",
+    n_frames: int = 12,
+    resolution: tuple[int, int] = (1280, 720),
+) -> dict:
+    """Per-frame FPS along an orbit; returns distribution statistics.
+
+    The frame programs share the scene's average statistics but are
+    re-scaled by each view's measured ray occupancy, so frames looking
+    into cluttered directions cost more.
+    """
+    spec = get_scene(scene)
+    field = spec.field()
+    occupancy = OccupancyGrid(field, resolution=32)
+    poses = orbit_poses(spec.camera_radius, n_frames)
+
+    base_program = COMPILERS[pipeline](scene, *resolution)
+    base_live = np.mean(
+        [_view_live_fraction(field, occupancy, pose) for pose in poses[:3]]
+    )
+
+    accel = UniRenderAccelerator()
+    fps = []
+    for pose in poses:
+        live = _view_live_fraction(field, occupancy, pose)
+        factor = live / max(base_live, 1e-9)
+        program = type(base_program)(pipeline=pipeline, pixels=base_program.pixels)
+        for inv in base_program.invocations:
+            program.append(inv.op, inv.name, inv.workload.scaled(factor))
+        fps.append(accel.simulate(program).fps)
+
+    fps_arr = np.asarray(fps)
+    data = {
+        "fps": fps,
+        "mean": float(fps_arr.mean()),
+        "min": float(fps_arr.min()),
+        "max": float(fps_arr.max()),
+        "all_real_time": bool(np.all(fps_arr > 30.0)),
+    }
+    rows = [[f"frame {i}", f"{value:.1f}"] for i, value in enumerate(fps)]
+    rows.append(["mean", f"{data['mean']:.1f}"])
+    rows.append(["min", f"{data['min']:.1f}"])
+    text = format_table(["view", "FPS"], rows)
+    text += f"\nreal-time on every frame: {'yes' if data['all_real_time'] else 'no'}"
+    return {"data": data, "text": text, "scene": scene, "pipeline": pipeline}

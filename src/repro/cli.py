@@ -1,0 +1,110 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the everyday workflows:
+
+* ``render``   — build a representation and render a probe frame.
+* ``simulate`` — compile a frame and run the accelerator model.
+* ``report``   — regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _cmd_render(args) -> int:
+    from repro.metrics import psnr
+    from repro.renderers import PIPELINE_RENDERERS, build_representation
+    from repro.scenes import Camera, get_scene, orbit_poses
+
+    spec = get_scene(args.scene)
+    field = spec.field()
+    model = build_representation(args.scene, args.pipeline)
+    renderer = PIPELINE_RENDERERS[args.pipeline](model, field)
+    camera = Camera(args.size, args.size,
+                    pose=orbit_poses(spec.camera_radius, 8)[args.view % 8])
+    image, stats = renderer.render(camera)
+    print(f"rendered {args.scene}/{args.pipeline} at {args.size}x{args.size}")
+    if args.psnr:
+        reference = field.render_reference(camera, n_samples=64)
+        print(f"psnr {psnr(image, reference):.2f} dB")
+    shown = {k: int(v) for k, v in sorted(stats.counts.items()) if v}
+    print("workload counters:", shown)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.compile import compile_program
+    from repro.core import UniRenderAccelerator
+    from repro.core.config import AcceleratorConfig
+
+    config = AcceleratorConfig().scaled(args.pe_scale, args.sram_scale)
+    program = compile_program(args.scene, args.pipeline, args.width, args.height)
+    result = UniRenderAccelerator(config).simulate(program)
+    print(result.summary())
+    if args.timeline:
+        print(result.timeline())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import ALL_EXPERIMENTS, run_all
+
+    ids = tuple(args.experiments) if args.experiments else None
+    if ids:
+        unknown = [e for e in ids if e not in ALL_EXPERIMENTS]
+        if unknown:
+            raise ReproError(
+                f"unknown experiments {unknown}; choose from {list(ALL_EXPERIMENTS)}"
+            )
+    for exp_id, result in run_all(ids).items():
+        title, _fn = ALL_EXPERIMENTS[exp_id]
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+        print(result["text"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Uni-Render reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="functionally render a scene")
+    render.add_argument("scene")
+    render.add_argument("--pipeline", default="hashgrid")
+    render.add_argument("--size", type=int, default=48)
+    render.add_argument("--view", type=int, default=0)
+    render.add_argument("--psnr", action="store_true",
+                        help="also score against the reference image")
+    render.set_defaults(fn=_cmd_render)
+
+    simulate = sub.add_parser("simulate", help="run the accelerator model")
+    simulate.add_argument("scene")
+    simulate.add_argument("pipeline")
+    simulate.add_argument("--width", type=int, default=1280)
+    simulate.add_argument("--height", type=int, default=720)
+    simulate.add_argument("--pe-scale", type=int, default=1)
+    simulate.add_argument("--sram-scale", type=int, default=1)
+    simulate.add_argument("--timeline", action="store_true",
+                          help="print the per-phase ASCII timeline")
+    simulate.set_defaults(fn=_cmd_simulate)
+
+    report = sub.add_parser("report", help="regenerate paper experiments")
+    report.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

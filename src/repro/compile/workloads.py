@@ -1,0 +1,125 @@
+"""Workload constructors: natural pipeline quantities -> micro-op costs.
+
+Each constructor converts the numbers a graphics engineer thinks in
+(triangles tested, table lookups, MACs, elements sorted) into the
+:class:`~repro.core.microops.Workload` fields the dataflow cost model
+prices. Conversion factors (ops per test, scratch-pad accesses per
+lookup) are fixed properties of the Sec. VI dataflows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.microops import Workload
+
+
+def gemm_workload(
+    macs: float,
+    rows: float,
+    in_width: float,
+    out_width: float,
+    weight_bytes: float,
+    sfu_ops: float = 0.0,
+    act_bytes: float = 2.0,
+    stream_in: bool = True,
+    stream_out: bool = True,
+) -> Workload:
+    """Weight-stationary GEMM (Fig. 14).
+
+    Weights are the resident working set; activations stream through the
+    global buffer. ``stream_in`` / ``stream_out`` are False when the
+    stage is fused with its neighbour inside a tile (producer-consumer
+    through the global buffer, no DRAM round trip). Scratch-pad traffic:
+    one weight word per MAC (FF) and one partial-sum update per output
+    element (PS).
+    """
+    io_stream = rows * act_bytes * (
+        (in_width if stream_in else 0.0) + (out_width if stream_out else 0.0)
+    )
+    return Workload(
+        int_ops=rows,  # address counters only (Table III: automatic counter)
+        bf16_ops=macs,
+        sfu_ops=sfu_ops,
+        sram_accesses=macs + rows * out_width,
+        dram_unique_bytes=weight_bytes,
+        working_set_bytes=weight_bytes,
+        streaming_bytes=io_stream,
+        items=rows,
+    )
+
+
+def grid_workload(
+    lookups: float,
+    fetch_bytes: float,
+    table_bytes: float,
+    int_ops_per_lookup: float,
+    bf16_per_lookup: float = 1.0,
+    sfu_ops: float = 0.0,
+    coord_stream_bytes: float = 0.0,
+) -> Workload:
+    """Combined / Decomposed Grid Indexing (Figs. 11-12).
+
+    Each lookup computes an address (INT16 lanes), reads the feature
+    word from the FF scratch pad, and feeds the weighted adder tree of
+    the reduction network (BF16 lanes). Compulsory DRAM traffic is the
+    touched fraction of the table, capped by its total size.
+    """
+    touched = min(table_bytes, lookups * fetch_bytes)
+    return Workload(
+        int_ops=lookups * int_ops_per_lookup,
+        bf16_ops=lookups * bf16_per_lookup,
+        sfu_ops=sfu_ops,
+        sram_accesses=lookups * max(1.0, fetch_bytes / 2.0),
+        dram_unique_bytes=touched,
+        working_set_bytes=table_bytes,
+        streaming_bytes=coord_stream_bytes,
+        items=lookups,
+    )
+
+
+def geometric_workload(
+    tests: float,
+    primitives: float,
+    primitive_bytes: float,
+    int_ops_per_test: float = 6.0,
+    bf16_per_test: float = 2.0,
+    sfu_ops: float = 0.0,
+    output_bytes: float = 0.0,
+) -> Workload:
+    """Geometric Processing (Fig. 10): coverage tests + min-depth hold.
+
+    Cross products run on the INT16 lanes (fixed-point screen coords);
+    depth interpolation and the compare of the min-hold on BF16. Each
+    test touches the Z-buffer view of the PS scratch pad.
+    """
+    return Workload(
+        int_ops=tests * int_ops_per_test,
+        bf16_ops=tests * bf16_per_test,
+        sfu_ops=sfu_ops,
+        sram_accesses=tests * 2.0 + primitives,
+        dram_unique_bytes=primitives * primitive_bytes,
+        working_set_bytes=primitives * primitive_bytes,
+        streaming_bytes=output_bytes,
+        items=tests,
+    )
+
+
+def sorting_workload(elements: float, per_patch: float, key_bytes: float = 8.0) -> Workload:
+    """Per-patch merge sort (Fig. 13).
+
+    ``elements`` is the total across patches, ``per_patch`` the average
+    list length; comparisons follow n log2 n within each patch. Keys are
+    staged in the FF scratch pad, one read+write per element per pass.
+    """
+    passes = max(1.0, float(np.ceil(np.log2(max(per_patch, 2.0)))))
+    compares = elements * passes
+    return Workload(
+        int_ops=compares,
+        bf16_ops=0.0,
+        sram_accesses=2.0 * elements * passes,
+        dram_unique_bytes=0.0,
+        working_set_bytes=elements * key_bytes,
+        streaming_bytes=2.0 * elements * key_bytes,
+        items=elements,
+    )

@@ -1,0 +1,43 @@
+"""The Uni-Render accelerator model — the paper's primary contribution.
+
+Structure mirrors Sec. V / VI of the paper:
+
+* :mod:`repro.core.config` — hardware configuration (16x16 PE array,
+  1 GHz, 28 nm, 59.7 GB/s LPDDR4, 256 KB global buffer).
+* :mod:`repro.core.microops` — the five common micro-operators and their
+  indexing/reduction task descriptors (Table II).
+* :mod:`repro.core.pe`, :mod:`repro.core.alu`,
+  :mod:`repro.core.scratchpad`, :mod:`repro.core.network` — the
+  reconfigurable building blocks (Fig. 9 b/c).
+* :mod:`repro.core.dataflow` — the five dataflow mappings and their
+  cycle/traffic cost models (Sec. VI, Table III).
+* :mod:`repro.core.scheduler` — maps a micro-op program onto the array,
+  charging reconfiguration overhead between modes (Sec. VII-E).
+* :mod:`repro.core.energy`, :mod:`repro.core.area` — power/area models
+  calibrated to the paper's 5.78 W / 14.96 mm^2 and Fig. 15 breakdowns.
+* :mod:`repro.core.simulator` — the user-facing
+  :class:`~repro.core.simulator.UniRenderAccelerator`.
+"""
+
+from repro.core.config import AcceleratorConfig
+from repro.core.microops import (
+    MicroOp,
+    IndexingTask,
+    ReductionTask,
+    MicroOpInvocation,
+    MicroOpProgram,
+    TABLE_II,
+)
+from repro.core.simulator import UniRenderAccelerator, FrameResult
+
+__all__ = [
+    "AcceleratorConfig",
+    "MicroOp",
+    "IndexingTask",
+    "ReductionTask",
+    "MicroOpInvocation",
+    "MicroOpProgram",
+    "TABLE_II",
+    "UniRenderAccelerator",
+    "FrameResult",
+]

@@ -1,0 +1,111 @@
+"""The reconfigurable ALU inside each PE (Sec. V-C).
+
+Four INT16 MACs (index computations), four BF16 MACs (feature
+computations), and four special function units, reconfigurable into the
+layouts Table III lists: vector mode (barycentric cross products),
+index-function mode, comparator mode (merge sort), adder-tree mode
+(interpolation/GEMM reductions), and plain MAC mode.
+
+The class is behavioural — its methods really compute — so unit tests
+can check that each configuration produces the math its dataflow needs,
+while the cost model only reads the throughput properties.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ALUMode(enum.Enum):
+    """ALU layouts selected per micro-operator (Table III)."""
+
+    VECTOR = "vector"            # Geometric Processing
+    INDEX_FUNCTION = "index"     # Combined / Decomposed Grid Indexing
+    COMPARATOR = "comparator"    # Sorting
+    ADDER_TREE = "adder_tree"    # GEMM and interpolation reductions
+    MAC = "mac"                  # plain multiply-accumulate
+
+
+class ReconfigurableALU:
+    """One PE's ALU: lanes plus a mode register."""
+
+    def __init__(
+        self, int16_lanes: int = 4, bf16_lanes: int = 4, sfu_lanes: int = 4
+    ) -> None:
+        if min(int16_lanes, bf16_lanes, sfu_lanes) < 1:
+            raise ConfigError("ALU lane counts must be positive")
+        self.int16_lanes = int16_lanes
+        self.bf16_lanes = bf16_lanes
+        self.sfu_lanes = sfu_lanes
+        self.mode = ALUMode.MAC
+
+    def configure(self, mode: ALUMode) -> None:
+        """Switch the MAC layout (one-cycle control write)."""
+        if not isinstance(mode, ALUMode):
+            raise ConfigError(f"not an ALU mode: {mode!r}")
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # Behavioural operations, one per mode.
+    # ------------------------------------------------------------------
+    def cross2d(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """2D cross products for barycentric coverage tests (vector mode)."""
+        self._require(ALUMode.VECTOR)
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        return a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0]
+
+    def index_address(
+        self, coords: np.ndarray, strides: np.ndarray, base: int = 0
+    ) -> np.ndarray:
+        """Linear addressing: ``base + coords . strides`` (index mode)."""
+        self._require(ALUMode.INDEX_FUNCTION)
+        coords = np.asarray(coords, dtype=np.int64)
+        strides = np.asarray(strides, dtype=np.int64)
+        return base + coords @ strides
+
+    def compare_exchange(self, a, b) -> tuple:
+        """Return (min, max) — the merge-sort comparator (comparator mode)."""
+        self._require(ALUMode.COMPARATOR)
+        return (a, b) if a <= b else (b, a)
+
+    def adder_tree(self, values: np.ndarray, weights: np.ndarray | None = None) -> float:
+        """Weighted reduction of up to ``bf16_lanes`` values per cycle
+        (adder-tree mode); larger inputs fold log-tree style."""
+        self._require(ALUMode.ADDER_TREE)
+        values = np.asarray(values, dtype=np.float64)
+        if weights is not None:
+            values = values * np.asarray(weights, dtype=np.float64)
+        return float(values.sum())
+
+    def mac(self, acc: float, a: float, b: float) -> float:
+        """One multiply-accumulate (MAC mode)."""
+        self._require(ALUMode.MAC)
+        return acc + a * b
+
+    # ------------------------------------------------------------------
+    def int_throughput(self) -> int:
+        """INT16 operations issued per cycle in the current mode."""
+        return self.int16_lanes
+
+    def bf16_throughput(self) -> int:
+        """BF16 MACs issued per cycle in the current mode."""
+        if self.mode is ALUMode.COMPARATOR:
+            # Comparators are built from the BF16 adders; one compare
+            # consumes one adder but produces no MAC.
+            return 0
+        return self.bf16_lanes
+
+    def compare_throughput(self) -> int:
+        """Compares per cycle (only meaningful in comparator mode)."""
+        return self.bf16_lanes if self.mode is ALUMode.COMPARATOR else 0
+
+    def _require(self, mode: ALUMode) -> None:
+        if self.mode is not mode:
+            raise ConfigError(
+                f"ALU is configured as {self.mode.value}, operation needs {mode.value}"
+            )

@@ -1,0 +1,61 @@
+"""Area model (28 nm, Sec. VII-A / Fig. 15).
+
+The paper reports 14.96 mm^2 with breakdown 54 % computing & control
+logic, 31 % SRAM inside the PE array, 15 % SRAM outside. We model area
+as constant-per-component at that technology node; the constants are
+back-computed from the paper's totals (the RTL -> Design Compiler ->
+Innovus flow is substituted per DESIGN.md section 3) and stay valid as
+the configuration scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AcceleratorConfig
+
+#: mm^2 per PE of computing & control logic (ALU, controller, routers):
+#: 54% of 14.96 mm^2 spread over 256 PEs.
+LOGIC_MM2_PER_PE = 0.54 * 14.96 / 256
+
+#: mm^2 per KB of PE-local scratch-pad SRAM (many small single-port
+#: macros): 31% of 14.96 mm^2 over 1.25 MB.
+PE_SRAM_MM2_PER_KB = 0.31 * 14.96 / 1280
+
+#: mm^2 per KB of the global buffer (wide multi-banked macros have a
+#: higher per-KB cost): 15% of 14.96 mm^2 over 256 KB.
+GLOBAL_SRAM_MM2_PER_KB = 0.15 * 14.96 / 256
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Component areas in mm^2 (Fig. 15, left)."""
+
+    logic: float
+    pe_sram: float
+    global_sram: float
+
+    @property
+    def total(self) -> float:
+        return self.logic + self.pe_sram + self.global_sram
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions per component, matching Fig. 15's area pie."""
+        total = self.total
+        return {
+            "computing_and_control_logic": self.logic / total,
+            "sram_inside_pe_array": self.pe_sram / total,
+            "sram_outside_pe_array": self.global_sram / total,
+        }
+
+
+def area_report(config: AcceleratorConfig) -> AreaReport:
+    """Area of a design point."""
+    pe_sram_kb = config.n_pes * (
+        config.ff_scratchpad_bytes + config.ps_scratchpad_bytes
+    ) / 1024
+    return AreaReport(
+        logic=config.n_pes * LOGIC_MM2_PER_PE,
+        pe_sram=pe_sram_kb * PE_SRAM_MM2_PER_KB,
+        global_sram=(config.global_buffer_bytes / 1024) * GLOBAL_SRAM_MM2_PER_KB,
+    )

@@ -1,0 +1,121 @@
+"""Hardware configuration of the Uni-Render accelerator (Sec. V, VII-A).
+
+Defaults reproduce the paper's evaluated design point: a 16x16 PE array
+at 1 GHz in 28 nm, a 256 KB on-chip global SRAM buffer, 1.25 MB of
+PE-local memory (4 KB FF + 1 KB PS scratch pad per PE), and 59.7 GB/s of
+LPDDR4 DRAM bandwidth. ``pe_scale`` / ``sram_scale`` implement the
+Table V scaling study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A Uni-Render design point.
+
+    Attributes mirror Fig. 9: each PE holds a controller, a
+    filter/feature scratch pad of four 512x16 single-port SRAM cells, an
+    ALU with four INT16 MACs, four BF16 MACs, and four special function
+    units, and a 512x16 partial-sum scratch pad.
+    """
+
+    pe_rows: int = 16
+    pe_cols: int = 16
+    clock_hz: float = 1.0e9
+    dram_bandwidth: float = 59.7e9        # bytes/s (LPDDR4-1866, [75])
+    global_buffer_bytes: int = 256 * 1024
+
+    # Per-PE resources (Fig. 9c).
+    ff_scratchpad_bytes: int = 4 * 512 * 2   # four 512x16 SRAM cells
+    ps_scratchpad_bytes: int = 512 * 2       # one 512x16 SRAM cell
+    int16_macs_per_pe: int = 4
+    bf16_macs_per_pe: int = 4
+    sfus_per_pe: int = 4
+
+    # Reconfiguration cost between micro-operator modes (Sec. VII-E):
+    # drain the array, rewrite network/PE configuration state.
+    reconfigure_cycles: int = 2048
+
+    # Extra pipeline stage on the GEMM path ("data must pass through a
+    # buffer before reaching ALUs", Sec. VII-E) expressed as a throughput
+    # derate relative to a vanilla systolic array.
+    gemm_buffer_stage_overhead: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.pe_rows < 1 or self.pe_cols < 1:
+            raise ConfigError("PE array dimensions must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock must be positive")
+        if self.dram_bandwidth <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.global_buffer_bytes < 1024:
+            raise ConfigError("global buffer unreasonably small")
+        if self.gemm_buffer_stage_overhead < 0:
+            raise ConfigError("overheads cannot be negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def local_sram_bytes(self) -> int:
+        """Total PE-local memory (1.25 MB at the default design point)."""
+        return self.n_pes * (self.ff_scratchpad_bytes + self.ps_scratchpad_bytes)
+
+    @property
+    def total_sram_bytes(self) -> int:
+        return self.local_sram_bytes + self.global_buffer_bytes
+
+    @property
+    def peak_bf16_macs_per_cycle(self) -> int:
+        return self.n_pes * self.bf16_macs_per_pe
+
+    @property
+    def peak_int16_macs_per_cycle(self) -> int:
+        return self.n_pes * self.int16_macs_per_pe
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth / self.clock_hz
+
+    # ------------------------------------------------------------------
+    def scaled(self, pe_scale: int = 1, sram_scale: int = 1) -> "AcceleratorConfig":
+        """The Table V scaling knobs, scaled *independently*.
+
+        ``pe_scale`` multiplies the PE count (by widening the array);
+        ``sram_scale`` multiplies the *total* on-chip SRAM capacity.
+        Because scratch pads are per-PE, growing the array alone spreads
+        the same total local SRAM across more PEs — exactly the
+        configuration Table V shows saturating at 1.1x.
+        """
+        if pe_scale < 1 or sram_scale < 1:
+            raise ConfigError("scales must be >= 1")
+        if pe_scale & (pe_scale - 1) or sram_scale & (sram_scale - 1):
+            raise ConfigError("scales must be powers of two")
+        rows, cols = self.pe_rows, self.pe_cols
+        remaining = pe_scale
+        while remaining > 1:
+            if cols <= rows:
+                cols *= 2
+            else:
+                rows *= 2
+            remaining //= 2
+        per_pe_factor = sram_scale / pe_scale
+        ff = int(self.ff_scratchpad_bytes * per_pe_factor)
+        ps = int(self.ps_scratchpad_bytes * per_pe_factor)
+        if ff < 2 or ps < 2:
+            raise ConfigError("scaling leaves PEs with no scratch pad")
+        return replace(
+            self,
+            pe_rows=rows,
+            pe_cols=cols,
+            global_buffer_bytes=self.global_buffer_bytes * sram_scale,
+            ff_scratchpad_bytes=ff,
+            ps_scratchpad_bytes=ps,
+        )

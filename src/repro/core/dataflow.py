@@ -1,0 +1,227 @@
+"""Dataflows for the five micro-operators (Sec. VI) and their costs.
+
+``MODULE_STATUS`` is Table III in executable form: which networks, PE
+controller program, scratch-pad contents, ALU layout, and PS role each
+micro-operator needs. ``phase_cost`` prices one invocation:
+
+* compute cycles — lane-limited issue over the PE array, derated by a
+  per-dataflow efficiency (indirection stalls, pipeline bubbles, the
+  GEMM buffer stage of Sec. VII-E);
+* DRAM traffic — compulsory bytes times a spill factor
+  ``min(max(1, working_set / on-chip), no-reuse ceiling)`` plus
+  uncacheable streaming bytes. The ``max(compute, memory)`` composition
+  happens in the scheduler (double-buffered tiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alu import ALUMode
+from repro.core.config import AcceleratorConfig
+from repro.core.microops import MicroOp, Workload
+from repro.core.network import ArrayMode, ReductionLinks
+from repro.core.pe import ControllerMode, PSUse
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModuleStatus:
+    """One row of Table III."""
+
+    input_network: bool
+    reduction_links: ReductionLinks
+    array_mode: ArrayMode
+    controller: ControllerMode
+    ff_contents: str
+    alu_mode: ALUMode
+    ps_use: PSUse
+
+
+#: Table III verbatim.
+MODULE_STATUS: dict[MicroOp, ModuleStatus] = {
+    MicroOp.GEOMETRIC: ModuleStatus(
+        input_network=False,
+        reduction_links=ReductionLinks.OFF,
+        array_mode=ArrayMode.PIPELINE,
+        controller=ControllerMode.RASTERIZATION,
+        ff_contents="geometry_representation",
+        alu_mode=ALUMode.VECTOR,
+        ps_use=PSUse.Z_BUFFER,
+    ),
+    MicroOp.COMBINED_GRID: ModuleStatus(
+        input_network=True,
+        reduction_links=ReductionLinks.HORIZONTAL,
+        array_mode=ArrayMode.PIPELINE,
+        controller=ControllerMode.GRID,
+        ff_contents="grid_features",
+        alu_mode=ALUMode.INDEX_FUNCTION,
+        ps_use=PSUse.OFF,
+    ),
+    MicroOp.DECOMPOSED_GRID: ModuleStatus(
+        input_network=True,
+        reduction_links=ReductionLinks.FULL,
+        array_mode=ArrayMode.PIPELINE,
+        controller=ControllerMode.GRID,
+        ff_contents="grid_features",
+        alu_mode=ALUMode.INDEX_FUNCTION,
+        ps_use=PSUse.OFF,
+    ),
+    MicroOp.SORTING: ModuleStatus(
+        input_network=False,
+        reduction_links=ReductionLinks.OFF,
+        array_mode=ArrayMode.PIPELINE,
+        controller=ControllerMode.SORTING,
+        ff_contents="sorting_elements",
+        alu_mode=ALUMode.COMPARATOR,
+        ps_use=PSUse.OFF,
+    ),
+    MicroOp.GEMM: ModuleStatus(
+        input_network=True,
+        reduction_links=ReductionLinks.OFF,
+        array_mode=ArrayMode.SYSTOLIC,
+        controller=ControllerMode.GEMM,
+        ff_contents="model_weights",
+        alu_mode=ALUMode.ADDER_TREE,
+        ps_use=PSUse.OUTPUT_FEATURES,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DataflowEfficiency:
+    """Achieved fraction of peak lane throughput for one dataflow.
+
+    These derates encode the microarchitectural frictions Sec. VI / VII-E
+    describe: scratch-pad indirection on grid lookups, the extra GEMM
+    buffer stage, pipeline fill, bank conflicts.
+    """
+
+    int16: float
+    bf16: float
+    sfu: float
+
+    def __post_init__(self) -> None:
+        for value in (self.int16, self.bf16, self.sfu):
+            if not 0.0 < value <= 1.0:
+                raise ConfigError("efficiencies must lie in (0, 1]")
+
+
+#: Per-dataflow lane efficiencies (calibration constants; see DESIGN.md
+#: section 6 — Uni-Render absolute FPS anchors to Table IV through these).
+EFFICIENCY: dict[MicroOp, DataflowEfficiency] = {
+    MicroOp.GEOMETRIC: DataflowEfficiency(int16=0.85, bf16=0.85, sfu=0.90),
+    MicroOp.COMBINED_GRID: DataflowEfficiency(int16=0.70, bf16=0.70, sfu=0.90),
+    MicroOp.DECOMPOSED_GRID: DataflowEfficiency(int16=0.65, bf16=0.65, sfu=0.90),
+    MicroOp.SORTING: DataflowEfficiency(int16=0.80, bf16=0.80, sfu=0.90),
+    MicroOp.GEMM: DataflowEfficiency(int16=0.95, bf16=1.0, sfu=0.90),
+}
+
+#: Pipeline fill/drain latency charged once per invocation, cycles.
+LAUNCH_LATENCY = 64.0
+
+
+@dataclass
+class PhaseCost:
+    """Priced execution of one micro-op invocation on the array."""
+
+    compute_cycles: float
+    dram_bytes: float
+    int_ops: float
+    bf16_ops: float
+    sfu_ops: float
+    sram_accesses: float
+    global_buffer_bytes: float
+
+    def memory_cycles(self, config: AcceleratorConfig) -> float:
+        return self.dram_bytes / config.dram_bytes_per_cycle
+
+
+def onchip_capacity_for(op: MicroOp, config: AcceleratorConfig) -> float:
+    """Bytes of on-chip storage available to hold an op's working set.
+
+    Grid features / geometry / sorting elements live in the FF scratch
+    pads, staged through the global buffer; both capacities contribute
+    to reuse. The PS scratch pads hold outputs and do not extend it.
+    """
+    return float(
+        config.global_buffer_bytes + config.n_pes * config.ff_scratchpad_bytes
+    )
+
+
+#: DRAM burst granularity: a discrete (random) access that misses on chip
+#: transfers a full line even for a small feature word.
+DRAM_LINE_BYTES = 64.0
+
+
+def no_reuse_ceiling_bytes(workload: Workload, op: MicroOp) -> float:
+    """Worst-case traffic if nothing is ever reused on chip.
+
+    The bound depends on the reduction task's memory access pattern
+    (Table II): *discrete* ops (grid indexing) pay the DRAM line
+    granularity per item, *continuous* ops stream at word granularity.
+    """
+    from repro.core.microops import TABLE_II, MemAccessPattern
+
+    pattern = TABLE_II[op][2].pattern
+    if pattern is MemAccessPattern.DISCRETE:
+        return workload.items * DRAM_LINE_BYTES
+    return 2.0 * workload.sram_accesses
+
+
+def spill_factor(workload: Workload, op: MicroOp, config: AcceleratorConfig) -> float:
+    """How many times the compulsory bytes are re-fetched.
+
+    1.0 when the working set fits on chip; grows linearly with the
+    oversubscription ratio (tiled reuse halves traffic per capacity
+    doubling — the Table V mechanism); capped at the no-reuse ceiling
+    where every access goes to DRAM.
+    """
+    if workload.dram_unique_bytes <= 0:
+        return 1.0
+    capacity = onchip_capacity_for(op, config)
+    raw = max(1.0, workload.working_set_bytes / capacity)
+    ceiling = max(
+        1.0, no_reuse_ceiling_bytes(workload, op) / workload.dram_unique_bytes
+    )
+    return min(raw, ceiling)
+
+
+def phase_cost(
+    op: MicroOp, workload: Workload, config: AcceleratorConfig
+) -> PhaseCost:
+    """Price one invocation (Sec. VI's dataflow, Sec. VII-A's simulator)."""
+    if op not in EFFICIENCY:
+        raise ConfigError(f"no dataflow for {op!r}")
+    eff = EFFICIENCY[op]
+
+    int_rate = config.peak_int16_macs_per_cycle * eff.int16
+    bf16_rate = config.peak_bf16_macs_per_cycle * eff.bf16
+    sfu_rate = config.n_pes * config.sfus_per_pe * eff.sfu
+    if op is MicroOp.GEMM:
+        # The extra buffer stage before the ALUs (Sec. VII-E).
+        bf16_rate /= 1.0 + config.gemm_buffer_stage_overhead
+
+    compute = max(
+        workload.int_ops / int_rate,
+        workload.bf16_ops / bf16_rate,
+        workload.sfu_ops / sfu_rate,
+        LAUNCH_LATENCY,
+    )
+
+    dram = (
+        workload.dram_unique_bytes * spill_factor(workload, op, config)
+        + workload.streaming_bytes
+    )
+    # Everything entering or leaving the array passes the global buffer.
+    global_buffer_bytes = dram + 2.0 * workload.sram_accesses * 0.25
+
+    return PhaseCost(
+        compute_cycles=compute,
+        dram_bytes=dram,
+        int_ops=workload.int_ops,
+        bf16_ops=workload.bf16_ops,
+        sfu_ops=workload.sfu_ops,
+        sram_accesses=workload.sram_accesses,
+        global_buffer_bytes=global_buffer_bytes,
+    )

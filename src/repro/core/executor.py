@@ -1,0 +1,206 @@
+"""Behavioural array executor: run small workloads on the modeled array.
+
+The cost models in :mod:`repro.core.dataflow` price workloads without
+executing them; this module closes the loop for *small* inputs by really
+running each micro-operator's dataflow on a grid of
+:class:`~repro.core.pe.ReconfigurablePE` objects wired by a
+:class:`~repro.core.network.DataNetwork`. The executor is used by the
+test suite to show that each Table III configuration computes what its
+pipeline stage needs:
+
+* Geometric Processing — per-PE pixel regions, barycentric coverage via
+  the ALU's vector mode, min-depth hold in the PS scratch pad (Fig. 10).
+* Combined Grid Indexing — per-line levels, features interpolated on the
+  horizontal reduction links (Fig. 11).
+* Decomposed Grid Indexing — per-line planes, two-level reduction
+  (Fig. 12).
+* Sorting — one patch per PE, merge sort staged in the FF scratch pad
+  (Fig. 13).
+* GEMM — weight-stationary tiles, partial sums in the PS scratch pad
+  (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.alu import ALUMode
+from repro.core.dataflow import MODULE_STATUS
+from repro.core.microops import MicroOp
+from repro.core.network import DataNetwork
+from repro.core.pe import ReconfigurablePE
+from repro.errors import ConfigError, SimulationError
+
+
+class ArrayExecutor:
+    """A small behavioural PE array (functional, not cycle-stepped)."""
+
+    def __init__(self, rows: int = 4, cols: int = 4) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.pes = [[ReconfigurablePE() for _ in range(cols)] for _ in range(rows)]
+        self.network = DataNetwork(rows, cols)
+        self.configured_for: MicroOp | None = None
+
+    # ------------------------------------------------------------------
+    def configure(self, op: MicroOp) -> bool:
+        """Apply one Table III row to every PE and the data networks."""
+        status = MODULE_STATUS[op]
+        changed = self.network.configure(
+            status.array_mode, status.reduction_links, status.input_network
+        )
+        for row in self.pes:
+            for pe in row:
+                pe.configure(status.controller, status.alu_mode, status.ps_use)
+        self.configured_for = op
+        return changed
+
+    def _require(self, op: MicroOp) -> None:
+        if self.configured_for is not op:
+            raise SimulationError(
+                f"array configured for {self.configured_for}, needs {op.value}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometric Processing (Fig. 10)
+    # ------------------------------------------------------------------
+    def run_geometric(
+        self, triangles: np.ndarray, pixels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Rasterize ``triangles`` (n, 3, 2 screen xy + depth in [:, :, 2])
+        against ``pixels`` (p, 2), pixels distributed across PEs.
+
+        ``triangles`` has shape (n, 3, 3): three vertices of (x, y, depth).
+        Returns (nearest_depth, nearest_index) per pixel (inf/-1 if none).
+        """
+        self._require(MicroOp.GEOMETRIC)
+        triangles = np.asarray(triangles, dtype=np.float64)
+        pixels = np.asarray(pixels, dtype=np.float64)
+        n_pes = self.rows * self.cols
+        depths = np.full(len(pixels), np.inf)
+        indices = np.full(len(pixels), -1, dtype=np.int64)
+
+        for pixel_id, (px, py) in enumerate(pixels):
+            pe = self.pes[(pixel_id // self.cols) % self.rows][pixel_id % self.cols]
+            pe.reset_counter()
+            hit_depths, hit_ids = [], []
+            for tri_id in range(len(triangles)):
+                _ = pe.next_index()  # automatic-counter indexing task
+                a, b, c = triangles[tri_id, :, :2]
+                area = pe.alu.cross2d(b - a, c - a)
+                if abs(area) < 1e-12:
+                    continue
+                w0 = pe.alu.cross2d(b - np.array([px, py]), c - np.array([px, py])) / area
+                w1 = pe.alu.cross2d(c - np.array([px, py]), a - np.array([px, py])) / area
+                w2 = 1.0 - w0 - w1
+                if w0 >= 0 and w1 >= 0 and w2 >= 0:
+                    depth = (
+                        w0 * triangles[tri_id, 0, 2]
+                        + w1 * triangles[tri_id, 1, 2]
+                        + w2 * triangles[tri_id, 2, 2]
+                    )
+                    hit_depths.append(depth)
+                    hit_ids.append(tri_id)
+            if hit_depths:
+                depths[pixel_id], indices[pixel_id] = pe.min_depth_hold(
+                    hit_depths, hit_ids
+                )
+        del n_pes
+        return depths, indices
+
+    # ------------------------------------------------------------------
+    # Combined Grid Indexing (Fig. 11)
+    # ------------------------------------------------------------------
+    def run_combined_grid(
+        self, level_tables: list[np.ndarray], indices: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Interpolate per-level features on the horizontal links.
+
+        One PE line per level (levels must fit in ``rows``); each PE in a
+        line supplies one interpolation candidate, the horizontal
+        reduction network forms the weighted sum. ``indices``/``weights``
+        have shape (levels, candidates <= cols).
+        """
+        self._require(MicroOp.COMBINED_GRID)
+        levels = len(level_tables)
+        if levels > self.rows:
+            raise SimulationError("more levels than PE lines")
+        indices = np.asarray(indices, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        candidates = indices.shape[1]
+        if candidates > self.cols:
+            raise SimulationError("more candidates than PEs per line")
+
+        values = np.zeros((self.rows, self.cols))
+        w_grid = np.zeros((self.rows, self.cols))
+        for level in range(levels):
+            table = np.asarray(level_tables[level], dtype=np.float64)
+            for cand in range(candidates):
+                values[level, cand] = table[indices[level, cand]]
+                w_grid[level, cand] = weights[level, cand]
+        return self.network.horizontal_reduce(values, w_grid)[:levels]
+
+    # ------------------------------------------------------------------
+    # Decomposed Grid Indexing (Fig. 12)
+    # ------------------------------------------------------------------
+    def run_decomposed_grid(
+        self,
+        plane_values: np.ndarray,
+        plane_weights: np.ndarray,
+        combine: str = "multiply",
+    ) -> float:
+        """Per-line interpolation then cross-line aggregation.
+
+        ``plane_values``/``plane_weights`` have shape (planes <= rows,
+        candidates <= cols); returns the aggregated scalar feature.
+        """
+        self._require(MicroOp.DECOMPOSED_GRID)
+        values = np.zeros((self.rows, self.cols))
+        weights = np.zeros((self.rows, self.cols))
+        planes, candidates = np.asarray(plane_values).shape
+        if planes > self.rows or candidates > self.cols:
+            raise SimulationError("plane workload exceeds the array")
+        values[:planes, :candidates] = plane_values
+        weights[:planes, :candidates] = plane_weights
+        if combine == "multiply":
+            # Identity element for the multiplicative aggregation.
+            values[planes:, 0] = 1.0
+            weights[planes:, 0] = 1.0
+        return self.network.full_reduce(values, weights, combine=combine)
+
+    # ------------------------------------------------------------------
+    # Sorting (Fig. 13)
+    # ------------------------------------------------------------------
+    def run_sorting(self, patches: list[list]) -> tuple[list[list], int]:
+        """Merge-sort one patch per PE; returns sorted patches and the
+        total comparator operations."""
+        self._require(MicroOp.SORTING)
+        if len(patches) > self.rows * self.cols:
+            raise SimulationError("more patches than PEs")
+        sorted_patches = []
+        comparisons = 0
+        for i, patch in enumerate(patches):
+            pe = self.pes[i // self.cols][i % self.cols]
+            out, comps = pe.merge_sort_in_ff(patch)
+            sorted_patches.append(out)
+            comparisons += comps
+        return sorted_patches, comparisons
+
+    # ------------------------------------------------------------------
+    # GEMM (Fig. 14)
+    # ------------------------------------------------------------------
+    def run_gemm(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Weight-stationary GEMM tiled across PEs by output column."""
+        self._require(MicroOp.GEMM)
+        weights = np.asarray(weights, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        n_out = weights.shape[1]
+        out = np.zeros((len(inputs), n_out))
+        for col in range(n_out):
+            pe = self.pes[(col // self.cols) % self.rows][col % self.cols]
+            out[:, col] = pe.weight_stationary_gemm(
+                weights[:, col : col + 1], inputs
+            )[:, 0]
+        return out

@@ -1,0 +1,60 @@
+"""Power and clock gating of idle modules (Sec. VII-E).
+
+"Not all modules in the proposed accelerator are used for each
+micro-operator ... we leverage power and clock gating to conserve energy
+and minimize the impacts of unused modules." The model: a module that is
+idle during a phase burns a fraction of its active power — small when
+gated, noticeable when not. The ablation benchmark toggles ``gated``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alu import ALUMode
+from repro.core.dataflow import MODULE_STATUS
+from repro.core.microops import MicroOp
+from repro.core.network import ReductionLinks
+from repro.errors import ConfigError
+
+#: Idle power as a fraction of a module's active power.
+IDLE_FRACTION_GATED = 0.02
+IDLE_FRACTION_UNGATED = 0.20
+
+
+@dataclass(frozen=True)
+class ModuleActivity:
+    """Which PE/network modules a micro-operator exercises."""
+
+    sfu_active: bool
+    bf16_active: bool
+    int16_active: bool
+    reduction_network_active: bool
+    input_network_active: bool
+
+
+def module_activity(op: MicroOp) -> ModuleActivity:
+    """Derive per-module activity from Table III."""
+    if op not in MODULE_STATUS:
+        raise ConfigError(f"unknown micro-op {op!r}")
+    status = MODULE_STATUS[op]
+    # SFUs evaluate exp/sin/rsqrt: needed by geometric (depth recip),
+    # grid ops (encodings) — but idle during GEMM and sorting, the
+    # example Sec. VII-E gives.
+    sfu_active = op in (MicroOp.GEOMETRIC, MicroOp.COMBINED_GRID, MicroOp.DECOMPOSED_GRID)
+    return ModuleActivity(
+        sfu_active=sfu_active,
+        # The BF16 datapath is exercised by every dataflow (sorting's
+        # comparators are built from its adders).
+        bf16_active=True,
+        int16_active=status.alu_mode is not ALUMode.ADDER_TREE or op is MicroOp.GEMM,
+        reduction_network_active=status.reduction_links is not ReductionLinks.OFF,
+        input_network_active=status.input_network,
+    )
+
+
+def idle_power_factor(active: bool, gated: bool) -> float:
+    """Fraction of a module's active power it draws during this phase."""
+    if active:
+        return 1.0
+    return IDLE_FRACTION_GATED if gated else IDLE_FRACTION_UNGATED

@@ -1,0 +1,187 @@
+"""The five common micro-operators and their task descriptors (Table II).
+
+The paper's central insight: every step of every pipeline clusters into
+five micro-operators, each decomposing into one *indexing* task
+("indexing {Item} from a {Dimension} tensor, with the index retrieved by
+{Function}") and one *reduction* task ("performing reduction within a
+set of {Mem. Access Pattern} memory addresses").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+
+
+class MicroOp(enum.Enum):
+    """The five unique micro-operators (Fig. 8)."""
+
+    GEOMETRIC = "geometric_processing"
+    COMBINED_GRID = "combined_grid_indexing"
+    DECOMPOSED_GRID = "decomposed_grid_indexing"
+    SORTING = "sorting"
+    GEMM = "gemm"
+
+
+class IndexFunction(enum.Enum):
+    """How the indexing task obtains its next index (Table II)."""
+
+    AUTOMATIC_COUNTER = "automatic_counter"
+    RANDOM_HASH = "random_hash"
+    LINEAR_INDEXING = "linear_indexing"
+
+
+class MemAccessPattern(enum.Enum):
+    """Reduction-task memory access pattern (Table II)."""
+
+    CONTINUOUS = "continuous"
+    DISCRETE = "discrete"
+    MIXED = "continuous/discrete"
+
+
+@dataclass(frozen=True)
+class IndexingTask:
+    """'Indexing {item} from a {dims} tensor via {functions}'."""
+
+    item: str
+    dims: tuple[int, ...]
+    functions: tuple[IndexFunction, ...]
+
+
+@dataclass(frozen=True)
+class ReductionTask:
+    """'Reduction within a set of {pattern} memory addresses'."""
+
+    pattern: MemAccessPattern
+
+
+#: Table II verbatim: micro-operator -> (pipeline steps it absorbs,
+#: indexing task, reduction task).
+TABLE_II: dict[MicroOp, tuple[tuple[str, ...], IndexingTask, ReductionTask]] = {
+    MicroOp.GEOMETRIC: (
+        ("rasterization", "splatting"),
+        IndexingTask("mesh/gaussian", (1,), (IndexFunction.AUTOMATIC_COUNTER,)),
+        ReductionTask(MemAccessPattern.CONTINUOUS),
+    ),
+    MicroOp.COMBINED_GRID: (
+        ("texture_indexing", "hash_indexing"),
+        IndexingTask(
+            "features",
+            (1, 2, 3),
+            (IndexFunction.RANDOM_HASH, IndexFunction.LINEAR_INDEXING),
+        ),
+        ReductionTask(MemAccessPattern.DISCRETE),
+    ),
+    MicroOp.DECOMPOSED_GRID: (
+        ("low_rank_decomposed_indexing",),
+        IndexingTask("features", (2, 3), (IndexFunction.LINEAR_INDEXING,)),
+        ReductionTask(MemAccessPattern.DISCRETE),
+    ),
+    MicroOp.SORTING: (
+        ("sorting",),
+        IndexingTask("sorting_keys", (1,), (IndexFunction.AUTOMATIC_COUNTER,)),
+        ReductionTask(MemAccessPattern.CONTINUOUS),
+    ),
+    MicroOp.GEMM: (
+        ("mlp", "blending", "space_conversion", "others"),
+        IndexingTask("scalars", (1, 2), (IndexFunction.AUTOMATIC_COUNTER,)),
+        ReductionTask(MemAccessPattern.MIXED),
+    ),
+}
+
+
+@dataclass
+class Workload:
+    """Quantified work of one micro-operator invocation.
+
+    The dataflow cost model (Sec. VI) prices exactly these quantities:
+
+    * ``int_ops`` — INT16 MAC-equivalents (index arithmetic).
+    * ``bf16_ops`` — BF16 MACs (feature math, interpolation, blending).
+    * ``sfu_ops`` — special-function evaluations (exp, sin/cos, rsqrt).
+    * ``sram_accesses`` — 16-bit scratch-pad accesses.
+    * ``dram_unique_bytes`` — compulsory off-chip traffic (read once if
+      everything fits on chip).
+    * ``working_set_bytes`` — the resident set the invocation wants on
+      chip; when it exceeds capacity, unique traffic is re-fetched
+      (the spill model behind Table V).
+    * ``streaming_bytes`` — per-item traffic that can never be cached
+      (e.g. GEMM activations in and out).
+    * ``items`` — logical work items, for reporting.
+    """
+
+    int_ops: float = 0.0
+    bf16_ops: float = 0.0
+    sfu_ops: float = 0.0
+    sram_accesses: float = 0.0
+    dram_unique_bytes: float = 0.0
+    working_set_bytes: float = 0.0
+    streaming_bytes: float = 0.0
+    items: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "int_ops",
+            "bf16_ops",
+            "sfu_ops",
+            "sram_accesses",
+            "dram_unique_bytes",
+            "working_set_bytes",
+            "streaming_bytes",
+            "items",
+        ):
+            if getattr(self, name) < 0:
+                raise CompileError(f"workload field {name} is negative")
+
+    def scaled(self, factor: float) -> "Workload":
+        """All quantities multiplied by ``factor``; working set is a
+        capacity, not a rate, so it is left unchanged."""
+        return Workload(
+            int_ops=self.int_ops * factor,
+            bf16_ops=self.bf16_ops * factor,
+            sfu_ops=self.sfu_ops * factor,
+            sram_accesses=self.sram_accesses * factor,
+            dram_unique_bytes=self.dram_unique_bytes * factor,
+            working_set_bytes=self.working_set_bytes,
+            streaming_bytes=self.streaming_bytes * factor,
+            items=self.items * factor,
+        )
+
+
+@dataclass
+class MicroOpInvocation:
+    """One micro-operator instance inside a frame's program."""
+
+    op: MicroOp
+    name: str                 # human-readable stage name, e.g. "rasterization"
+    workload: Workload
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, MicroOp):
+            raise CompileError(f"op must be a MicroOp, got {self.op!r}")
+
+
+@dataclass
+class MicroOpProgram:
+    """An ordered list of micro-op invocations rendering one frame."""
+
+    pipeline: str
+    invocations: list[MicroOpInvocation] = field(default_factory=list)
+    pixels: int = 0
+
+    def append(self, op: MicroOp, name: str, workload: Workload) -> None:
+        self.invocations.append(MicroOpInvocation(op, name, workload))
+
+    def ops_used(self) -> tuple[MicroOp, ...]:
+        """Distinct micro-operators, in first-use order."""
+        seen: list[MicroOp] = []
+        for inv in self.invocations:
+            if inv.op not in seen:
+                seen.append(inv.op)
+        return tuple(seen)
+
+    def total(self, field_name: str) -> float:
+        """Sum of one workload field across invocations."""
+        return sum(getattr(inv.workload, field_name) for inv in self.invocations)

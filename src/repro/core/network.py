@@ -1,0 +1,101 @@
+"""Reconfigurable input/reduction data networks (Sec. V-B, Fig. 9b).
+
+Two array-level modes: Mode 1 chains PEs "systolic-array-like" for GEMM;
+Mode 2 turns the array into a pipeline whose reduction links adapt to
+the reduction task's memory access pattern. Reduction links can be off,
+horizontally active (interpolation within a PE line — Combined Grid
+Indexing), or fully active (interpolation within lines then aggregation
+across lines — Decomposed Grid Indexing).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ArrayMode(enum.Enum):
+    """Fig. 9b's two operating modes."""
+
+    SYSTOLIC = 1   # Mode 1: GEMM
+    PIPELINE = 2   # Mode 2: reduction-task driven
+
+
+class ReductionLinks(enum.Enum):
+    """State of the reduction data paths & routers (Table III)."""
+
+    OFF = "off"
+    HORIZONTAL = "horizontal"
+    FULL = "full"
+
+
+class DataNetwork:
+    """Array-level network state plus behavioural reductions for tests."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigError("network dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.mode = ArrayMode.SYSTOLIC
+        self.reduction = ReductionLinks.OFF
+        self.input_active = False
+        self.reconfigurations = 0
+
+    def configure(
+        self, mode: ArrayMode, reduction: ReductionLinks, input_active: bool
+    ) -> bool:
+        """Set the network state; returns True when anything changed
+        (the scheduler charges reconfiguration cycles on change)."""
+        changed = (
+            mode is not self.mode
+            or reduction is not self.reduction
+            or input_active != self.input_active
+        )
+        self.mode = mode
+        self.reduction = reduction
+        self.input_active = input_active
+        if changed:
+            self.reconfigurations += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Behavioural reductions (used by dataflow unit tests).
+    # ------------------------------------------------------------------
+    def horizontal_reduce(
+        self, values: np.ndarray, weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Weighted sum along each PE line: (rows, cols) -> (rows,).
+
+        This is the "weighted adder tree" interpolating features held by
+        the PEs of one line (Fig. 11).
+        """
+        if self.reduction is ReductionLinks.OFF:
+            raise ConfigError("reduction links are off")
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.rows, self.cols):
+            raise ConfigError(f"expected shape {(self.rows, self.cols)}")
+        if weights is None:
+            return values.sum(axis=1)
+        return (values * np.asarray(weights, dtype=np.float64)).sum(axis=1)
+
+    def full_reduce(
+        self,
+        values: np.ndarray,
+        line_weights: np.ndarray | None = None,
+        combine: str = "multiply",
+    ) -> float:
+        """Two-level reduction (Fig. 12): weighted addition within each
+        line, then aggregation across lines — multiplicative for the
+        Decomposed Grid Indexing micro-operator."""
+        if self.reduction is not ReductionLinks.FULL:
+            raise ConfigError("full reduction requires fully active links")
+        per_line = self.horizontal_reduce(values, line_weights)
+        if combine == "multiply":
+            return float(np.prod(per_line))
+        if combine == "add":
+            return float(np.sum(per_line))
+        raise ConfigError(f"unknown combine {combine!r}")

@@ -1,0 +1,146 @@
+"""The reconfigurable Processing Element (Sec. V-C, Fig. 9c).
+
+Each PE = PE controller + FF scratch pad (4x 512x16) + ALU + PS scratch
+pad with register buffer. The controller mode, scratch-pad contents, ALU
+layout, and PS usage are reconfigured per micro-operator (Table III).
+
+Besides the structural state the class implements small behavioural
+kernels — min-depth hold, counter indexing, in-PE merge sort, weight-
+stationary MAC loops — that the unit tests run to check each dataflow's
+PE-level semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.core.alu import ALUMode, ReconfigurableALU
+from repro.core.scratchpad import Scratchpad
+
+
+class ControllerMode(enum.Enum):
+    """PE-controller programs (Table III column 'PE Controller')."""
+
+    RASTERIZATION = "rasterization_control"
+    GRID = "grid_control"
+    SORTING = "sorting_control"
+    GEMM = "gemm_control"
+
+
+class PSUse(enum.Enum):
+    """Partial-sum scratch-pad roles (Table III column 'PS Scratch Pad')."""
+
+    OFF = "off"
+    Z_BUFFER = "z_buffer"
+    OUTPUT_FEATURES = "output_features"
+
+
+class ReconfigurablePE:
+    """One PE of the 16x16 array."""
+
+    def __init__(self) -> None:
+        self.controller = ControllerMode.GEMM
+        self.alu = ReconfigurableALU()
+        self.ff = Scratchpad(words_per_cell=512, n_cells=4)
+        self.ps = Scratchpad(words_per_cell=512, n_cells=1)
+        self.ps_use = PSUse.OFF
+        self._counter = 0
+
+    def configure(
+        self, controller: ControllerMode, alu_mode: ALUMode, ps_use: PSUse
+    ) -> None:
+        """Apply one row of Table III to this PE."""
+        self.controller = controller
+        self.alu.configure(alu_mode)
+        self.ps_use = ps_use
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Indexing-task primitives
+    # ------------------------------------------------------------------
+    def next_index(self) -> int:
+        """Automatic counter: 'increments the index by one each time the
+        function is called' (Table II)."""
+        value = self._counter
+        self._counter += 1
+        return value
+
+    def reset_counter(self) -> None:
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Behavioural kernels, one per dataflow
+    # ------------------------------------------------------------------
+    def min_depth_hold(self, depths, indices) -> tuple[float, int]:
+        """Geometric Processing reduction: keep the nearest primitive.
+
+        Streams (depth, primitive-id) pairs; the surviving pair is what
+        the PS scratch pad (acting as the Z-buffer) retains.
+        """
+        if self.ps_use is not PSUse.Z_BUFFER:
+            raise ConfigError("PS scratch pad is not configured as a Z-buffer")
+        best_depth = float("inf")
+        best_index = -1
+        for depth, index in zip(depths, indices):
+            if depth < best_depth:
+                best_depth = float(depth)
+                best_index = int(index)
+        # Depth stored as fixed-point in the PS scratch pad.
+        self.ps.write(0, min(int(best_depth * 256), 2**31 - 1))
+        self.ps.write(1, best_index)
+        return best_depth, best_index
+
+    def merge_sort_in_ff(self, keys: list) -> tuple[list, int]:
+        """Sorting dataflow: bottom-up merge sort staged through the FF
+        scratch pad, ALU acting as comparators (Fig. 13)."""
+        if self.controller is not ControllerMode.SORTING:
+            raise ConfigError("PE controller is not in sorting mode")
+        if len(keys) > self.ff.capacity_words:
+            raise SimulationError("patch does not fit in the FF scratch pad")
+        self.ff.load_block(0, [int(k) for k in keys])
+        items = list(keys)
+        comparisons = 0
+        width = 1
+        n = len(items)
+        while width < n:
+            merged: list = []
+            for start in range(0, n, 2 * width):
+                left = items[start : start + width]
+                right = items[start + width : start + 2 * width]
+                i = j = 0
+                while i < len(left) and j < len(right):
+                    lo, _hi = self.alu.compare_exchange(left[i], right[j])
+                    comparisons += 1
+                    if lo == left[i]:
+                        merged.append(left[i])
+                        i += 1
+                    else:
+                        merged.append(right[j])
+                        j += 1
+                merged.extend(left[i:])
+                merged.extend(right[j:])
+            items = merged
+            # Each pass writes the merged run back to the scratch pad.
+            self.ff.load_block(0, [int(k) for k in items])
+            width *= 2
+        return items, comparisons
+
+    def weight_stationary_gemm(self, weights: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """GEMM dataflow: weights pinned in the FF scratch pad, inputs
+        streamed, partial sums accumulated into the PS scratch pad."""
+        if self.controller is not ControllerMode.GEMM:
+            raise ConfigError("PE controller is not in GEMM mode")
+        if self.ps_use is not PSUse.OUTPUT_FEATURES:
+            raise ConfigError("PS scratch pad must hold output features")
+        weights = np.asarray(weights, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if weights.size > self.ff.capacity_words:
+            raise SimulationError("weight tile exceeds the FF scratch pad")
+        out = inputs @ weights
+        # Account the scratch-pad traffic the loop would generate.
+        self.ff.reads += weights.size * len(inputs)
+        self.ps.writes += out.size
+        return out

@@ -1,0 +1,101 @@
+"""Maps a micro-op program onto the array and totals the frame cost.
+
+Phases execute back to back; within a phase, compute and DRAM transfers
+overlap through double buffering, so phase time is
+``max(compute_cycles, memory_cycles)`` plus launch latency.
+Reconfiguration cycles are charged whenever consecutive invocations need
+different network/PE configurations (Sec. VII-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import AcceleratorConfig
+from repro.core.dataflow import MODULE_STATUS, PhaseCost, phase_cost
+from repro.core.energy import EnergyBreakdown, phase_energy
+from repro.core.microops import MicroOpInvocation, MicroOpProgram
+from repro.errors import SimulationError
+
+
+@dataclass
+class ScheduledPhase:
+    """One invocation placed on the array."""
+
+    invocation: MicroOpInvocation
+    cost: PhaseCost
+    reconfig_cycles: float
+    memory_cycles: float
+    phase_cycles: float
+    energy: EnergyBreakdown
+
+    @property
+    def bound(self) -> str:
+        """What limited this phase: 'compute' or 'memory'."""
+        return "compute" if self.cost.compute_cycles >= self.memory_cycles else "memory"
+
+
+@dataclass
+class FrameSchedule:
+    """A fully scheduled frame."""
+
+    program: MicroOpProgram
+    phases: list[ScheduledPhase] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(p.phase_cycles + p.reconfig_cycles for p in self.phases)
+
+    @property
+    def reconfig_cycles(self) -> float:
+        return sum(p.reconfig_cycles for p in self.phases)
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(p.cost.dram_bytes for p in self.phases)
+
+    def energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for p in self.phases:
+            total.add(p.energy)
+        return total
+
+    def cycles_by_op(self) -> dict[str, float]:
+        """Cycle share per micro-operator, for the reports."""
+        shares: dict[str, float] = {}
+        for p in self.phases:
+            key = p.invocation.op.value
+            shares[key] = shares.get(key, 0.0) + p.phase_cycles + p.reconfig_cycles
+        return shares
+
+
+def schedule(
+    program: MicroOpProgram, config: AcceleratorConfig, gated: bool = True
+) -> FrameSchedule:
+    """Schedule every invocation in order, charging reconfigurations."""
+    if not program.invocations:
+        raise SimulationError("cannot schedule an empty program")
+    frame = FrameSchedule(program=program)
+    previous_status = None
+    for invocation in program.invocations:
+        status = MODULE_STATUS[invocation.op]
+        reconfig = float(config.reconfigure_cycles) if status != previous_status else 0.0
+        previous_status = status
+
+        cost = phase_cost(invocation.op, invocation.workload, config)
+        memory_cycles = cost.memory_cycles(config)
+        phase_cycles = max(cost.compute_cycles, memory_cycles)
+        energy = phase_energy(
+            invocation.op, cost, phase_cycles + reconfig, config, gated=gated
+        )
+        frame.phases.append(
+            ScheduledPhase(
+                invocation=invocation,
+                cost=cost,
+                reconfig_cycles=reconfig,
+                memory_cycles=memory_cycles,
+                phase_cycles=phase_cycles,
+                energy=energy,
+            )
+        )
+    return frame

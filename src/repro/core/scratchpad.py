@@ -1,0 +1,70 @@
+"""Scratch-pad SRAM models (Fig. 9c).
+
+Each PE has a filter/feature (FF) scratch pad of four 512x16 single-port
+cells and a 512x16 partial-sum (PS) scratch pad. The model enforces
+capacity, tracks access counts for the energy model, and exposes the
+per-cycle port limit the dataflows must respect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+
+
+class Scratchpad:
+    """A banked single-port SRAM of 16-bit words."""
+
+    def __init__(self, words_per_cell: int = 512, n_cells: int = 4) -> None:
+        if words_per_cell < 1 or n_cells < 1:
+            raise ConfigError("scratchpad dimensions must be positive")
+        self.words_per_cell = words_per_cell
+        self.n_cells = n_cells
+        self._data = np.zeros((n_cells, words_per_cell), dtype=np.int32)
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def capacity_words(self) -> int:
+        return self.words_per_cell * self.n_cells
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_words * 2
+
+    @property
+    def ports_per_cycle(self) -> int:
+        """Single-port cells: one access per cell per cycle."""
+        return self.n_cells
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        if not 0 <= address < self.capacity_words:
+            raise SimulationError(
+                f"scratchpad address {address} out of range [0, {self.capacity_words})"
+            )
+        return address // self.words_per_cell, address % self.words_per_cell
+
+    def read(self, address: int) -> int:
+        cell, offset = self._locate(address)
+        self.reads += 1
+        return int(self._data[cell, offset])
+
+    def write(self, address: int, value: int) -> None:
+        cell, offset = self._locate(address)
+        self.writes += 1
+        self._data[cell, offset] = np.int32(value)
+
+    def load_block(self, start: int, values) -> None:
+        """Bulk load (DMA fill from the global buffer)."""
+        values = np.asarray(values, dtype=np.int32).ravel()
+        if start < 0 or start + len(values) > self.capacity_words:
+            raise SimulationError("block does not fit in the scratchpad")
+        for i, v in enumerate(values):
+            cell, offset = self._locate(start + i)
+            self._data[cell, offset] = v
+        self.writes += len(values)
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,121 @@
+"""The user-facing Uni-Render accelerator model.
+
+:class:`UniRenderAccelerator` wraps the scheduler, energy, and area
+models behind the API the experiment harness uses: simulate a frame
+program, report FPS / power / energy, run the Table V scaling study,
+and emit the Fig. 15 breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import AreaReport, area_report
+from repro.core.config import AcceleratorConfig
+from repro.core.energy import EnergyBreakdown
+from repro.core.microops import MicroOpProgram
+from repro.core.scheduler import FrameSchedule, schedule
+from repro.errors import SimulationError
+
+
+@dataclass
+class FrameResult:
+    """Outcome of simulating one frame."""
+
+    pipeline: str
+    cycles: float
+    fps: float
+    energy: EnergyBreakdown
+    power_w: float              # chip power, DRAM excluded (Sec. VII-A)
+    dram_bytes: float
+    reconfig_cycles: float
+    cycles_by_op: dict[str, float]
+    schedule: FrameSchedule
+
+    @property
+    def energy_per_frame_j(self) -> float:
+        return self.energy.chip_total
+
+    @property
+    def real_time(self) -> bool:
+        """The paper's bar: >30 FPS."""
+        return self.fps > 30.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result."""
+        dominant = max(self.cycles_by_op, key=self.cycles_by_op.get)
+        share = self.cycles_by_op[dominant] / self.cycles
+        return (
+            f"{self.pipeline}: {self.fps:.1f} FPS "
+            f"({self.cycles / 1e6:.2f}M cycles, {self.power_w:.2f} W, "
+            f"{self.dram_bytes / 1e6:.0f} MB DRAM/frame; "
+            f"{dominant} dominates with {share * 100:.0f}% of cycles; "
+            f"{'real-time' if self.real_time else 'below real-time'})"
+        )
+
+    def timeline(self, width: int = 60) -> str:
+        """ASCII timeline of the frame's phases (one bar per invocation),
+        annotated with the binding resource."""
+        lines = []
+        for phase in self.schedule.phases:
+            total = phase.phase_cycles + phase.reconfig_cycles
+            bar = max(1, int(round(width * total / self.cycles)))
+            label = f"{phase.invocation.name} [{phase.bound}]"
+            lines.append(f"{label:32s} |{'#' * bar}")
+        return "\n".join(lines)
+
+
+class UniRenderAccelerator:
+    """The Uni-Render accelerator at one design point."""
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config if config is not None else AcceleratorConfig()
+
+    # ------------------------------------------------------------------
+    def simulate(self, program: MicroOpProgram, gated: bool = True) -> FrameResult:
+        """Run one frame program through the performance model."""
+        frame = schedule(program, self.config, gated=gated)
+        cycles = frame.total_cycles
+        if cycles <= 0:
+            raise SimulationError("frame has zero cycles")
+        seconds = cycles / self.config.clock_hz
+        energy = frame.energy()
+        return FrameResult(
+            pipeline=program.pipeline,
+            cycles=cycles,
+            fps=1.0 / seconds,
+            energy=energy,
+            power_w=energy.chip_total / seconds,
+            dram_bytes=frame.dram_bytes,
+            reconfig_cycles=frame.reconfig_cycles,
+            cycles_by_op=frame.cycles_by_op(),
+            schedule=frame,
+        )
+
+    # ------------------------------------------------------------------
+    def area(self) -> AreaReport:
+        """Fig. 15 (left): component areas at this design point."""
+        return area_report(self.config)
+
+    def power_breakdown(self, program: MicroOpProgram) -> dict[str, float]:
+        """Fig. 15 (right): power fractions on a workload."""
+        return self.simulate(program).energy.fractions()
+
+    # ------------------------------------------------------------------
+    def scale_study(
+        self,
+        program: MicroOpProgram,
+        pe_scales: tuple[int, ...] = (1, 2, 4),
+        sram_scales: tuple[int, ...] = (1, 2, 4),
+    ) -> dict[tuple[int, int], float]:
+        """Table V: relative rendering speed per (PE, SRAM) scaling.
+
+        Returns ``{(pe_scale, sram_scale): speed relative to (1, 1)}``.
+        """
+        base = UniRenderAccelerator(self.config.scaled(1, 1)).simulate(program).fps
+        out: dict[tuple[int, int], float] = {}
+        for pe in pe_scales:
+            for sram in sram_scales:
+                fps = UniRenderAccelerator(self.config.scaled(pe, sram)).simulate(program).fps
+                out[(pe, sram)] = fps / base
+        return out

@@ -1,0 +1,33 @@
+"""Baseline device and accelerator models (Sec. III, VII, VIII).
+
+Four commercial devices (Qualcomm 8Gen2, NVIDIA Xavier NX / Orin NX,
+AMD 780M), three dedicated neural-rendering accelerators (Instant-3D,
+RT-NeRF, MetaVRain), and the related-work comparators (GSCore, CICERO,
+TRAM, FPGA-NVR). We cannot measure the physical hardware, so each model
+carries calibrated per-pipeline FPS constants anchored to sentences of
+the paper — see :mod:`repro.devices.calibration` for the anchor of every
+number.
+"""
+
+from repro.devices.base import DeviceModel
+from repro.devices.registry import (
+    DEVICES,
+    COMMERCIAL_DEVICES,
+    DEDICATED_ACCELERATORS,
+    RELATED_WORK_ACCELERATORS,
+    get_device,
+    device_names,
+)
+from repro.devices.support import SUPPORT_MATRIX_TABLE_VI, supported_pipelines
+
+__all__ = [
+    "DeviceModel",
+    "DEVICES",
+    "COMMERCIAL_DEVICES",
+    "DEDICATED_ACCELERATORS",
+    "RELATED_WORK_ACCELERATORS",
+    "get_device",
+    "device_names",
+    "SUPPORT_MATRIX_TABLE_VI",
+    "supported_pipelines",
+]

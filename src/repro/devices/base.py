@@ -1,0 +1,62 @@
+"""Device performance model.
+
+A device is a table of calibrated FPS values at the paper's reference
+resolutions plus a rendering power. FPS scales inversely with pixel
+count and softens with scene complexity; unsupported pipelines raise
+:class:`~repro.errors.UnsupportedPipelineError` (the "x" bars of
+Figs. 7 and 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedPipelineError
+from repro.scenes import get_scene
+
+#: Reference resolutions the calibration FPS were specified at.
+REFERENCE_PIXELS = {
+    "synthetic": 800 * 800,      # NeRF-Synthetic convention [67]
+    "unbounded": 1280 * 720,     # Unbounded-360 setting [51], [88]
+}
+
+#: How strongly device FPS degrades with scene complexity relative to
+#: the reference scene (complexity 1.0). Sub-linear: heavier scenes are
+#: also better-occluded.
+COMPLEXITY_EXPONENT = 0.25
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One baseline device or accelerator.
+
+    ``fps_table`` maps ``(pipeline, kind)`` to frames per second at the
+    reference resolution on a complexity-1.0 scene. ``power_w`` is the
+    calibrated rendering power used for energy-efficiency ratios (see
+    calibration.py for what anchors it — these are not physical TDPs).
+    """
+
+    name: str
+    kind: str                      # "commercial", "dedicated", "related"
+    power_w: float
+    fps_table: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def supports(self, pipeline: str) -> bool:
+        return any(key[0] == pipeline for key in self.fps_table)
+
+    def fps(self, scene_name: str, pipeline: str, width: int, height: int) -> float:
+        """Rendering speed on one scene at one resolution."""
+        spec = get_scene(scene_name)
+        key = (pipeline, spec.kind)
+        if key not in self.fps_table:
+            raise UnsupportedPipelineError(self.name, pipeline)
+        base = self.fps_table[key]
+        pixel_scale = REFERENCE_PIXELS[spec.kind] / float(width * height)
+        complexity_scale = (1.0 / max(spec.complexity, 0.1)) ** COMPLEXITY_EXPONENT
+        return base * pixel_scale * complexity_scale
+
+    def energy_per_frame_j(
+        self, scene_name: str, pipeline: str, width: int, height: int
+    ) -> float:
+        """Energy per rendered frame at the calibrated power."""
+        return self.power_w / self.fps(scene_name, pipeline, width, height)

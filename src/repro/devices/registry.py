@@ -1,0 +1,52 @@
+"""Instantiated device models and lookup helpers."""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceModel
+from repro.devices.calibration import (
+    COMMERCIAL_FPS,
+    DEDICATED_FPS,
+    DEVICE_POWER_W,
+    RELATED_FPS,
+)
+from repro.errors import ConfigError
+
+
+def _build(table: dict, kind: str) -> dict[str, DeviceModel]:
+    return {
+        name: DeviceModel(
+            name=name,
+            kind=kind,
+            power_w=DEVICE_POWER_W[name],
+            fps_table=dict(fps),
+        )
+        for name, fps in table.items()
+    }
+
+
+COMMERCIAL_DEVICES = _build(COMMERCIAL_FPS, "commercial")
+DEDICATED_ACCELERATORS = _build(DEDICATED_FPS, "dedicated")
+RELATED_WORK_ACCELERATORS = _build(RELATED_FPS, "related")
+
+#: All devices, in the paper's legend order (Fig. 7 / Fig. 16).
+DEVICES: dict[str, DeviceModel] = {
+    **COMMERCIAL_DEVICES,
+    **DEDICATED_ACCELERATORS,
+    **RELATED_WORK_ACCELERATORS,
+}
+
+
+def device_names(kind: str | None = None) -> tuple[str, ...]:
+    """Registered device names, optionally filtered by kind."""
+    if kind is None:
+        return tuple(DEVICES)
+    return tuple(name for name, dev in DEVICES.items() if dev.kind == kind)
+
+
+def get_device(name: str) -> DeviceModel:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown device {name!r}; available: {', '.join(DEVICES)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Pipeline-support matrices (Fig. 7 x-marks and Table VI).
+
+Dedicated neural-rendering accelerators execute one pipeline each;
+generic NPUs execute the MLP but no graphics operators; CGRAs add the
+grid-style gather. Uni-Render supports all five — the paper's central
+claim.
+"""
+
+from __future__ import annotations
+
+from repro.devices.registry import DEVICES
+
+PIPELINE_ORDER = ("mesh", "mlp", "lowrank", "hashgrid", "gaussian")
+
+#: Table VI verbatim: accelerator -> supported pipelines.
+SUPPORT_MATRIX_TABLE_VI: dict[str, dict[str, bool]] = {
+    "Flexagon (NPU)": dict(mesh=False, mlp=True, lowrank=False, hashgrid=False, gaussian=False),
+    "STIFT (NPU)": dict(mesh=False, mlp=True, lowrank=False, hashgrid=False, gaussian=False),
+    "SIGMA (NPU)": dict(mesh=False, mlp=True, lowrank=False, hashgrid=False, gaussian=False),
+    "Eyeriss (NPU)": dict(mesh=False, mlp=True, lowrank=False, hashgrid=False, gaussian=False),
+    "Plasticine (CGRA)": dict(mesh=False, mlp=True, lowrank=True, hashgrid=False, gaussian=False),
+    "Uni-Render (ours)": dict(mesh=True, mlp=True, lowrank=True, hashgrid=True, gaussian=True),
+}
+
+
+def supported_pipelines(device_name: str) -> tuple[str, ...]:
+    """Pipelines a registered device model can execute (Fig. 7 rows)."""
+    device = DEVICES[device_name]
+    return tuple(p for p in PIPELINE_ORDER if device.supports(p))

@@ -1,0 +1,19 @@
+"""Evaluation metrics: image quality and rendering performance."""
+
+from repro.metrics.quality import mse, psnr, ssim_global
+from repro.metrics.perf import (
+    energy_efficiency_ratio,
+    fps_from_seconds,
+    geometric_mean,
+    speedup,
+)
+
+__all__ = [
+    "mse",
+    "psnr",
+    "ssim_global",
+    "speedup",
+    "energy_efficiency_ratio",
+    "geometric_mean",
+    "fps_from_seconds",
+]

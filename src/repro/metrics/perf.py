@@ -1,0 +1,42 @@
+"""Performance metrics: speedup, energy efficiency, geometric means."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def fps_from_seconds(seconds_per_frame: float) -> float:
+    """Frames per second from frame latency."""
+    if seconds_per_frame <= 0:
+        raise ConfigError("frame time must be positive")
+    return 1.0 / seconds_per_frame
+
+
+def speedup(ours_fps: float, baseline_fps: float) -> float:
+    """How many times faster ours renders than the baseline."""
+    if ours_fps <= 0 or baseline_fps <= 0:
+        raise ConfigError("FPS values must be positive")
+    return ours_fps / baseline_fps
+
+
+def energy_efficiency_ratio(
+    ours_fps: float, ours_power_w: float, baseline_fps: float, baseline_power_w: float
+) -> float:
+    """Ratio of frames-per-joule, ours over baseline (Fig. 16b)."""
+    if min(ours_fps, ours_power_w, baseline_fps, baseline_power_w) <= 0:
+        raise ConfigError("inputs must be positive")
+    return (ours_fps / ours_power_w) / (baseline_fps / baseline_power_w)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-pipeline summary statistic."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ConfigError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

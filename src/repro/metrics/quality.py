@@ -1,0 +1,44 @@
+"""Image-quality metrics (Table I's rendering-quality column)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def mse(image: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared error between two images in [0, 1]."""
+    image = np.asarray(image, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if image.shape != reference.shape:
+        raise ConfigError(
+            f"shape mismatch: {image.shape} vs {reference.shape}"
+        )
+    return float(np.mean(np.square(image - reference)))
+
+
+def psnr(image: np.ndarray, reference: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (higher is better)."""
+    err = mse(image, reference)
+    if err <= 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / err))
+
+
+def ssim_global(image: np.ndarray, reference: np.ndarray) -> float:
+    """Global (single-window) SSIM — a luminance/contrast/structure
+    summary adequate for ordering our synthetic renders."""
+    x = np.asarray(image, dtype=np.float64).ravel()
+    y = np.asarray(reference, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ConfigError("shape mismatch")
+    c1 = (0.01) ** 2
+    c2 = (0.03) ** 2
+    mx, my = x.mean(), y.mean()
+    vx, vy = x.var(), y.var()
+    cov = float(np.mean((x - mx) * (y - my)))
+    return float(
+        ((2 * mx * my + c1) * (2 * cov + c2))
+        / ((mx**2 + my**2 + c1) * (vx + vy + c2))
+    )

@@ -1,0 +1,36 @@
+"""Minimal neural-network substrate used by every rendering pipeline.
+
+The paper's pipelines all end in a small MLP (Sec. II); NeRF-style MLPs
+have fewer than one million parameters but run at batch sizes above 1024
+(Sec. VI, "Dataflow for GEMM"). This package provides exactly what those
+workloads need — dense layers, a couple of activations, an Adam optimizer
+for the fitting examples, and the BF16/INT16 quantization helpers that
+mirror the accelerator's ALU datatypes (Sec. V-C).
+"""
+
+from repro.nn.layers import Dense, MLP, relu, relu_grad, sigmoid, sigmoid_grad
+from repro.nn.optim import Adam, sgd_step
+from repro.nn.quantize import (
+    bf16_round,
+    int16_quantize,
+    int16_dequantize,
+    quantization_mse,
+)
+from repro.nn.init import he_init, uniform_init
+
+__all__ = [
+    "Dense",
+    "MLP",
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "Adam",
+    "sgd_step",
+    "bf16_round",
+    "int16_quantize",
+    "int16_dequantize",
+    "quantization_mse",
+    "he_init",
+    "uniform_init",
+]

@@ -1,0 +1,24 @@
+"""Weight initializers.
+
+Kept deterministic: every initializer takes an explicit ``rng`` so that
+scenes, representations, and trained MLPs are reproducible bit-for-bit
+across runs — a requirement for the experiment harness, whose outputs are
+committed to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He-normal initialization, the right scale for ReLU MLPs."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out)).astype(np.float64)
+
+
+def uniform_init(
+    rng: np.random.Generator, fan_in: int, fan_out: int, scale: float = 1e-2
+) -> np.ndarray:
+    """Small uniform initialization, used for feature-grid tables."""
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out)).astype(np.float64)

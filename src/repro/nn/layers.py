@@ -1,0 +1,181 @@
+"""Dense layers and small MLPs with explicit forward/backward passes.
+
+The implementation is intentionally plain NumPy: the accelerator model in
+:mod:`repro.core` charges cycles for exactly the multiply-accumulates that
+these layers perform, so keeping the math explicit makes the workload
+accounting auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.init import he_init
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` with respect to its input."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def sigmoid_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`sigmoid` with respect to its input."""
+    s = sigmoid(x)
+    return s * (1.0 - s)
+
+
+_ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "relu": (relu, relu_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "linear": (lambda x: x, lambda x: np.ones_like(x)),
+}
+
+
+class Dense:
+    """A fully connected layer ``y = act(x @ W + b)``.
+
+    Parameters
+    ----------
+    fan_in, fan_out:
+        Input and output widths.
+    activation:
+        One of ``"relu"``, ``"sigmoid"``, ``"linear"``.
+    rng:
+        Generator used for He initialization.
+    """
+
+    def __init__(
+        self,
+        fan_in: int,
+        fan_out: int,
+        activation: str = "relu",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if activation not in _ACTIVATIONS:
+            raise ConfigError(f"unknown activation {activation!r}")
+        if fan_in <= 0 or fan_out <= 0:
+            raise ConfigError("layer widths must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = he_init(rng, fan_in, fan_out)
+        self.bias = np.zeros(fan_out, dtype=np.float64)
+        self.activation = activation
+        self._act, self._act_grad = _ACTIVATIONS[activation]
+        # Populated by forward(); consumed by backward().
+        self._last_input: np.ndarray | None = None
+        self._last_pre: np.ndarray | None = None
+
+    @property
+    def fan_in(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def fan_out(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def num_params(self) -> int:
+        """Parameter count (weights + biases)."""
+        return self.weight.size + self.bias.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the layer to a batch ``x`` of shape ``(n, fan_in)``."""
+        pre = x @ self.weight + self.bias
+        self._last_input = x
+        self._last_pre = pre
+        return self._act(pre)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate ``dL/dy``; stores param grads, returns ``dL/dx``."""
+        if self._last_input is None or self._last_pre is None:
+            raise ConfigError("backward() called before forward()")
+        grad_pre = grad_out * self._act_grad(self._last_pre)
+        self.grad_weight = self._last_input.T @ grad_pre
+        self.grad_bias = grad_pre.sum(axis=0)
+        return grad_pre @ self.weight.T
+
+    def macs_per_sample(self) -> int:
+        """Multiply-accumulates needed for one input row (the GEMM load)."""
+        return self.weight.size
+
+
+class MLP:
+    """A stack of :class:`Dense` layers.
+
+    This is the "MLP" box in Figs. 2-6 of the paper. ``widths`` includes
+    the input width, e.g. ``MLP([32, 64, 64, 4])`` has three layers.
+    """
+
+    def __init__(
+        self,
+        widths: Sequence[int],
+        hidden_activation: str = "relu",
+        output_activation: str = "sigmoid",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(widths) < 2:
+            raise ConfigError("an MLP needs at least input and output widths")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.layers: list[Dense] = []
+        for i, (a, b) in enumerate(zip(widths[:-1], widths[1:])):
+            act = output_activation if i == len(widths) - 2 else hidden_activation
+            self.layers.append(Dense(a, b, activation=act, rng=rng))
+        self.widths = tuple(widths)
+
+    @property
+    def num_params(self) -> int:
+        """Total parameter count across all layers."""
+        return sum(layer.num_params for layer in self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the batch ``x`` of shape ``(n, widths[0])`` through all layers."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Back-propagate through the whole stack; returns ``dL/dx``."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def parameters(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays, paired with :meth:`gradients`."""
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend((layer.weight, layer.bias))
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        """Flat list of gradient arrays matching :meth:`parameters`."""
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend((layer.grad_weight, layer.grad_bias))
+        return grads
+
+    def macs_per_sample(self) -> int:
+        """MACs per input row — what the GEMM micro-operator will execute."""
+        return sum(layer.macs_per_sample() for layer in self.layers)
+
+    def storage_bytes(self, bytes_per_param: int = 2) -> int:
+        """On-device storage of the weights (BF16 by default, Sec. V-C)."""
+        return self.num_params * bytes_per_param

@@ -1,0 +1,61 @@
+"""Optimizers for the small fitting jobs in the examples and tests.
+
+Neural rendering representations are *learned* (Fig. 1a: "gradient
+descent"); we include Adam so the examples can actually fit hash grids and
+MLP shaders instead of only loading constructed weights.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def sgd_step(params: Sequence[np.ndarray], grads: Sequence[np.ndarray], lr: float) -> None:
+    """In-place vanilla SGD update."""
+    if len(params) != len(grads):
+        raise ConfigError("params and grads length mismatch")
+    for p, g in zip(params, grads):
+        p -= lr * g
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) operating in-place on numpy arrays."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if not 0.0 < lr:
+            raise ConfigError("learning rate must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError("betas must lie in [0, 1)")
+        self.params = list(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one Adam update given gradients matching ``params``."""
+        if len(grads) != len(self.params):
+            raise ConfigError("gradient list does not match parameter list")
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)

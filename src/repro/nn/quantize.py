@@ -1,0 +1,48 @@
+"""Quantization helpers mirroring the accelerator datatypes (Sec. V-C).
+
+Each Uni-Render PE carries four INT16 MACs (index computations) and four
+BF16 MACs (feature computations). These helpers let the functional
+pipelines and tests measure what those datatypes do to accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def bf16_round(x: np.ndarray) -> np.ndarray:
+    """Round float values to bfloat16 precision (8-bit mantissa).
+
+    Implemented by truncating the low 16 bits of the float32 encoding with
+    round-to-nearest-even, which is exactly what BF16 hardware does.
+    """
+    as_f32 = np.asarray(x, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # Round half to even on the truncated mantissa bits.
+    rounding = ((bits >> 16) & 1) + 0x7FFF
+    rounded = (bits + rounding) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).astype(np.float64)
+
+
+def int16_quantize(x: np.ndarray, scale: float) -> np.ndarray:
+    """Quantize to INT16 with the given scale; saturates at the type range."""
+    if scale <= 0:
+        raise ConfigError("quantization scale must be positive")
+    q = np.round(np.asarray(x, dtype=np.float64) / scale)
+    return np.clip(q, -32768, 32767).astype(np.int16)
+
+
+def int16_dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`int16_quantize`."""
+    if scale <= 0:
+        raise ConfigError("quantization scale must be positive")
+    return q.astype(np.float64) * scale
+
+
+def quantization_mse(x: np.ndarray, scale: float) -> float:
+    """Mean squared error introduced by an INT16 round trip."""
+    x = np.asarray(x, dtype=np.float64)
+    back = int16_dequantize(int16_quantize(x, scale), scale)
+    return float(np.mean(np.square(x - back)))

@@ -1,0 +1,105 @@
+"""The six rendering pipelines with one registry-based entry point.
+
+``build_representation(scene, pipeline)`` constructs the pipeline's scene
+representation from a named scene's ground-truth field (cached), and
+``make_renderer`` / ``render_scene`` wrap it in the matching renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SceneError
+from repro.renderers.base import RenderStats, Renderer, Representation
+from repro.renderers.mesh import MeshRenderer, build_mesh_model
+from repro.renderers.nerf import NerfRenderer, build_kilonerf_model
+from repro.renderers.lowrank import LowRankRenderer, build_triplane_model
+from repro.renderers.hashgrid import HashGridRenderer, build_hashgrid_model
+from repro.renderers.gaussian import GaussianRenderer, build_gaussian_model
+from repro.renderers.hybrid import MixRTRenderer, build_mixrt_model
+from repro.scenes import Camera, get_scene, orbit_poses
+
+__all__ = [
+    "RenderStats",
+    "Renderer",
+    "Representation",
+    "PIPELINE_BUILDERS",
+    "PIPELINE_RENDERERS",
+    "build_representation",
+    "make_renderer",
+    "render_scene",
+    "clear_representation_cache",
+]
+
+#: pipeline name -> (builder function, renderer class)
+PIPELINE_BUILDERS = {
+    "mesh": build_mesh_model,
+    "mlp": build_kilonerf_model,
+    "lowrank": build_triplane_model,
+    "hashgrid": build_hashgrid_model,
+    "gaussian": build_gaussian_model,
+    "mixrt": build_mixrt_model,
+}
+
+PIPELINE_RENDERERS = {
+    "mesh": MeshRenderer,
+    "mlp": NerfRenderer,
+    "lowrank": LowRankRenderer,
+    "hashgrid": HashGridRenderer,
+    "gaussian": GaussianRenderer,
+    "mixrt": MixRTRenderer,
+}
+
+_REPRESENTATION_CACHE: dict[tuple, Any] = {}
+
+
+def clear_representation_cache() -> None:
+    """Drop all cached representations (mainly for tests)."""
+    _REPRESENTATION_CACHE.clear()
+
+
+def build_representation(scene_name: str, pipeline: str, cache: bool = True, **kwargs):
+    """Build (or fetch from cache) one pipeline's representation of a scene.
+
+    ``kwargs`` are forwarded to the pipeline's builder (e.g. ``quality``
+    for mesh, ``n_gaussians`` for 3DGS).
+    """
+    if pipeline not in PIPELINE_BUILDERS:
+        raise SceneError(
+            f"unknown pipeline {pipeline!r}; choose from {sorted(PIPELINE_BUILDERS)}"
+        )
+    key = (scene_name, pipeline, tuple(sorted(kwargs.items())))
+    if cache and key in _REPRESENTATION_CACHE:
+        return _REPRESENTATION_CACHE[key]
+    field = get_scene(scene_name).field()
+    model = PIPELINE_BUILDERS[pipeline](field, **kwargs)
+    if cache:
+        _REPRESENTATION_CACHE[key] = model
+    return model
+
+
+def make_renderer(scene_name: str, pipeline: str, model=None, **build_kwargs):
+    """A ready-to-use renderer for ``scene_name`` under ``pipeline``."""
+    field = get_scene(scene_name).field()
+    if model is None:
+        model = build_representation(scene_name, pipeline, **build_kwargs)
+    return PIPELINE_RENDERERS[pipeline](model, field)
+
+
+def render_scene(
+    scene_name: str,
+    pipeline: str = "hashgrid",
+    size: tuple[int, int] = (64, 64),
+    view: int = 0,
+    n_views: int = 8,
+    **build_kwargs,
+):
+    """One-call rendering of a named scene from an orbit viewpoint.
+
+    Returns ``(image, stats)``. Used by the examples and quick tests.
+    """
+    spec = get_scene(scene_name)
+    renderer = make_renderer(scene_name, pipeline, **build_kwargs)
+    poses = orbit_poses(spec.camera_radius, n_views)
+    camera = Camera(size[0], size[1], pose=poses[view % n_views])
+    return renderer.render(camera)

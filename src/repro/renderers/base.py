@@ -1,0 +1,95 @@
+"""Shared renderer interfaces and workload statistics.
+
+Every pipeline records :class:`RenderStats` while rendering. The counters
+are the bridge between the functional renderers and the performance model:
+:mod:`repro.compile` turns them into micro-operator workloads (Table II),
+which :mod:`repro.core` then prices in cycles and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SceneError
+
+#: Canonical counter keys. Renderers may add others, but these are the
+#: ones the compiler understands.
+STAT_KEYS = (
+    "pixels",                 # pixels produced
+    "rays",                   # rays cast (volume pipelines)
+    "samples_total",          # candidate samples along rays
+    "samples_shaded",         # samples that survived empty-space skipping
+    "tri_tests",              # triangle/pixel intersection tests
+    "tris_projected",         # triangles through space conversion
+    "gaussians_projected",    # gaussians through space conversion
+    "splat_tests",            # gaussian/pixel density evaluations
+    "texture_fetches",        # 2D texture-map reads (bilinear corners)
+    "hash_lookups",           # hash-table reads (per corner per level)
+    "plane_fetches",          # low-rank plane reads (bilinear corners)
+    "grid_fetches",           # low-res 3D grid reads (trilinear corners)
+    "sort_elements",          # elements passed through per-patch sorting
+    "mlp_inputs",             # rows through the MLP (GEMM batch size)
+    "mlp_macs",               # multiply-accumulates in MLPs
+    "blend_samples",          # samples blended in volume rendering
+)
+
+
+@dataclass
+class RenderStats:
+    """Workload counters accumulated during one render call."""
+
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, key: str, value: float) -> None:
+        """Accumulate ``value`` into counter ``key``."""
+        self.counts[key] = self.counts.get(key, 0.0) + float(value)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.counts.get(key, default)
+
+    def merge(self, other: "RenderStats") -> "RenderStats":
+        """Counter-wise sum of two stats objects (returns a new one)."""
+        merged = RenderStats(dict(self.counts))
+        for key, value in other.counts.items():
+            merged.add(key, value)
+        return merged
+
+    def scaled(self, factor: float) -> "RenderStats":
+        """All counters multiplied by ``factor`` — used to extrapolate
+        statistics measured at probe resolution to full resolution."""
+        return RenderStats({k: v * factor for k, v in self.counts.items()})
+
+    def per_pixel(self) -> dict[str, float]:
+        """Counters normalized by the pixel count (resolution-free form)."""
+        pixels = self.counts.get("pixels", 0.0)
+        if pixels <= 0:
+            raise SceneError("stats have no pixels recorded")
+        return {k: v / pixels for k, v in self.counts.items()}
+
+
+class Representation(Protocol):
+    """A built scene representation (weights/grids/meshes/gaussians)."""
+
+    def storage_bytes(self) -> int:
+        """On-disk/on-device size of the representation."""
+        ...
+
+
+class Renderer(Protocol):
+    """A functional rendering pipeline over one representation."""
+
+    #: Canonical pipeline name ("mesh", "mlp", "lowrank", "hashgrid",
+    #: "gaussian", or "mixrt").
+    pipeline: str
+
+    def render(self, camera) -> tuple[np.ndarray, RenderStats]:
+        """Render an (H, W, 3) image and report workload statistics."""
+        ...
+
+
+def as_image(flat_rgb: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Reshape a flat (H*W, 3) buffer into an (H, W, 3) image, clipped."""
+    return np.clip(flat_rgb, 0.0, 1.0).reshape(height, width, 3)

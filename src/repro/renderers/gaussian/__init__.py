@@ -1,0 +1,27 @@
+"""3D-Gaussian splatting pipeline (Sec. II-E) — 3DGS [40] analogue.
+
+Steps: space conversion -> splatting (project 3D covariances to 2D,
+threshold) -> per-16x16-patch depth sorting -> spherical-harmonics
+view-dependent color (executed as the GEMM micro-operator) -> front-to-
+back alpha blending.
+"""
+
+from repro.renderers.gaussian.sh import eval_sh, sh_basis, SH_DEG1_COEFFS
+from repro.renderers.gaussian.gaussians import GaussianModel
+from repro.renderers.gaussian.build import build_gaussian_model
+from repro.renderers.gaussian.sort import merge_sort, counting_depth_sort
+from repro.renderers.gaussian.splat import ProjectedSplats, project_gaussians
+from repro.renderers.gaussian.pipeline import GaussianRenderer
+
+__all__ = [
+    "eval_sh",
+    "sh_basis",
+    "SH_DEG1_COEFFS",
+    "GaussianModel",
+    "build_gaussian_model",
+    "merge_sort",
+    "counting_depth_sort",
+    "ProjectedSplats",
+    "project_gaussians",
+    "GaussianRenderer",
+]

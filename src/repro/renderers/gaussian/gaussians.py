@@ -1,0 +1,106 @@
+"""The 3D Gaussian scene representation.
+
+Each Gaussian is a point with shape and color (Sec. II-E): centroid,
+covariance (factored as rotation x scale), opacity, and SH color
+coefficients. Storage matches point-cloud formats (PLY-like accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+
+
+def quaternion_to_rotation(quats: np.ndarray) -> np.ndarray:
+    """Batch of unit quaternions (n, 4) [w, x, y, z] -> (n, 3, 3)."""
+    quats = np.asarray(quats, dtype=np.float64)
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    w, x, y, z = (quats / np.maximum(norms, 1e-12)).T
+    rot = np.empty((len(quats), 3, 3))
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rot
+
+
+@dataclass
+class GaussianModel:
+    """A set of 3D Gaussians.
+
+    Attributes
+    ----------
+    means:
+        ``(n, 3)`` centroids.
+    scales:
+        ``(n, 3)`` per-axis standard deviations.
+    quats:
+        ``(n, 4)`` unit quaternions orienting the principal axes.
+    opacities:
+        ``(n,)`` peak alpha of each splat in (0, 1].
+    sh_coeffs:
+        ``(n, K, 3)`` spherical-harmonics color coefficients.
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+    quats: np.ndarray
+    opacities: np.ndarray
+    sh_coeffs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.scales = np.asarray(self.scales, dtype=np.float64)
+        self.quats = np.asarray(self.quats, dtype=np.float64)
+        self.opacities = np.asarray(self.opacities, dtype=np.float64)
+        self.sh_coeffs = np.asarray(self.sh_coeffs, dtype=np.float64)
+        n = len(self.means)
+        if self.means.shape != (n, 3):
+            raise SceneError("means must have shape (n, 3)")
+        if self.scales.shape != (n, 3) or np.any(self.scales <= 0):
+            raise SceneError("scales must be positive with shape (n, 3)")
+        if self.quats.shape != (n, 4):
+            raise SceneError("quats must have shape (n, 4)")
+        if self.opacities.shape != (n,):
+            raise SceneError("opacities must have shape (n,)")
+        if np.any((self.opacities <= 0) | (self.opacities > 1)):
+            raise SceneError("opacities must lie in (0, 1]")
+        if self.sh_coeffs.ndim != 3 or self.sh_coeffs.shape[0] != n:
+            raise SceneError("sh_coeffs must have shape (n, K, 3)")
+
+    @property
+    def count(self) -> int:
+        return len(self.means)
+
+    @property
+    def sh_degree(self) -> int:
+        return int(np.sqrt(self.sh_coeffs.shape[1])) - 1
+
+    def covariances(self) -> np.ndarray:
+        """World-space covariances: R S S^T R^T, shape (n, 3, 3)."""
+        rot = quaternion_to_rotation(self.quats)
+        scaled = rot * self.scales[:, None, :]
+        return scaled @ scaled.transpose(0, 2, 1)
+
+    def storage_bytes(self) -> int:
+        """PLY-style fp32 attributes (Table I storage column).
+
+        Means + scales + quats + opacity + SH coefficients, 4 B each —
+        the same per-point layout 3DGS checkpoints use.
+        """
+        floats = (
+            self.means.size
+            + self.scales.size
+            + self.quats.size
+            + self.opacities.size
+            + self.sh_coeffs.size
+        )
+        return floats * 4

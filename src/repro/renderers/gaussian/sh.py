@@ -1,0 +1,79 @@
+"""Real spherical harmonics up to degree 2.
+
+3DGS stores view-dependent color as SH coefficients; evaluating them for
+a batch of view directions is a vector-matrix multiply, which is exactly
+why the paper maps this step onto the GEMM micro-operator (Sec. II-E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Number of SH basis functions per degree.
+SH_DEG1_COEFFS = 4
+SH_DEG2_COEFFS = 9
+
+_C0 = 0.28209479177387814
+_C1 = 0.4886025119029199
+_C2 = (
+    1.0925484305920792,
+    -1.0925484305920792,
+    0.31539156525252005,
+    -1.0925484305920792,
+    0.5462742152960396,
+)
+
+
+def n_coeffs(degree: int) -> int:
+    """Basis size for an SH expansion of the given degree."""
+    if degree not in (0, 1, 2):
+        raise ConfigError("only SH degrees 0..2 are supported")
+    return (degree + 1) ** 2
+
+
+def sh_basis(dirs: np.ndarray, degree: int = 1) -> np.ndarray:
+    """Evaluate the SH basis at unit directions; shape (n, n_coeffs)."""
+    dirs = np.asarray(dirs, dtype=np.float64)
+    if dirs.ndim != 2 or dirs.shape[1] != 3:
+        raise ConfigError("dirs must have shape (n, 3)")
+    x, y, z = dirs[:, 0], dirs[:, 1], dirs[:, 2]
+    cols = [np.full(len(dirs), _C0)]
+    if degree >= 1:
+        cols += [-_C1 * y, _C1 * z, -_C1 * x]
+    if degree >= 2:
+        cols += [
+            _C2[0] * x * y,
+            _C2[1] * y * z,
+            _C2[2] * (2.0 * z * z - x * x - y * y),
+            _C2[3] * x * z,
+            _C2[4] * (x * x - y * y),
+        ]
+    return np.stack(cols, axis=1)
+
+
+def eval_sh(coeffs: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+    """Colors from SH coefficients: ``(n, K, 3) x (n, 3) -> (n, 3)``.
+
+    The 0.5 offset follows the 3DGS convention (colors are stored
+    zero-centered); output is clipped to [0, 1].
+    """
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim != 3 or coeffs.shape[2] != 3:
+        raise ConfigError("coeffs must have shape (n, K, 3)")
+    k = coeffs.shape[1]
+    degree = int(np.sqrt(k)) - 1
+    if (degree + 1) ** 2 != k:
+        raise ConfigError(f"coefficient count {k} is not a full SH band")
+    basis = sh_basis(dirs, degree)
+    rgb = np.einsum("nk,nkc->nc", basis, coeffs) + 0.5
+    return np.clip(rgb, 0.0, 1.0)
+
+
+def fit_sh(colors: np.ndarray, dirs: np.ndarray, degree: int = 1) -> np.ndarray:
+    """Least-squares SH fit: ``(n, d, 3)`` colors at ``(d, 3)`` shared
+    directions -> ``(n, K, 3)`` coefficients (inverts :func:`eval_sh`)."""
+    basis = sh_basis(dirs, degree)  # (d, K)
+    pinv = np.linalg.pinv(basis)    # (K, d)
+    return np.einsum("kd,ndc->nkc", pinv, np.asarray(colors) - 0.5)

@@ -1,0 +1,130 @@
+"""Space conversion + splatting: 3D Gaussians to 2D screen ellipses.
+
+Implements the EWA-splatting projection used by 3DGS: world covariance
+-> camera space -> first-order perspective Jacobian -> 2D covariance,
+plus the density-threshold culling step of Fig. 6 (low-contribution
+splats are bypassed before sorting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.renderers.gaussian.gaussians import GaussianModel
+from repro.scenes.camera import Camera
+
+#: Splats whose peak alpha falls below this never contribute a visible
+#: pixel (the 1/255 quantization floor used by 3DGS).
+ALPHA_CULL_THRESHOLD = 1.0 / 255.0
+
+#: Screen-space dilation added by 3DGS for antialiasing stability.
+DILATION = 0.3
+
+
+@dataclass
+class ProjectedSplats:
+    """Visible splats after projection and thresholding.
+
+    ``index`` maps rows back into the source :class:`GaussianModel`.
+    ``inv_cov`` holds the inverse 2D covariances; ``radius`` the 3-sigma
+    screen extent used for tile assignment.
+    """
+
+    index: np.ndarray      # (m,) into the model
+    center: np.ndarray     # (m, 2) pixel coordinates
+    depth: np.ndarray      # (m,) camera depth
+    inv_cov: np.ndarray    # (m, 2, 2)
+    radius: np.ndarray     # (m,)
+    opacity: np.ndarray    # (m,)
+    n_projected: int       # gaussians through space conversion
+    n_culled: int          # gaussians bypassed by the threshold
+
+
+def project_gaussians(model: GaussianModel, camera: Camera) -> ProjectedSplats:
+    """Project all Gaussians and cull the negligible ones."""
+    means = model.means
+    view = camera.view_matrix()
+    cam_pts = means @ view[:3, :3].T + view[:3, 3]
+    depth = -cam_pts[:, 2]
+
+    in_front = depth > camera.near
+    screen, _ = camera.world_to_screen(means)
+
+    # Camera-space covariance.
+    cov_world = model.covariances()
+    rot = view[:3, :3]
+    cov_cam = np.einsum("ij,njk,lk->nil", rot, cov_world, rot)
+
+    # Perspective Jacobian (per gaussian).
+    f = camera.focal
+    z = np.maximum(depth, 1e-6)
+    x, y = cam_pts[:, 0], cam_pts[:, 1]
+    jac = np.zeros((model.count, 2, 3))
+    jac[:, 0, 0] = f / z
+    jac[:, 0, 2] = f * x / z**2
+    jac[:, 1, 1] = -f / z
+    jac[:, 1, 2] = -f * y / z**2
+    cov2d = np.einsum("nij,njk,nlk->nil", jac, cov_cam, jac)
+    cov2d[:, 0, 0] += DILATION
+    cov2d[:, 1, 1] += DILATION
+
+    det = cov2d[:, 0, 0] * cov2d[:, 1, 1] - cov2d[:, 0, 1] * cov2d[:, 1, 0]
+    trace = cov2d[:, 0, 0] + cov2d[:, 1, 1]
+    # Largest eigenvalue -> 3-sigma screen radius.
+    lam_max = 0.5 * trace + np.sqrt(np.maximum(0.25 * trace**2 - det, 0.0))
+    radius = 3.0 * np.sqrt(np.maximum(lam_max, 1e-9))
+
+    # Threshold culling (the splatting step's bypass, Fig. 6): peak alpha
+    # below the quantization floor, degenerate covariance, or off screen.
+    visible = (
+        in_front
+        & (det > 1e-12)
+        & (model.opacities > ALPHA_CULL_THRESHOLD)
+        & (screen[:, 0] + radius >= 0)
+        & (screen[:, 0] - radius < camera.width)
+        & (screen[:, 1] + radius >= 0)
+        & (screen[:, 1] - radius < camera.height)
+    )
+    idx = np.nonzero(visible)[0]
+
+    inv_cov = np.empty((len(idx), 2, 2))
+    d = det[idx]
+    inv_cov[:, 0, 0] = cov2d[idx, 1, 1] / d
+    inv_cov[:, 1, 1] = cov2d[idx, 0, 0] / d
+    inv_cov[:, 0, 1] = -cov2d[idx, 0, 1] / d
+    inv_cov[:, 1, 0] = -cov2d[idx, 1, 0] / d
+
+    return ProjectedSplats(
+        index=idx,
+        center=screen[idx],
+        depth=depth[idx],
+        inv_cov=inv_cov,
+        radius=radius[idx],
+        opacity=model.opacities[idx],
+        n_projected=model.count,
+        n_culled=model.count - len(idx),
+    )
+
+
+def assign_tiles(
+    splats: ProjectedSplats, height: int, width: int, patch: int
+) -> dict[tuple[int, int], np.ndarray]:
+    """Map each 16x16 (by default) tile to the splats overlapping it.
+
+    Returns ``{(tile_y, tile_x): splat_rows}``; pixels in a patch share
+    one sorted list (Sec. II-E: sorting cost is amortized per patch).
+    """
+    tiles: dict[tuple[int, int], list[int]] = {}
+    x0 = np.clip(((splats.center[:, 0] - splats.radius) // patch).astype(int), 0, None)
+    x1 = np.clip(((splats.center[:, 0] + splats.radius) // patch).astype(int), None,
+                 (width - 1) // patch)
+    y0 = np.clip(((splats.center[:, 1] - splats.radius) // patch).astype(int), 0, None)
+    y1 = np.clip(((splats.center[:, 1] + splats.radius) // patch).astype(int), None,
+                 (height - 1) // patch)
+    for row in range(len(splats.index)):
+        for ty in range(y0[row], y1[row] + 1):
+            for tx in range(x0[row], x1[row] + 1):
+                tiles.setdefault((ty, tx), []).append(row)
+    return {key: np.asarray(rows, dtype=np.int64) for key, rows in tiles.items()}

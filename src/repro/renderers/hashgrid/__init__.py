@@ -1,0 +1,16 @@
+"""Hash-grid rendering pipeline (Sec. II-D) — Instant-NGP [72] analogue.
+
+Steps: ray casting -> hash indexing (multi-level grids stored in 1D hash
+tables, trilinear interpolation from the 8 nearest vertices) -> MLP ->
+blending. Hash collisions at fine levels are the representation's
+characteristic quality loss ("3D grids with vector quantization").
+"""
+
+from repro.renderers.hashgrid.hashenc import (
+    HashGridModel,
+    build_hashgrid_model,
+    spatial_hash,
+)
+from repro.renderers.hashgrid.pipeline import HashGridRenderer
+
+__all__ = ["HashGridModel", "build_hashgrid_model", "spatial_hash", "HashGridRenderer"]

@@ -1,0 +1,271 @@
+"""Multi-resolution hash encoding with trained feature tables.
+
+Faithful to Instant-NGP [72]: L levels of virtual 3D grids with
+geometrically growing resolution, each backed by a fixed-size 1D table.
+Coarse levels whose dense grid fits in the table are indexed directly;
+fine levels use the spatial hash (collisions allowed). Tables and the
+decoder MLP are trained jointly with Adam against the ground-truth field
+— the "gradient descent" loop of Fig. 1(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import MLP, Adam
+from repro.renderers.nerf.sampling import OccupancyGrid
+from repro.scenes.fields import SceneField, contract_unbounded
+
+#: Instant-NGP's hashing primes (pi_1 = 1 keeps x unmixed).
+HASH_PRIMES = (1, 2654435761, 805459861)
+
+#: The 8 corner offsets of a grid cell.
+CORNER_OFFSETS = np.array(
+    [[dx, dy, dz] for dx in (0, 1) for dy in (0, 1) for dz in (0, 1)], dtype=np.int64
+)
+
+
+def spatial_hash(coords: np.ndarray, table_size: int) -> np.ndarray:
+    """Instant-NGP's XOR spatial hash: ``(x ^ y*p2 ^ z*p3) mod T``.
+
+    ``coords`` is integer (n, 3); ``table_size`` must be a power of two
+    (the modulo then reduces to a mask, as in the paper's hardware).
+    """
+    if table_size & (table_size - 1):
+        raise ConfigError("table_size must be a power of two")
+    coords = np.asarray(coords, dtype=np.uint64)
+    acc = coords[..., 0] * np.uint64(HASH_PRIMES[0])
+    acc ^= coords[..., 1] * np.uint64(HASH_PRIMES[1])
+    acc ^= coords[..., 2] * np.uint64(HASH_PRIMES[2])
+    return (acc & np.uint64(table_size - 1)).astype(np.int64)
+
+
+@dataclass
+class HashGridModel:
+    """Trained multi-level hash tables plus decoder MLP."""
+
+    resolutions: tuple[int, ...]         # per-level virtual grid resolution
+    table_size: int                      # entries per level
+    n_features: int                      # feature channels per level
+    tables: list[np.ndarray]             # per-level (T, F) arrays
+    decoder: MLP                         # (L*F + 3) -> 4 raw outputs
+    lo: np.ndarray
+    hi: np.ndarray
+    contracted: bool
+    sigma_scale: float
+    occupancy: OccupancyGrid | None = None
+    samples_per_ray: int = 96
+    _collision_rates: list[float] = dataclass_field(default_factory=list)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.resolutions)
+
+    @property
+    def encoding_width(self) -> int:
+        return self.n_levels * self.n_features
+
+    def level_is_dense(self, level: int) -> bool:
+        """True when the level's virtual grid fits the table directly."""
+        res = self.resolutions[level]
+        return (res + 1) ** 3 <= self.table_size
+
+    def storage_bytes(self) -> int:
+        """FP16 tables + BF16 decoder + occupancy bitfield."""
+        table_bytes = sum(t.size for t in self.tables) * 2
+        occ = self.occupancy.storage_bytes() if self.occupancy is not None else 0
+        return table_bytes + self.decoder.storage_bytes() + occ
+
+    # ------------------------------------------------------------------
+    def unit_coords(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if self.contracted:
+            points = contract_unbounded(points)
+        return np.clip((points - self.lo) / (self.hi - self.lo), 0.0, 1.0 - 1e-9)
+
+    def level_lookup(self, level: int, unit: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-level corner table indices and trilinear weights.
+
+        Returns ``(indices, weights)`` of shapes (n, 8) — the Hash
+        Indexing step of Fig. 5.
+        """
+        res = self.resolutions[level]
+        scaled = unit * res
+        base = np.floor(scaled).astype(np.int64)
+        frac = scaled - base
+        corners = base[:, None, :] + CORNER_OFFSETS[None, :, :]  # (n, 8, 3)
+        if self.level_is_dense(level):
+            stride = res + 1
+            idx = (corners[..., 0] * stride + corners[..., 1]) * stride + corners[..., 2]
+        else:
+            idx = spatial_hash(corners, self.table_size)
+        w = np.ones((len(unit), 8))
+        for axis in range(3):
+            f = frac[:, axis : axis + 1]
+            bit = CORNER_OFFSETS[:, axis][None, :]
+            w = w * np.where(bit == 1, f, 1.0 - f)
+        return idx, w
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Concatenated multi-level features, shape (n, L*F)."""
+        unit = self.unit_coords(points)
+        feats = np.empty((len(unit), self.encoding_width))
+        for level in range(self.n_levels):
+            idx, w = self.level_lookup(level, unit)
+            gathered = self.tables[level][idx]  # (n, 8, F)
+            f0 = level * self.n_features
+            feats[:, f0 : f0 + self.n_features] = np.einsum("nc,ncf->nf", w, gathered)
+        return feats
+
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(sigma, rgb) at world points."""
+        raw = self.decoder.forward(np.concatenate([self.encode(points), dirs], axis=1))
+        sigma = np.maximum(raw[:, 0], 0.0) * self.sigma_scale
+        rgb = 1.0 / (1.0 + np.exp(-np.clip(raw[:, 1:4], -30, 30)))
+        return sigma, rgb
+
+    def collision_rate(self, level: int, n_probe: int = 4096, seed: int = 0) -> float:
+        """Fraction of probed vertices sharing a table slot with another
+        probed vertex — the vector-quantization loss of Sec. II-D."""
+        rng = np.random.default_rng(seed)
+        res = self.resolutions[level]
+        coords = rng.integers(0, res + 1, size=(n_probe, 3))
+        coords = np.unique(coords, axis=0)
+        if self.level_is_dense(level):
+            return 0.0
+        idx = spatial_hash(coords, self.table_size)
+        _unique, counts = np.unique(idx, return_counts=True)
+        collided = counts[counts > 1].sum()
+        return float(collided) / len(coords)
+
+
+def build_hashgrid_model(
+    field: SceneField,
+    n_levels: int = 8,
+    log2_table_size: int = 13,
+    base_resolution: int = 8,
+    growth: float = 1.5,
+    n_features: int = 2,
+    decoder_hidden: int = 32,
+    train_steps: int = 350,
+    train_batch: int = 1024,
+    samples_per_ray: int = 96,
+    occupancy_resolution: int = 32,
+    seed: int = 0,
+) -> HashGridModel:
+    """Train hash tables + decoder jointly against the ground-truth field."""
+    if n_levels < 1:
+        raise ConfigError("need at least one level")
+    if growth <= 1.0:
+        raise ConfigError("growth factor must exceed 1")
+    rng = np.random.default_rng(seed)
+    contracted = field.unbounded
+    if contracted:
+        lo, hi = np.full(3, -2.0), np.full(3, 2.0)
+    else:
+        lo, hi = (np.asarray(b, float) for b in field.bounds)
+    sigma_scale = max(p.density_scale for p in field.primitives)
+    table_size = 1 << log2_table_size
+
+    resolutions = tuple(
+        int(np.floor(base_resolution * growth**level)) for level in range(n_levels)
+    )
+    tables = [
+        rng.uniform(-1e-2, 1e-2, size=(table_size, n_features)) for _ in range(n_levels)
+    ]
+    decoder = MLP(
+        [n_levels * n_features + 3, decoder_hidden, 4],
+        output_activation="linear",
+        rng=rng,
+    )
+    model = HashGridModel(
+        resolutions=resolutions,
+        table_size=table_size,
+        n_features=n_features,
+        tables=tables,
+        decoder=decoder,
+        lo=lo,
+        hi=hi,
+        contracted=contracted,
+        sigma_scale=sigma_scale,
+        samples_per_ray=samples_per_ray,
+    )
+    _train(field, model, rng, train_steps, train_batch)
+    model.occupancy = OccupancyGrid(field, resolution=occupancy_resolution)
+    return model
+
+
+def _train(
+    field: SceneField,
+    model: HashGridModel,
+    rng: np.random.Generator,
+    steps: int,
+    batch: int,
+) -> None:
+    """Joint Adam training of tables and decoder (MSE on sigma and rgb)."""
+    params = list(model.tables) + model.decoder.parameters()
+    optimizer = Adam(params, lr=1e-2)
+
+    # Bias samples toward matter, mirroring occupancy-grid ray sampling.
+    probe = rng.uniform(0.0, 1.0, size=(20000, 3))
+    world_probe = _to_world(model, probe)
+    occupied = probe[field.density(world_probe) > 0.05]
+
+    for _ in range(steps):
+        unit = rng.uniform(0.0, 1.0, size=(batch, 3))
+        if len(occupied):
+            n_occ = int(0.7 * batch)
+            picks = rng.integers(0, len(occupied), n_occ)
+            jitter = rng.uniform(-0.03, 0.03, size=(n_occ, 3))
+            unit[:n_occ] = np.clip(occupied[picks] + jitter, 0.0, 1.0 - 1e-9)
+        world = _to_world(model, unit)
+        dirs = rng.normal(size=(batch, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        sigma_t, rgb_t = field.density_and_color(world, dirs)
+
+        # Forward, keeping per-level lookups for the backward pass.
+        lookups = []
+        feats = np.empty((batch, model.encoding_width))
+        for level in range(model.n_levels):
+            idx, w = model.level_lookup(level, unit)
+            lookups.append((idx, w))
+            f0 = level * model.n_features
+            feats[:, f0 : f0 + model.n_features] = np.einsum(
+                "nc,ncf->nf", w, model.tables[level][idx]
+            )
+        x = np.concatenate([feats, dirs], axis=1)
+        out = model.decoder.forward(x)
+
+        sigma_pred = np.maximum(out[:, :1], 0.0)
+        rgb_pred = 1.0 / (1.0 + np.exp(-np.clip(out[:, 1:4], -30, 30)))
+        grad = np.empty_like(out)
+        grad[:, :1] = 2.0 * (sigma_pred - (sigma_t / model.sigma_scale)[:, None]) * (
+            out[:, :1] > 0
+        )
+        grad[:, 1:4] = (
+            2.0 * (rgb_pred - rgb_t) * rgb_pred * (1.0 - rgb_pred)
+        )
+        grad /= batch
+
+        g_x = model.decoder.backward(grad)
+        table_grads = []
+        for level in range(model.n_levels):
+            idx, w = lookups[level]
+            f0 = level * model.n_features
+            g_feat = g_x[:, f0 : f0 + model.n_features]  # (n, F)
+            g_table = np.zeros_like(model.tables[level])
+            np.add.at(g_table, idx.ravel(), (w[..., None] * g_feat[:, None, :]).reshape(-1, model.n_features))
+            table_grads.append(g_table)
+        optimizer.step(table_grads + model.decoder.gradients())
+
+
+def _to_world(model: HashGridModel, unit: np.ndarray) -> np.ndarray:
+    world = model.lo + unit * (model.hi - model.lo)
+    if model.contracted:
+        from repro.renderers.nerf.sampling import _uncontract
+
+        world = _uncontract(world)
+    return world

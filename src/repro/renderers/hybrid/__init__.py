@@ -1,0 +1,11 @@
+"""Hybrid rendering pipeline (Sec. VII-C) — MixRT [51] analogue.
+
+MixRT combines a low-poly mesh (fast rasterized base geometry) with a
+hash-grid volumetric layer that adds the content meshes represent
+poorly. The accelerator supports it because both halves decompose into
+the same five micro-operators (Table II).
+"""
+
+from repro.renderers.hybrid.mixrt import MixRTModel, MixRTRenderer, build_mixrt_model
+
+__all__ = ["MixRTModel", "MixRTRenderer", "build_mixrt_model"]

@@ -1,0 +1,12 @@
+"""Low-rank-decomposed-grid pipeline (Sec. II-C) — MeRF [88]/TensoRF [14].
+
+Steps: ray casting -> low-rank decomposed indexing (tri-plane bilinear
+fetches + low-res 3D grid) -> MLP decode -> blending. The 3D feature
+field is factorized into three 2D planes plus a coarse 3D residual grid,
+"dense 2D grids and sparse 3D grids" as the paper describes MeRF.
+"""
+
+from repro.renderers.lowrank.triplane import TriplaneModel, build_triplane_model
+from repro.renderers.lowrank.pipeline import LowRankRenderer
+
+__all__ = ["TriplaneModel", "build_triplane_model", "LowRankRenderer"]

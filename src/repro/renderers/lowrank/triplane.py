@@ -1,0 +1,288 @@
+"""Tri-plane + low-res-grid factorized scene representation (MeRF-style).
+
+The 3D feature field is approximated as::
+
+    F(x, y, z) ~= G(x, y, z) + P_xy(x, y) + P_xz(x, z) + P_yz(y, z)
+
+where ``G`` is a coarse (trilinear) 3D grid and the ``P`` planes are
+dense 2D grids — "dense 2D grids and sparse 3D grids" as Sec. VII-B
+describes MeRF [88]. Rank truncation (finite plane resolution and the
+additive structure) is this pipeline's characteristic quality loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import MLP, Adam
+from repro.renderers.nerf.sampling import OccupancyGrid
+from repro.scenes.fields import SceneField, contract_unbounded
+
+#: Feature channels carried by the factorized field.
+N_CHANNELS = 8
+
+#: The three axis-aligned projection planes: (kept axes), dropped axis.
+PLANE_AXES = (((0, 1), 2), ((0, 2), 1), ((1, 2), 0))
+
+
+def bilinear_2d(plane: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Bilinear fetch from a (R, R, C) plane at unit coords (u, v)."""
+    res = plane.shape[0]
+    x = np.clip(u, 0.0, 1.0) * (res - 1)
+    y = np.clip(v, 0.0, 1.0) * (res - 1)
+    x0 = np.clip(np.floor(x).astype(np.int64), 0, res - 2)
+    y0 = np.clip(np.floor(y).astype(np.int64), 0, res - 2)
+    fx = (x - x0)[:, None]
+    fy = (y - y0)[:, None]
+    c00 = plane[x0, y0]
+    c01 = plane[x0, y0 + 1]
+    c10 = plane[x0 + 1, y0]
+    c11 = plane[x0 + 1, y0 + 1]
+    return (
+        c00 * (1 - fx) * (1 - fy)
+        + c01 * (1 - fx) * fy
+        + c10 * fx * (1 - fy)
+        + c11 * fx * fy
+    )
+
+
+def trilinear_3d(grid: np.ndarray, unit: np.ndarray) -> np.ndarray:
+    """Trilinear fetch from a (R, R, R, C) grid at unit coords."""
+    res = grid.shape[0]
+    p = np.clip(unit, 0.0, 1.0) * (res - 1)
+    i0 = np.clip(np.floor(p).astype(np.int64), 0, res - 2)
+    f = p - i0
+    out = 0.0
+    for dx in (0, 1):
+        for dy in (0, 1):
+            for dz in (0, 1):
+                w = (
+                    (f[:, 0] if dx else 1 - f[:, 0])
+                    * (f[:, 1] if dy else 1 - f[:, 1])
+                    * (f[:, 2] if dz else 1 - f[:, 2])
+                )
+                out = out + w[:, None] * grid[i0[:, 0] + dx, i0[:, 1] + dy, i0[:, 2] + dz]
+    return out
+
+
+@dataclass
+class TriplaneModel:
+    """Factorized grids plus the decoder MLP and occupancy grid."""
+
+    planes: list[np.ndarray]        # three (R, R, C) arrays, PLANE_AXES order
+    grid3d: np.ndarray              # (Rg, Rg, Rg, C)
+    decoder: MLP                    # (C + 3 dirs) -> 4 raw outputs
+    lo: np.ndarray
+    hi: np.ndarray
+    contracted: bool
+    sigma_scale: float
+    occupancy: OccupancyGrid | None = None
+    samples_per_ray: int = 96
+
+    @property
+    def plane_resolution(self) -> int:
+        return self.planes[0].shape[0]
+
+    @property
+    def grid_resolution(self) -> int:
+        return self.grid3d.shape[0]
+
+    def storage_bytes(self) -> int:
+        """FP16 grids + BF16 decoder + occupancy bitfield."""
+        plane_bytes = sum(p.size for p in self.planes) * 2
+        grid_bytes = self.grid3d.size * 2
+        occ = self.occupancy.storage_bytes() if self.occupancy is not None else 0
+        return plane_bytes + grid_bytes + self.decoder.storage_bytes() + occ
+
+    # ------------------------------------------------------------------
+    def unit_coords(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        if self.contracted:
+            points = contract_unbounded(points)
+        return (points - self.lo) / (self.hi - self.lo)
+
+    def features(self, points: np.ndarray) -> np.ndarray:
+        """The Low-Rank Decomposed Indexing step: one trilinear fetch from
+        the coarse grid plus three bilinear plane fetches, aggregated."""
+        unit = self.unit_coords(points)
+        feats = trilinear_3d(self.grid3d, unit)
+        for plane, ((a, b), _dropped) in zip(self.planes, PLANE_AXES):
+            feats = feats + bilinear_2d(plane, unit[:, a], unit[:, b])
+        return feats
+
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(sigma, rgb) — features decoded by the MLP."""
+        raw = self.decoder.forward(np.concatenate([self.features(points), dirs], axis=1))
+        sigma = np.maximum(raw[:, 0], 0.0) * self.sigma_scale
+        rgb = 1.0 / (1.0 + np.exp(-np.clip(raw[:, 1:4], -30, 30)))
+        return sigma, rgb
+
+
+def _feature_targets(field: SceneField, points: np.ndarray, sigma_scale: float) -> np.ndarray:
+    """The C-channel target features the factorization approximates."""
+    sigma, rgb = field.density_and_color(points)
+    sn = (sigma / sigma_scale)[:, None]
+    # Density, color, density-weighted color, luminance: redundant views
+    # of the same content give the additive factorization more paths.
+    lum = rgb.mean(axis=1, keepdims=True)
+    return np.concatenate([sn, rgb, sn * rgb, lum], axis=1)
+
+
+def build_triplane_model(
+    field: SceneField,
+    plane_resolution: int = 64,
+    grid_resolution: int = 16,
+    target_resolution: int = 48,
+    decoder_hidden: int = 24,
+    factor_iters: int = 4,
+    train_steps: int = 300,
+    train_batch: int = 1024,
+    samples_per_ray: int = 96,
+    occupancy_resolution: int = 32,
+    seed: int = 0,
+) -> TriplaneModel:
+    """Factorize the field into planes + coarse grid and train the decoder.
+
+    The factorization is alternating least squares on a dense target
+    tensor: the coarse grid captures the low-frequency part, then each
+    plane takes the mean of the residual along its dropped axis.
+    """
+    if plane_resolution < 4 or grid_resolution < 2:
+        raise ConfigError("resolutions too small")
+    rng = np.random.default_rng(seed)
+    contracted = field.unbounded
+    if contracted:
+        lo, hi = np.full(3, -2.0), np.full(3, 2.0)
+    else:
+        lo, hi = (np.asarray(b, float) for b in field.bounds)
+    sigma_scale = max(p.density_scale for p in field.primitives)
+
+    # Dense target tensor at an intermediate resolution.
+    res = target_resolution
+    lin = (np.arange(res) + 0.5) / res
+    unit = np.stack(np.meshgrid(lin, lin, lin, indexing="ij"), axis=-1).reshape(-1, 3)
+    world = lo + unit * (hi - lo)
+    if contracted:
+        from repro.renderers.nerf.sampling import _uncontract
+
+        world = _uncontract(world)
+    target = _feature_targets(field, world, sigma_scale).reshape(res, res, res, N_CHANNELS)
+
+    # Coarse grid: average-pool the target.
+    pool = res // grid_resolution
+    usable = grid_resolution * pool
+    grid3d = (
+        target[:usable, :usable, :usable]
+        .reshape(grid_resolution, pool, grid_resolution, pool, grid_resolution, pool, N_CHANNELS)
+        .mean(axis=(1, 3, 5))
+    )
+
+    # Residual after trilinear upsampling of the coarse grid.
+    up = trilinear_3d(grid3d, unit).reshape(res, res, res, N_CHANNELS)
+    residual = target - up
+
+    # Occupancy-weighted alternating least squares for the three planes.
+    # Only occupied cells are ever shaded (the occupancy grid gates empty
+    # space at render time), so the factorization spends its limited rank
+    # where it matters instead of smearing density along the planes'
+    # projection axes.
+    weight = (target[..., 0] > 0.02).astype(np.float64) + 0.01
+    weight = weight[..., None]
+    planes = [np.zeros((res, res, N_CHANNELS)) for _ in PLANE_AXES]
+    axis_of = [dropped for (_kept, dropped) in PLANE_AXES]
+    for _ in range(factor_iters):
+        for i, dropped in enumerate(axis_of):
+            others = residual.copy()
+            for j, dropped_j in enumerate(axis_of):
+                if j == i:
+                    continue
+                others -= np.expand_dims(planes[j], axis=dropped_j)
+            planes[i] = (others * weight).sum(axis=dropped) / weight.sum(axis=dropped)
+
+    # Downsample planes to the requested resolution if needed.
+    if plane_resolution != res:
+        planes = [_resample_plane(p, plane_resolution) for p in planes]
+
+    decoder = MLP(
+        [N_CHANNELS + 3, decoder_hidden, 4], output_activation="linear", rng=rng
+    )
+    model = TriplaneModel(
+        planes=planes,
+        grid3d=grid3d,
+        decoder=decoder,
+        lo=lo,
+        hi=hi,
+        contracted=contracted,
+        sigma_scale=sigma_scale,
+        samples_per_ray=samples_per_ray,
+    )
+    _train_decoder(field, model, rng, train_steps, train_batch)
+    model.occupancy = OccupancyGrid(field, resolution=occupancy_resolution)
+    return model
+
+
+def _resample_plane(plane: np.ndarray, new_res: int) -> np.ndarray:
+    lin = (np.arange(new_res) + 0.5) / new_res
+    u, v = np.meshgrid(lin, lin, indexing="ij")
+    return bilinear_2d(plane, u.ravel(), v.ravel()).reshape(new_res, new_res, -1)
+
+
+def _train_decoder(
+    field: SceneField,
+    model: TriplaneModel,
+    rng: np.random.Generator,
+    steps: int,
+    batch: int,
+) -> None:
+    """Fit the decoder MLP on (features -> sigma, rgb) pairs."""
+    optimizer = Adam(model.decoder.parameters(), lr=5e-3)
+    lo, hi = model.lo, model.hi
+    # Bias training toward occupied cells (where render-time queries go).
+    occupied_units = _occupied_unit_coords(field, model, rng)
+    for _ in range(steps):
+        unit = rng.uniform(0.0, 1.0, size=(batch, 3))
+        if len(occupied_units):
+            n_occ = int(0.7 * batch)
+            picks = rng.integers(0, len(occupied_units), n_occ)
+            jitter = rng.uniform(-0.02, 0.02, size=(n_occ, 3))
+            unit[:n_occ] = np.clip(occupied_units[picks] + jitter, 0.0, 1.0)
+        world = lo + unit * (hi - lo)
+        if model.contracted:
+            from repro.renderers.nerf.sampling import _uncontract
+
+            world = _uncontract(world)
+        dirs = rng.normal(size=(batch, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        sigma_t, rgb_t = field.density_and_color(world, dirs)
+
+        feats = model.features(world)
+        out = model.decoder.forward(np.concatenate([feats, dirs], axis=1))
+        sigma_pred = np.maximum(out[:, :1], 0.0)
+        rgb_pred = 1.0 / (1.0 + np.exp(-np.clip(out[:, 1:4], -30, 30)))
+        grad = np.empty_like(out)
+        d_sigma = sigma_pred - (sigma_t / model.sigma_scale)[:, None]
+        grad[:, :1] = 2.0 * d_sigma * (out[:, :1] > 0)
+        d_rgb = rgb_pred - rgb_t
+        grad[:, 1:4] = 2.0 * d_rgb * rgb_pred * (1.0 - rgb_pred)
+        grad /= batch
+        model.decoder.backward(grad)
+        optimizer.step(model.decoder.gradients())
+
+
+def _occupied_unit_coords(
+    field: SceneField,
+    model: TriplaneModel,
+    rng: np.random.Generator,
+    n_probe: int = 20000,
+) -> np.ndarray:
+    """Unit coordinates of probe points that landed in matter."""
+    unit = rng.uniform(0.0, 1.0, size=(n_probe, 3))
+    world = model.lo + unit * (model.hi - model.lo)
+    if model.contracted:
+        from repro.renderers.nerf.sampling import _uncontract
+
+        world = _uncontract(world)
+    return unit[field.density(world) > 0.05]

@@ -1,0 +1,32 @@
+"""Mesh-based rendering pipeline (Sec. II-A) — MobileNeRF [17] analogue.
+
+Steps: space conversion -> rasterization (z-buffer) -> texture indexing
+(bilinear) -> MLP shading. The scene representation is a triangle mesh
+with a per-face texture patch of learned features.
+"""
+
+from repro.renderers.mesh.geometry import (
+    TriangleMesh,
+    box_mesh,
+    cylinder_mesh,
+    plane_mesh,
+    sphere_mesh,
+    torus_mesh,
+)
+from repro.renderers.mesh.build import MeshModel, build_mesh_model
+from repro.renderers.mesh.raster import RasterOutput, rasterize
+from repro.renderers.mesh.pipeline import MeshRenderer
+
+__all__ = [
+    "TriangleMesh",
+    "sphere_mesh",
+    "box_mesh",
+    "cylinder_mesh",
+    "torus_mesh",
+    "plane_mesh",
+    "MeshModel",
+    "build_mesh_model",
+    "RasterOutput",
+    "rasterize",
+    "MeshRenderer",
+]

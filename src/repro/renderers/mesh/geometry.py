@@ -1,0 +1,200 @@
+"""Triangle meshes and tessellators for the scene primitives.
+
+The mesh representation stores "the coordinates of all vertices and the
+indices of vertices forming each mesh" (Sec. II-A). Tessellation density
+is the quality/storage knob: meshes are piecewise-linear approximations
+of the smooth ground-truth surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SceneError
+
+
+@dataclass
+class TriangleMesh:
+    """An indexed triangle mesh.
+
+    Attributes
+    ----------
+    vertices:
+        ``(V, 3)`` float array of world-space positions.
+    faces:
+        ``(F, 3)`` int array of vertex indices.
+    """
+
+    vertices: np.ndarray
+    faces: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.float64)
+        self.faces = np.asarray(self.faces, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise SceneError("vertices must have shape (V, 3)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise SceneError("faces must have shape (F, 3)")
+        if len(self.faces) and self.faces.max() >= len(self.vertices):
+            raise SceneError("face index out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.faces)
+
+    def face_corners(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three (F, 3) corner-position arrays of every face."""
+        v = self.vertices
+        f = self.faces
+        return v[f[:, 0]], v[f[:, 1]], v[f[:, 2]]
+
+    def face_areas(self) -> np.ndarray:
+        """World-space area of each face."""
+        a, b, c = self.face_corners()
+        return 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+
+    def transformed(self, scale: np.ndarray, offset: np.ndarray) -> "TriangleMesh":
+        """Mesh with vertices scaled then translated."""
+        return TriangleMesh(self.vertices * scale + offset, self.faces.copy())
+
+    @staticmethod
+    def merge(meshes: list["TriangleMesh"]) -> tuple["TriangleMesh", np.ndarray]:
+        """Concatenate meshes; returns the merged mesh and a per-face
+        array of source-mesh indices."""
+        if not meshes:
+            raise SceneError("cannot merge zero meshes")
+        verts, faces, owner = [], [], []
+        offset = 0
+        for i, mesh in enumerate(meshes):
+            verts.append(mesh.vertices)
+            faces.append(mesh.faces + offset)
+            owner.append(np.full(mesh.num_faces, i, dtype=np.int64))
+            offset += mesh.num_vertices
+        return (
+            TriangleMesh(np.concatenate(verts), np.concatenate(faces)),
+            np.concatenate(owner),
+        )
+
+
+def _grid_faces(rows: int, cols: int, wrap_cols: bool = False) -> np.ndarray:
+    """Triangulate a (rows+1) x (cols+1) vertex grid into 2*rows*cols faces."""
+    faces = []
+    ncol = cols if wrap_cols else cols
+    stride = cols + (0 if wrap_cols else 1)
+    for r in range(rows):
+        for c in range(ncol):
+            c1 = (c + 1) % stride if wrap_cols else c + 1
+            i00 = r * stride + c
+            i01 = r * stride + c1
+            i10 = (r + 1) * stride + c
+            i11 = (r + 1) * stride + c1
+            faces.append((i00, i10, i01))
+            faces.append((i01, i10, i11))
+    return np.asarray(faces, dtype=np.int64)
+
+
+def sphere_mesh(center, radius: float, segments: int = 12) -> TriangleMesh:
+    """Latitude/longitude tessellation of a sphere."""
+    if segments < 3:
+        raise SceneError("sphere needs at least 3 segments")
+    lats = np.linspace(0.0, np.pi, segments + 1)
+    lons = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    lat_grid, lon_grid = np.meshgrid(lats, lons, indexing="ij")
+    x = np.sin(lat_grid) * np.cos(lon_grid)
+    y = np.sin(lat_grid) * np.sin(lon_grid)
+    z = np.cos(lat_grid)
+    verts = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+    faces = _grid_faces(segments, segments, wrap_cols=True)
+    return TriangleMesh(verts * radius + np.asarray(center), faces)
+
+
+def box_mesh(center, half_extents, segments: int = 2) -> TriangleMesh:
+    """A box tessellated into ``segments x segments`` quads per side."""
+    if segments < 1:
+        raise SceneError("box needs at least 1 segment per side")
+    half = np.asarray(half_extents, dtype=np.float64)
+    meshes = []
+    lin = np.linspace(-1.0, 1.0, segments + 1)
+    for axis in range(3):
+        for sign in (-1.0, 1.0):
+            u, v = np.meshgrid(lin, lin, indexing="ij")
+            pts = np.zeros((u.size, 3))
+            others = [a for a in range(3) if a != axis]
+            pts[:, others[0]] = u.ravel()
+            pts[:, others[1]] = v.ravel()
+            pts[:, axis] = sign
+            faces = _grid_faces(segments, segments)
+            meshes.append(TriangleMesh(pts * half + np.asarray(center), faces))
+    merged, _ = TriangleMesh.merge(meshes)
+    return merged
+
+
+def cylinder_mesh(center, radius: float, half_height: float, segments: int = 12) -> TriangleMesh:
+    """A capped cylinder with its axis along +z."""
+    if segments < 3:
+        raise SceneError("cylinder needs at least 3 segments")
+    angles = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    ring = np.stack([np.cos(angles), np.sin(angles)], axis=1) * radius
+    top = np.concatenate([ring, np.full((segments, 1), half_height)], axis=1)
+    bot = np.concatenate([ring, np.full((segments, 1), -half_height)], axis=1)
+    verts = [top, bot, np.array([[0.0, 0.0, half_height]]), np.array([[0.0, 0.0, -half_height]])]
+    verts = np.concatenate(verts)
+    faces = []
+    top_center = 2 * segments
+    bot_center = 2 * segments + 1
+    for i in range(segments):
+        j = (i + 1) % segments
+        # Side quad.
+        faces.append((i, segments + i, j))
+        faces.append((j, segments + i, segments + j))
+        # Caps.
+        faces.append((top_center, i, j))
+        faces.append((bot_center, segments + j, segments + i))
+    return TriangleMesh(verts + np.asarray(center), np.asarray(faces, dtype=np.int64))
+
+
+def torus_mesh(center, major_radius: float, minor_radius: float, segments: int = 12) -> TriangleMesh:
+    """A torus lying in the xy plane."""
+    if segments < 3:
+        raise SceneError("torus needs at least 3 segments")
+    us = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    vs = np.linspace(0.0, 2.0 * np.pi, segments, endpoint=False)
+    u_grid, v_grid = np.meshgrid(us, vs, indexing="ij")
+    ring = major_radius + minor_radius * np.cos(v_grid)
+    x = ring * np.cos(u_grid)
+    y = ring * np.sin(u_grid)
+    z = minor_radius * np.sin(v_grid)
+    verts = np.stack([x.ravel(), y.ravel(), z.ravel()], axis=1)
+    faces = []
+    for i in range(segments):
+        for j in range(segments):
+            i1 = (i + 1) % segments
+            j1 = (j + 1) % segments
+            a = i * segments + j
+            b = i * segments + j1
+            c = i1 * segments + j
+            d = i1 * segments + j1
+            faces.append((a, c, b))
+            faces.append((b, c, d))
+    return TriangleMesh(verts + np.asarray(center), np.asarray(faces, dtype=np.int64))
+
+
+def plane_mesh(center, half_size: float, segments: int = 8, axis: int = 2) -> TriangleMesh:
+    """A square patch of ground plane (the finite stand-in for the
+    infinite :class:`~repro.scenes.primitives.FloorPlane`)."""
+    if segments < 1:
+        raise SceneError("plane needs at least 1 segment")
+    lin = np.linspace(-half_size, half_size, segments + 1)
+    u, v = np.meshgrid(lin, lin, indexing="ij")
+    pts = np.zeros((u.size, 3))
+    others = [a for a in range(3) if a != axis]
+    pts[:, others[0]] = u.ravel()
+    pts[:, others[1]] = v.ravel()
+    faces = _grid_faces(segments, segments)
+    return TriangleMesh(pts + np.asarray(center), faces)

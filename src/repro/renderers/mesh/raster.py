@@ -1,0 +1,112 @@
+"""Software rasterizer with a z-buffer (the paper's Rasterization step).
+
+For every projected triangle we test the pixels in its screen bounding
+box with barycentric (cross-product) coverage and keep the minimum depth
+per pixel — the "Min. Hold" mechanism of Fig. 2, which the accelerator
+reproduces inside each PE's PS scratch pad (Sec. VI, Geometric
+Processing dataflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.renderers.mesh.geometry import TriangleMesh
+from repro.scenes.camera import Camera
+
+
+@dataclass
+class RasterOutput:
+    """Result of rasterizing one view.
+
+    ``face_id`` is -1 where no triangle covers the pixel. ``bary`` holds
+    perspective-corrected barycentric coordinates (b1, b2) of the hit
+    with respect to the face's second and third vertices.
+    """
+
+    face_id: np.ndarray   # (H, W) int64
+    bary: np.ndarray      # (H, W, 2) float64
+    depth: np.ndarray     # (H, W) float64, inf where empty
+    tri_tests: int        # pixel-in-triangle tests executed
+    tris_projected: int   # triangles through space conversion
+
+
+def rasterize(mesh: TriangleMesh, camera: Camera) -> RasterOutput:
+    """Project and rasterize ``mesh`` into ``camera``'s image plane."""
+    height, width = camera.height, camera.width
+    screen, depth = camera.world_to_screen(mesh.vertices)
+
+    face_id = np.full((height, width), -1, dtype=np.int64)
+    bary = np.zeros((height, width, 2))
+    zbuf = np.full((height, width), np.inf)
+
+    tri = mesh.faces
+    p0, p1, p2 = screen[tri[:, 0]], screen[tri[:, 1]], screen[tri[:, 2]]
+    z0, z1, z2 = depth[tri[:, 0]], depth[tri[:, 1]], depth[tri[:, 2]]
+
+    # Cull faces with any vertex behind the near plane (no clipping —
+    # scenes keep geometry in front of the cameras) or fully off screen.
+    in_front = (z0 > camera.near) & (z1 > camera.near) & (z2 > camera.near)
+    xs = np.stack([p0[:, 0], p1[:, 0], p2[:, 0]], axis=1)
+    ys = np.stack([p0[:, 1], p1[:, 1], p2[:, 1]], axis=1)
+    on_screen = (
+        (xs.max(axis=1) >= 0)
+        & (xs.min(axis=1) < width)
+        & (ys.max(axis=1) >= 0)
+        & (ys.min(axis=1) < height)
+    )
+    candidates = np.nonzero(in_front & on_screen)[0]
+
+    tri_tests = 0
+    inv_z = 1.0 / np.maximum(depth, 1e-12)
+    for f in candidates:
+        a, b, c = p0[f], p1[f], p2[f]
+        # Signed twice-area; degenerate (edge-on) triangles are skipped.
+        area = (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+        if abs(area) < 1e-12:
+            continue
+        x_min = max(int(np.floor(min(a[0], b[0], c[0]))), 0)
+        x_max = min(int(np.ceil(max(a[0], b[0], c[0]))), width - 1)
+        y_min = max(int(np.floor(min(a[1], b[1], c[1]))), 0)
+        y_max = min(int(np.ceil(max(a[1], b[1], c[1]))), height - 1)
+        if x_min > x_max or y_min > y_max:
+            continue
+        px, py = np.meshgrid(
+            np.arange(x_min, x_max + 1) + 0.5, np.arange(y_min, y_max + 1) + 0.5
+        )
+        tri_tests += px.size
+        # Barycentric coordinates from cross products (Sec. VI: the ALU's
+        # vector mode computes exactly these).
+        w1 = ((px - a[0]) * (c[1] - a[1]) - (py - a[1]) * (c[0] - a[0])) / area
+        w2 = ((b[0] - a[0]) * (py - a[1]) - (b[1] - a[1]) * (px - a[0])) / area
+        w0 = 1.0 - w1 - w2
+        inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+        if not inside.any():
+            continue
+        # Perspective-correct depth and barycentrics.
+        iz = w0 * inv_z[tri[f, 0]] + w1 * inv_z[tri[f, 1]] + w2 * inv_z[tri[f, 2]]
+        z = 1.0 / np.maximum(iz, 1e-12)
+        rows = py.astype(np.int64) - 0  # pixel centers at +0.5 round down
+        cols = px.astype(np.int64)
+        rows = np.clip(rows, 0, height - 1)
+        cols = np.clip(cols, 0, width - 1)
+        closer = inside & (z < zbuf[rows, cols])
+        if not closer.any():
+            continue
+        r_sel, c_sel = rows[closer], cols[closer]
+        zbuf[r_sel, c_sel] = z[closer]
+        face_id[r_sel, c_sel] = f
+        b1_corr = w1[closer] * inv_z[tri[f, 1]] * z[closer]
+        b2_corr = w2[closer] * inv_z[tri[f, 2]] * z[closer]
+        bary[r_sel, c_sel, 0] = b1_corr
+        bary[r_sel, c_sel, 1] = b2_corr
+
+    return RasterOutput(
+        face_id=face_id,
+        bary=bary,
+        depth=zbuf,
+        tri_tests=tri_tests,
+        tris_projected=int(len(candidates)),
+    )

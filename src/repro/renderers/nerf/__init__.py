@@ -1,0 +1,30 @@
+"""MLP-based rendering pipeline (Sec. II-B) — NeRF [67] / KiloNeRF [87].
+
+Steps: ray casting -> MLP -> blending. The scene lives implicitly in MLP
+weights. We implement the KiloNeRF variant the paper benchmarks (a grid
+of thousands of tiny MLPs with empty-space skipping) plus the
+MetaVRain-style Pixel-Reuse option referenced in Table IV.
+"""
+
+from repro.renderers.nerf.encoding import positional_encoding, encoding_width
+from repro.renderers.nerf.sampling import (
+    OccupancyGrid,
+    importance_sample,
+    sample_along_rays,
+)
+from repro.renderers.nerf.kilonerf import KiloNeRFModel, build_kilonerf_model
+from repro.renderers.nerf.vanilla import VanillaNeRFModel, build_vanilla_nerf
+from repro.renderers.nerf.pipeline import NerfRenderer
+
+__all__ = [
+    "positional_encoding",
+    "encoding_width",
+    "OccupancyGrid",
+    "sample_along_rays",
+    "importance_sample",
+    "KiloNeRFModel",
+    "build_kilonerf_model",
+    "VanillaNeRFModel",
+    "build_vanilla_nerf",
+    "NerfRenderer",
+]

@@ -1,0 +1,44 @@
+"""Sinusoidal positional encoding (NeRF's input featurization).
+
+The "massive varying scalar computations" and "complex positional
+encoding" called out in Sec. VIII-B are exactly these sin/cos evaluations;
+the accelerator prices them on the PE's special function units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def encoding_width(dims: int, n_freqs: int, include_input: bool = True) -> int:
+    """Output width of :func:`positional_encoding` for planning layers."""
+    return dims * (2 * n_freqs + (1 if include_input else 0))
+
+
+def positional_encoding(
+    points: np.ndarray, n_freqs: int, include_input: bool = True
+) -> np.ndarray:
+    """gamma(p) = (p, sin(2^k pi p), cos(2^k pi p)) for k < n_freqs.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` coordinates, ideally normalized to roughly [-1, 1].
+    n_freqs:
+        Number of octaves L; NeRF uses 10 for positions, 4 for directions.
+    """
+    if n_freqs < 0:
+        raise ConfigError("n_freqs must be non-negative")
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ConfigError("points must be a 2D batch")
+    parts = [points] if include_input else []
+    for k in range(n_freqs):
+        scaled = (2.0**k) * np.pi * points
+        parts.append(np.sin(scaled))
+        parts.append(np.cos(scaled))
+    if not parts:
+        return np.zeros((len(points), 0))
+    return np.concatenate(parts, axis=1)

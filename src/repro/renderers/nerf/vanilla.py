@@ -1,0 +1,130 @@
+"""Vanilla NeRF: one large MLP for the whole scene [67].
+
+The original pipeline the paper's Sec. II-B describes — no spatial
+decomposition, no empty-space skipping, every sample through the full
+network. It is the quality reference of Table I and the reason the MLP
+pipeline is the slowest row of Fig. 7; KiloNeRF (:mod:`.kilonerf`) is
+the deployable variant the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import MLP, Adam
+from repro.renderers.nerf.encoding import encoding_width, positional_encoding
+from repro.scenes.fields import SceneField, contract_unbounded
+
+
+@dataclass
+class VanillaNeRFModel:
+    """A single scene-wide MLP with positional encoding.
+
+    Satisfies the same query interface as
+    :class:`~repro.renderers.nerf.kilonerf.KiloNeRFModel`, so
+    :class:`~repro.renderers.nerf.pipeline.NerfRenderer` renders it
+    directly. ``occupancy`` is None: vanilla NeRF shades every sample.
+    """
+
+    mlp: MLP
+    n_freqs: int
+    lo: np.ndarray
+    hi: np.ndarray
+    contracted: bool
+    sigma_scale: float
+    samples_per_ray: int = 128
+    occupancy = None  # no empty-space skipping in the original pipeline
+
+    @property
+    def num_params(self) -> int:
+        return self.mlp.num_params
+
+    def macs_per_sample(self) -> int:
+        return self.mlp.macs_per_sample()
+
+    def storage_bytes(self) -> int:
+        """BF16 weights only — why Table I calls NeRF the most
+        storage-efficient representation."""
+        return self.mlp.storage_bytes()
+
+    def _features(self, points: np.ndarray, dirs: np.ndarray) -> np.ndarray:
+        unit = 2.0 * (points - self.lo) / (self.hi - self.lo) - 1.0
+        return np.concatenate([positional_encoding(unit, self.n_freqs), dirs], axis=1)
+
+    def query(self, points: np.ndarray, dirs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(sigma, rgb) at world points."""
+        points = np.asarray(points, dtype=np.float64)
+        if self.contracted:
+            points = contract_unbounded(points)
+        raw = self.mlp.forward(self._features(points, dirs))
+        sigma = np.maximum(raw[:, 0], 0.0) * self.sigma_scale
+        rgb = 1.0 / (1.0 + np.exp(-np.clip(raw[:, 1:4], -30, 30)))
+        return sigma, rgb
+
+
+def build_vanilla_nerf(
+    field: SceneField,
+    hidden: int = 48,
+    depth: int = 3,
+    n_freqs: int = 6,
+    train_steps: int = 500,
+    train_batch: int = 1024,
+    samples_per_ray: int = 128,
+    seed: int = 0,
+) -> VanillaNeRFModel:
+    """Fit one MLP to the whole field with Adam (surface-biased batches)."""
+    if depth < 1:
+        raise ConfigError("need at least one hidden layer")
+    rng = np.random.default_rng(seed)
+    contracted = field.unbounded
+    if contracted:
+        lo, hi = np.full(3, -2.0), np.full(3, 2.0)
+    else:
+        lo, hi = (np.asarray(b, float) for b in field.bounds)
+    sigma_scale = max(p.density_scale for p in field.primitives)
+
+    widths = [encoding_width(3, n_freqs) + 3] + [hidden] * depth + [4]
+    model = VanillaNeRFModel(
+        mlp=MLP(widths, output_activation="linear", rng=rng),
+        n_freqs=n_freqs,
+        lo=lo,
+        hi=hi,
+        contracted=contracted,
+        sigma_scale=sigma_scale,
+        samples_per_ray=samples_per_ray,
+    )
+
+    # Surface-biased sampling, as for the grid representations.
+    probe = rng.uniform(0.0, 1.0, size=(20000, 3))
+    world_probe = lo + probe * (hi - lo)
+    occupied = probe[field.density(world_probe) > 0.05]
+
+    optimizer = Adam(model.mlp.parameters(), lr=3e-3)
+    for _ in range(train_steps):
+        unit = rng.uniform(0.0, 1.0, size=(train_batch, 3))
+        if len(occupied):
+            n_occ = int(0.6 * train_batch)
+            picks = rng.integers(0, len(occupied), n_occ)
+            unit[:n_occ] = np.clip(
+                occupied[picks] + rng.uniform(-0.03, 0.03, (n_occ, 3)), 0.0, 1.0
+            )
+        world = lo + unit * (hi - lo)
+        dirs = rng.normal(size=(train_batch, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        sigma_t, rgb_t = field.density_and_color(world, dirs)
+
+        out = model.mlp.forward(model._features(world, dirs))
+        sigma_pred = np.maximum(out[:, :1], 0.0)
+        rgb_pred = 1.0 / (1.0 + np.exp(-np.clip(out[:, 1:4], -30, 30)))
+        grad = np.empty_like(out)
+        grad[:, :1] = 2.0 * (sigma_pred - (sigma_t / sigma_scale)[:, None]) * (
+            out[:, :1] > 0
+        )
+        grad[:, 1:4] = 2.0 * (rgb_pred - rgb_t) * rgb_pred * (1.0 - rgb_pred)
+        grad /= train_batch
+        model.mlp.backward(grad)
+        optimizer.step(model.mlp.gradients())
+    return model

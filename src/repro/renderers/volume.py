@@ -1,0 +1,138 @@
+"""Shared skeleton of the volume-rendering pipelines.
+
+The MLP, low-rank-grid, and hash-grid pipelines differ only in how a
+sample point becomes (sigma, rgb) — ray casting, empty-space skipping,
+and blending are identical (Sec. II-B/C/D all say "the remaining steps
+are identical"). This base class implements that shared structure once;
+each pipeline supplies :meth:`shade_samples` plus its own counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.renderers.base import RenderStats, as_image
+from repro.renderers.nerf.sampling import OccupancyGrid, sample_along_rays
+from repro.scenes.camera import Camera
+from repro.scenes.fields import SceneField, composite_along_rays
+
+
+class VolumeRendererBase:
+    """Template for ray-marching pipelines.
+
+    Subclasses set :attr:`pipeline`, provide ``samples_per_ray`` and
+    ``occupancy`` through the constructor, and implement
+    :meth:`shade_samples` to turn surviving sample points into densities
+    and colors while recording pipeline-specific counters.
+    """
+
+    pipeline = "volume"
+
+    def __init__(
+        self,
+        field: SceneField,
+        samples_per_ray: int,
+        occupancy: OccupancyGrid | None,
+        chunk: int = 4096,
+    ) -> None:
+        if samples_per_ray < 2:
+            raise ConfigError("samples_per_ray must be >= 2")
+        if chunk < 1:
+            raise ConfigError("chunk must be positive")
+        self.field = field
+        self.samples_per_ray = samples_per_ray
+        self.occupancy = occupancy
+        self.chunk = chunk
+
+    # -- hook -------------------------------------------------------------
+    def shade_samples(
+        self, points: np.ndarray, dirs: np.ndarray, stats: RenderStats
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (sigma, rgb) for sample points that survived skipping."""
+        raise NotImplementedError
+
+    # -- shared pipeline ----------------------------------------------------
+    def render(self, camera: Camera) -> tuple[np.ndarray, RenderStats]:
+        """Ray casting -> skipping -> shading -> blending."""
+        stats = RenderStats()
+        stats.add("pixels", camera.num_pixels)
+        flat = self.render_rays(camera, stats)
+        return as_image(flat, camera.height, camera.width), stats
+
+    def render_rays(self, camera: Camera, stats: RenderStats) -> np.ndarray:
+        """The ray loop, exposed separately so hybrid pipelines can call
+        it with their own compositing."""
+        origins, dirs = camera.rays()
+        return self.march(origins, dirs, stats)
+
+    def march(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        stats: RenderStats,
+        stop_depth: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """March a batch of rays; optionally stop at a per-ray depth.
+
+        ``stop_depth`` is used by the MixRT hybrid: volume samples behind
+        the mesh surface are discarded and the mesh color is composited
+        as the background of each ray.
+        """
+        n_samples = self.samples_per_ray
+        t_range = self.field.ray_t_range()
+        out = np.empty((len(origins), 3))
+        stats.add("rays", len(origins))
+
+        for start in range(0, len(origins), self.chunk):
+            sl = slice(start, min(start + self.chunk, len(origins)))
+            o, d = origins[sl], dirs[sl]
+            pts, dt = sample_along_rays(o, d, t_range, n_samples)
+            flat_pts = pts.reshape(-1, 3)
+            flat_dirs = np.repeat(d, n_samples, axis=0)
+            stats.add("samples_total", len(flat_pts))
+
+            live = (
+                self.occupancy.query(flat_pts)
+                if self.occupancy is not None
+                else np.ones(len(flat_pts), dtype=bool)
+            )
+            if stop_depth is not None:
+                ts = np.linspace(*t_range, n_samples + 1)
+                mids = 0.5 * (ts[:-1] + ts[1:])
+                in_front = (mids[None, :] < stop_depth[sl, None]).reshape(-1)
+                live &= in_front
+            stats.add("samples_shaded", int(live.sum()))
+
+            sigma = np.zeros(len(flat_pts))
+            rgb = np.zeros((len(flat_pts), 3))
+            if live.any():
+                sigma[live], rgb[live] = self.shade_samples(
+                    flat_pts[live], flat_dirs[live], stats
+                )
+            sigma = sigma.reshape(len(o), n_samples)
+            rgb = rgb.reshape(len(o), n_samples, 3)
+            stats.add("blend_samples", sigma.size)
+            # Early ray termination accounting: deployed renderers stop
+            # once transmittance is exhausted, so samples behind opaque
+            # content cost nothing. Count the ones a terminating renderer
+            # would actually shade.
+            alpha = 1.0 - np.exp(-np.maximum(sigma, 0.0) * dt)
+            transmittance = np.cumprod(1.0 - alpha + 1e-10, axis=1)
+            before_term = np.concatenate(
+                [
+                    np.ones_like(transmittance[:, :1], dtype=bool),
+                    transmittance[:, :-1] > 1e-2,
+                ],
+                axis=1,
+            )
+            live_grid = live.reshape(len(o), n_samples)
+            stats.add("samples_effective", int((live_grid & before_term).sum()))
+            background = self.background_for(d, sl)
+            out[sl] = composite_along_rays(sigma, rgb, dt, background)
+        return out
+
+    def background_for(self, dirs: np.ndarray, sl: slice) -> np.ndarray:
+        """Background color per ray; hybrids override to return the mesh
+        layer's colors instead of the sky."""
+        return self.field.background_color(dirs)

@@ -1,0 +1,50 @@
+"""Scenes: cameras, procedural ground-truth fields, and named datasets.
+
+The paper evaluates on two public datasets we cannot ship: NeRF-Synthetic
+[67] (bounded object scenes, 800x800) and Unbounded-360 [8] (large
+real-world scenes, 1280x720). This package substitutes both with
+procedural analytic scenes — a density+RGB field assembled from signed-
+distance primitives — whose *workload statistics* (geometry counts, ray
+occupancy, unboundedness) are the knobs that actually drive rendering
+cost. See DESIGN.md section 3 for the substitution argument.
+"""
+
+from repro.scenes.camera import Camera, look_at, orbit_poses, tiles
+from repro.scenes.fields import SceneField, contract_unbounded
+from repro.scenes.primitives import (
+    Box,
+    Cylinder,
+    FloorPlane,
+    Primitive,
+    Sphere,
+    Torus,
+)
+from repro.scenes.registry import (
+    SceneSpec,
+    get_scene,
+    scene_names,
+    NERF_SYNTHETIC_SCENES,
+    UNBOUNDED_360_SCENES,
+    UNBOUNDED_INDOOR_SCENES,
+)
+
+__all__ = [
+    "Camera",
+    "look_at",
+    "orbit_poses",
+    "tiles",
+    "SceneField",
+    "contract_unbounded",
+    "Primitive",
+    "Sphere",
+    "Box",
+    "Torus",
+    "Cylinder",
+    "FloorPlane",
+    "SceneSpec",
+    "get_scene",
+    "scene_names",
+    "NERF_SYNTHETIC_SCENES",
+    "UNBOUNDED_360_SCENES",
+    "UNBOUNDED_INDOOR_SCENES",
+]

@@ -1,0 +1,208 @@
+"""Pinhole cameras, poses, and ray generation.
+
+Every pipeline in the paper starts from "the camera pose corresponding to
+the view that the user wants to observe" (Sec. II). This module is the
+shared front end: it produces per-pixel rays for the volume pipelines and
+the view/projection matrices for the raster pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SceneError
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray | None = None) -> np.ndarray:
+    """Build a 4x4 camera-to-world matrix looking from ``eye`` to ``target``.
+
+    Uses the OpenGL-style convention: the camera looks down its local -z
+    axis, +x is right, +y is up.
+    """
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    up = np.asarray(up if up is not None else (0.0, 0.0, 1.0), dtype=np.float64)
+
+    forward = target - eye
+    norm = np.linalg.norm(forward)
+    if norm < 1e-12:
+        raise SceneError("look_at: eye and target coincide")
+    forward = forward / norm
+
+    right = np.cross(forward, up)
+    norm = np.linalg.norm(right)
+    if norm < 1e-12:
+        # up was parallel to the view direction; pick another up vector.
+        up = np.array([0.0, 1.0, 0.0])
+        right = np.cross(forward, up)
+        norm = np.linalg.norm(right)
+    right = right / norm
+    true_up = np.cross(right, forward)
+
+    c2w = np.eye(4)
+    c2w[:3, 0] = right
+    c2w[:3, 1] = true_up
+    c2w[:3, 2] = -forward
+    c2w[:3, 3] = eye
+    return c2w
+
+
+def orbit_poses(
+    radius: float,
+    n_views: int,
+    elevation_deg: float = 20.0,
+    target: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """Camera-to-world matrices on a circular orbit — the test-view layout
+    used by both NeRF-Synthetic and Unbounded-360 capture rigs."""
+    if n_views < 1:
+        raise SceneError("orbit_poses needs at least one view")
+    target = np.asarray(target if target is not None else (0.0, 0.0, 0.0), dtype=np.float64)
+    elev = np.deg2rad(elevation_deg)
+    poses = []
+    for i in range(n_views):
+        azim = 2.0 * np.pi * i / n_views
+        eye = target + radius * np.array(
+            [np.cos(azim) * np.cos(elev), np.sin(azim) * np.cos(elev), np.sin(elev)]
+        )
+        poses.append(look_at(eye, target))
+    return poses
+
+
+def tiles(height: int, width: int, patch: int) -> Iterator[tuple[int, int, int, int]]:
+    """Yield ``(y0, y1, x0, x1)`` patch bounds covering a ``height x width``
+    image. 3DGS sorts per 16x16 patch (Sec. II-E); the accelerator maps one
+    patch of pixels per PE (Sec. VI)."""
+    if patch <= 0:
+        raise SceneError("patch size must be positive")
+    for y0 in range(0, height, patch):
+        for x0 in range(0, width, patch):
+            yield y0, min(y0 + patch, height), x0, min(x0 + patch, width)
+
+
+@dataclass
+class Camera:
+    """A pinhole camera with an OpenGL-style pose.
+
+    Parameters
+    ----------
+    width, height:
+        Image resolution in pixels.
+    fov_y_deg:
+        Vertical field of view in degrees.
+    pose:
+        4x4 camera-to-world matrix (see :func:`look_at`).
+    near, far:
+        Clip-space depth range used by the raster pipelines.
+    """
+
+    width: int
+    height: int
+    fov_y_deg: float = 50.0
+    pose: np.ndarray = field(default_factory=lambda: np.eye(4))
+    near: float = 0.05
+    far: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise SceneError("camera resolution must be positive")
+        if not 0.0 < self.fov_y_deg < 180.0:
+            raise SceneError("fov must lie in (0, 180) degrees")
+        if not 0.0 < self.near < self.far:
+            raise SceneError("require 0 < near < far")
+        self.pose = np.asarray(self.pose, dtype=np.float64)
+        if self.pose.shape != (4, 4):
+            raise SceneError("pose must be a 4x4 matrix")
+
+    # ------------------------------------------------------------------
+    # Intrinsics
+    # ------------------------------------------------------------------
+    @property
+    def focal(self) -> float:
+        """Focal length in pixels (same for x and y: square pixels)."""
+        return 0.5 * self.height / np.tan(0.5 * np.deg2rad(self.fov_y_deg))
+
+    @property
+    def num_pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def origin(self) -> np.ndarray:
+        """Camera position in world space."""
+        return self.pose[:3, 3].copy()
+
+    def resized(self, width: int, height: int) -> "Camera":
+        """Same camera at a different resolution (keeps the field of view)."""
+        return Camera(width, height, self.fov_y_deg, self.pose.copy(), self.near, self.far)
+
+    # ------------------------------------------------------------------
+    # Rays (volume pipelines)
+    # ------------------------------------------------------------------
+    def rays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pixel rays: ``(origins, directions)`` of shape (H*W, 3).
+
+        Directions are unit length; pixel order is row-major, matching the
+        flattening of rendered images.
+        """
+        xs = (np.arange(self.width) + 0.5 - 0.5 * self.width) / self.focal
+        ys = (0.5 * self.height - (np.arange(self.height) + 0.5)) / self.focal
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        dirs_cam = np.stack(
+            [grid_x.ravel(), grid_y.ravel(), -np.ones(self.num_pixels)], axis=1
+        )
+        rot = self.pose[:3, :3]
+        dirs_world = dirs_cam @ rot.T
+        dirs_world /= np.linalg.norm(dirs_world, axis=1, keepdims=True)
+        origins = np.broadcast_to(self.origin, dirs_world.shape).copy()
+        return origins, dirs_world
+
+    # ------------------------------------------------------------------
+    # Matrices (raster pipelines)
+    # ------------------------------------------------------------------
+    def view_matrix(self) -> np.ndarray:
+        """World-to-camera 4x4 matrix (inverse of the pose)."""
+        rot = self.pose[:3, :3]
+        trans = self.pose[:3, 3]
+        view = np.eye(4)
+        view[:3, :3] = rot.T
+        view[:3, 3] = -rot.T @ trans
+        return view
+
+    def projection_matrix(self) -> np.ndarray:
+        """OpenGL-style perspective projection into clip space.
+
+        This is the "Space Conversion" step shared by the mesh and 3DGS
+        pipelines (Figs. 2 and 6).
+        """
+        f = 1.0 / np.tan(0.5 * np.deg2rad(self.fov_y_deg))
+        aspect = self.width / self.height
+        n, fa = self.near, self.far
+        proj = np.zeros((4, 4))
+        proj[0, 0] = f / aspect
+        proj[1, 1] = f
+        proj[2, 2] = (fa + n) / (n - fa)
+        proj[2, 3] = 2.0 * fa * n / (n - fa)
+        proj[3, 2] = -1.0
+        return proj
+
+    def world_to_screen(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Project world points to pixel coordinates.
+
+        Returns ``(screen_xy, depth)`` where depth is the camera-space
+        distance along -z (positive in front of the camera).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        homo = np.concatenate([points, np.ones((len(points), 1))], axis=1)
+        clip = homo @ (self.projection_matrix() @ self.view_matrix()).T
+        w = clip[:, 3:4]
+        # Guard against division by ~0 for points on the camera plane.
+        w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+        ndc = clip[:, :3] / w
+        screen_x = (ndc[:, 0] * 0.5 + 0.5) * self.width
+        screen_y = (0.5 - ndc[:, 1] * 0.5) * self.height
+        cam = homo @ self.view_matrix().T
+        depth = -cam[:, 2]
+        return np.stack([screen_x, screen_y], axis=1), depth

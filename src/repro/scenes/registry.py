@@ -1,0 +1,268 @@
+"""Named procedural scenes substituting the paper's two datasets.
+
+* NeRF-Synthetic-like (bounded objects, white background, 800x800 in the
+  paper): ``chair drums ficus hotdog lego materials mic ship``.
+* Unbounded-360-like (real-world scale, 1280x720 in the paper):
+  ``bicycle bonsai counter garden kitchen room stump`` — with the four
+  indoor scenes (``room counter kitchen bonsai``) used by Fig. 17.
+
+Every scene is deterministic (seeded by its name) and carries a
+``complexity`` knob that the representation builders translate into
+triangle / Gaussian / grid budgets, which in turn drive workload cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SceneError
+from repro.scenes.fields import SceneField
+from repro.scenes.primitives import Box, Cylinder, FloorPlane, Sphere, Torus
+
+NERF_SYNTHETIC_SCENES = (
+    "chair",
+    "drums",
+    "ficus",
+    "hotdog",
+    "lego",
+    "materials",
+    "mic",
+    "ship",
+)
+UNBOUNDED_360_SCENES = (
+    "bicycle",
+    "bonsai",
+    "counter",
+    "garden",
+    "kitchen",
+    "room",
+    "stump",
+)
+UNBOUNDED_INDOOR_SCENES = ("room", "counter", "kitchen", "bonsai")
+
+
+@dataclass
+class SceneSpec:
+    """A named scene: metadata plus a lazily built ground-truth field."""
+
+    name: str
+    kind: str  # "synthetic" or "unbounded"
+    complexity: float  # relative workload scale, 1.0 = nominal
+    builder: Callable[[], SceneField]
+    camera_radius: float = 3.0
+    _field: SceneField | None = dataclass_field(default=None, repr=False)
+
+    def field(self) -> SceneField:
+        """Build (once) and return the ground-truth field."""
+        if self._field is None:
+            self._field = self.builder()
+        return self._field
+
+    @property
+    def unbounded(self) -> bool:
+        return self.kind == "unbounded"
+
+
+def _rng(name: str) -> np.random.Generator:
+    """Deterministic per-scene generator (stable across runs/processes)."""
+    seed = int.from_bytes(name.encode("utf-8"), "little") % (2**32)
+    return np.random.default_rng(seed)
+
+
+def _palette(rng: np.random.Generator, n: int) -> np.ndarray:
+    """n saturated-but-not-neon colors."""
+    hues = rng.uniform(0.0, 1.0, n)
+    colors = np.stack(
+        [
+            0.45 + 0.45 * np.cos(2 * np.pi * (hues + shift))
+            for shift in (0.0, 1.0 / 3.0, 2.0 / 3.0)
+        ],
+        axis=1,
+    )
+    return np.clip(colors, 0.05, 0.95)
+
+
+def _scatter_objects(
+    rng: np.random.Generator,
+    count: int,
+    region_lo,
+    region_hi,
+    size_range=(0.08, 0.3),
+    kinds=("sphere", "box", "cylinder", "torus"),
+    sheen: float = 0.15,
+) -> list:
+    """Random small objects inside a box region, used by most builders."""
+    colors = _palette(rng, count)
+    prims = []
+    lo = np.asarray(region_lo, dtype=np.float64)
+    hi = np.asarray(region_hi, dtype=np.float64)
+    for i in range(count):
+        center = rng.uniform(lo, hi)
+        size = rng.uniform(*size_range)
+        kind = kinds[int(rng.integers(len(kinds)))]
+        common = dict(center=center, albedo=colors[i], sheen=sheen,
+                      sheen_dir=rng.normal(size=3))
+        if kind == "sphere":
+            prims.append(Sphere(radius=size, **common))
+        elif kind == "box":
+            prims.append(Box(half_extents=rng.uniform(0.5, 1.0, 3) * size, **common))
+        elif kind == "cylinder":
+            prims.append(Cylinder(radius=0.6 * size, half_height=size, **common))
+        else:
+            prims.append(Torus(major_radius=size, minor_radius=0.3 * size, **common))
+    return prims
+
+
+# ----------------------------------------------------------------------
+# NeRF-Synthetic-like builders (bounded objects around the origin)
+# ----------------------------------------------------------------------
+def _auto_bounds(prims: list, margin: float = 0.3) -> tuple:
+    """Tight axis-aligned bounds around finite primitives plus a halo
+    margin (the density falloff extends a little beyond each surface)."""
+    lo = np.full(3, np.inf)
+    hi = np.full(3, -np.inf)
+    for prim in prims:
+        radius = prim.bounding_radius()
+        if not np.isfinite(radius):
+            continue
+        lo = np.minimum(lo, prim.center - radius)
+        hi = np.maximum(hi, prim.center + radius)
+    if not np.all(np.isfinite(lo)):
+        raise SceneError("scene has no finite primitives")
+    return tuple(lo - margin), tuple(hi + margin)
+
+
+def _build_synthetic(name: str, n_objects: int, stacked: bool = False) -> SceneField:
+    rng = _rng(name)
+    if stacked:
+        # Tower-of-blocks object ("lego"-like): strong occlusion structure.
+        prims = []
+        colors = _palette(rng, n_objects)
+        step = 1.3 / max(n_objects - 1, 1)
+        z = -0.6
+        for i in range(n_objects):
+            half = np.array([rng.uniform(0.2, 0.5), rng.uniform(0.2, 0.5), 0.45 * step])
+            prims.append(
+                Box(
+                    center=np.array([rng.uniform(-0.15, 0.15), rng.uniform(-0.15, 0.15), z]),
+                    half_extents=half,
+                    albedo=colors[i],
+                    checker=0.15 if i % 3 == 0 else 0.0,
+                )
+            )
+            z += step
+    else:
+        prims = _scatter_objects(rng, n_objects, (-0.7, -0.7, -0.6), (0.7, 0.7, 0.6))
+    return SceneField(
+        prims, name=name, unbounded=False, bounds=_auto_bounds(prims), background="white"
+    )
+
+
+# ----------------------------------------------------------------------
+# Unbounded-360-like builders (cameras inside the scene)
+# ----------------------------------------------------------------------
+def _build_indoor(name: str, n_objects: int) -> SceneField:
+    rng = _rng(name)
+    prims = [FloorPlane(center=(0, 0, -0.8), albedo=(0.55, 0.5, 0.45), density_scale=60.0)]
+    # Walls: large boxes at the room boundary give the mesh pipeline big
+    # occluders and the volume pipelines early ray termination.
+    for wx, wy in ((3.2, 0.0), (-3.2, 0.0), (0.0, 3.2), (0.0, -3.2)):
+        prims.append(
+            Box(
+                center=(wx, wy, 0.6),
+                half_extents=(0.15 + 3.0 * abs(np.sign(wy)), 0.15 + 3.0 * abs(np.sign(wx)), 1.6),
+                albedo=rng.uniform(0.4, 0.7, 3),
+            )
+        )
+    prims += _scatter_objects(
+        rng, n_objects, (-2.2, -2.2, -0.7), (2.2, 2.2, 0.9), size_range=(0.15, 0.5)
+    )
+    return SceneField(
+        prims, name=name, unbounded=True, bounds=((-3.6, -3.6, -1.1), (3.6, 3.6, 2.6)),
+        background="dark",
+    )
+
+
+def _build_outdoor(name: str, n_objects: int) -> SceneField:
+    rng = _rng(name)
+    prims = [FloorPlane(center=(0, 0, -0.5), albedo=(0.35, 0.45, 0.3), density_scale=60.0)]
+    prims += _scatter_objects(
+        rng, n_objects, (-3.0, -3.0, -0.4), (3.0, 3.0, 1.2), size_range=(0.2, 0.7)
+    )
+    # A few distant landmarks that only matter through scene contraction.
+    for _ in range(4):
+        direction = rng.normal(size=3)
+        direction[2] = abs(direction[2]) * 0.2
+        direction /= np.linalg.norm(direction)
+        prims.append(
+            Box(center=8.0 * direction, half_extents=(1.0, 1.0, 2.0),
+                albedo=rng.uniform(0.3, 0.6, 3), density_scale=30.0)
+        )
+    return SceneField(
+        prims, name=name, unbounded=True, bounds=((-4.0, -4.0, -0.8), (4.0, 4.0, 2.5)),
+        background="sky",
+    )
+
+
+def _make_registry() -> dict[str, SceneSpec]:
+    registry: dict[str, SceneSpec] = {}
+
+    synthetic_objects = {
+        "chair": 6, "drums": 9, "ficus": 12, "hotdog": 5,
+        "lego": 10, "materials": 9, "mic": 6, "ship": 14,
+    }
+    for name, count in synthetic_objects.items():
+        stacked = name in ("lego", "chair")
+        registry[name] = SceneSpec(
+            name=name,
+            kind="synthetic",
+            complexity=count / 10.0,
+            builder=(lambda n=name, c=count, s=stacked: _build_synthetic(n, c, s)),
+            camera_radius=3.0,
+        )
+
+    indoor_objects = {"room": 10, "counter": 14, "kitchen": 16, "bonsai": 12}
+    for name, count in indoor_objects.items():
+        registry[name] = SceneSpec(
+            name=name,
+            kind="unbounded",
+            complexity=count / 10.0,
+            builder=(lambda n=name, c=count: _build_indoor(n, c)),
+            camera_radius=2.0,
+        )
+
+    outdoor_objects = {"bicycle": 16, "garden": 20, "stump": 12}
+    for name, count in outdoor_objects.items():
+        registry[name] = SceneSpec(
+            name=name,
+            kind="unbounded",
+            complexity=count / 10.0,
+            builder=(lambda n=name, c=count: _build_outdoor(n, c)),
+            camera_radius=2.5,
+        )
+    return registry
+
+
+_REGISTRY = _make_registry()
+
+
+def scene_names(kind: str | None = None) -> tuple[str, ...]:
+    """All registered scene names, optionally filtered by kind."""
+    if kind is None:
+        return tuple(_REGISTRY)
+    if kind not in ("synthetic", "unbounded"):
+        raise SceneError(f"unknown scene kind {kind!r}")
+    return tuple(name for name, spec in _REGISTRY.items() if spec.kind == kind)
+
+
+def get_scene(name: str) -> SceneSpec:
+    """Look up a scene by name; raises :class:`SceneError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SceneError(
+            f"unknown scene {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None

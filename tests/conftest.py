@@ -1,0 +1,77 @@
+"""Shared fixtures: small, session-cached scenes and representations.
+
+Builders run with reduced budgets so the whole suite stays fast; the
+full-fidelity configurations are exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.renderers.gaussian import build_gaussian_model
+from repro.renderers.hashgrid import build_hashgrid_model
+from repro.renderers.lowrank import build_triplane_model
+from repro.renderers.mesh import build_mesh_model
+from repro.renderers.nerf import build_kilonerf_model
+from repro.scenes import Camera, get_scene, orbit_poses
+
+
+@pytest.fixture(scope="session")
+def lego_field():
+    return get_scene("lego").field()
+
+
+@pytest.fixture(scope="session")
+def room_field():
+    return get_scene("room").field()
+
+
+@pytest.fixture(scope="session")
+def lego_camera():
+    return Camera(32, 32, pose=orbit_poses(3.0, 4)[0])
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def mesh_model(lego_field):
+    return build_mesh_model(lego_field, quality=0.6, train_steps=40)
+
+
+@pytest.fixture(scope="session")
+def kilonerf_model(lego_field):
+    return build_kilonerf_model(
+        lego_field, grid_size=3, hidden=12, train_steps=60, samples_per_ray=48
+    )
+
+
+@pytest.fixture(scope="session")
+def triplane_model(lego_field):
+    return build_triplane_model(
+        lego_field,
+        plane_resolution=32,
+        grid_resolution=8,
+        target_resolution=32,
+        train_steps=60,
+        samples_per_ray=48,
+    )
+
+
+@pytest.fixture(scope="session")
+def hashgrid_model(lego_field):
+    return build_hashgrid_model(
+        lego_field,
+        n_levels=6,
+        log2_table_size=12,
+        train_steps=80,
+        samples_per_ray=48,
+    )
+
+
+@pytest.fixture(scope="session")
+def gaussian_model(lego_field):
+    return build_gaussian_model(lego_field, n_gaussians=1500)

@@ -1,0 +1,115 @@
+"""Tests for the analysis harness (structure and bookkeeping)."""
+
+import pytest
+
+from repro.analysis import (
+    figure7_motivating,
+    format_table,
+    gating_ablation,
+    reconfiguration_overhead,
+    related_work_comparisons,
+    table1_overview,
+    table2_microops,
+    table3_module_status,
+    table6_support,
+    uni_fps,
+    uni_result,
+)
+
+SUBSET = ("room", "garden")
+
+
+class TestStructuralTables:
+    def test_table2_lists_five_microops(self):
+        result = table2_microops()
+        assert len(result["data"]) == 5
+        assert "random_hash" in result["text"]
+
+    def test_table3_lists_five_rows(self):
+        result = table3_module_status()
+        assert len(result["data"]) == 5
+        assert "z_buffer" in result["text"]
+
+    def test_table6_ours_row(self):
+        result = table6_support()
+        assert "Uni-Render (ours)" in result["text"]
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines if l.strip())) <= 2
+
+
+class TestTable1:
+    def test_columns_present(self):
+        result = table1_overview(scenes=SUBSET)
+        for pipeline, row in result["data"].items():
+            assert row["orin_fps"] > 0
+            assert "PSNR" in row["paper_quality"]
+
+    def test_mesh_fastest_mlp_slowest_on_orin(self):
+        data = table1_overview(scenes=SUBSET)["data"]
+        fps = {p: row["orin_fps"] for p, row in data.items()}
+        assert fps["mesh"] == max(fps.values())
+        assert fps["mlp"] == min(fps.values())
+
+
+class TestFig7:
+    def test_grid_shape_and_x_marks(self):
+        fig = figure7_motivating(scenes=SUBSET)
+        assert len(fig["data"]) == 7
+        assert fig["data"]["Instant-3D"]["mesh"] is None
+        assert fig["data"]["Orin NX"]["mesh"] is not None
+
+    def test_no_commercial_device_is_real_time_anywhere_near_everywhere(self):
+        fig = figure7_motivating(scenes=SUBSET)
+        for device in ("Orin NX", "Xavier NX", "8Gen2", "AMD 780M"):
+            row = fig["data"][device]
+            real_time = sum(1 for v in row.values() if v is not None and v > 30)
+            assert real_time <= 2, device
+
+    def test_exactly_three_real_time_on_full_set(self):
+        fig = figure7_motivating()
+        assert len(fig["real_time"]) == 3
+        assert ("MetaVRain", "mlp") in fig["real_time"]
+
+
+class TestRunnerCache:
+    def test_result_cached(self):
+        a = uni_result("room", "hashgrid")
+        b = uni_result("room", "hashgrid")
+        assert a is b
+
+    def test_uni_fps_positive(self):
+        assert uni_fps("room", "hashgrid") > 0
+
+
+class TestAblations:
+    def test_reconfig_overhead_small_but_real(self):
+        result = reconfiguration_overhead(scene="room")
+        for pipeline, row in result["data"].items():
+            if pipeline == "metavrain_energy_per_pixel_ratio":
+                continue
+            assert row["no_reconfig_gain"] >= 1.0
+            assert row["no_buffer_stage_gain"] >= 1.0
+
+    def test_metavrain_energy_per_pixel(self):
+        result = reconfiguration_overhead(scene="room")
+        ratio = result["data"]["metavrain_energy_per_pixel_ratio"]["ratio"]
+        assert ratio == pytest.approx(2.8, rel=0.6)  # paper: 2.8x
+
+    def test_gating_saves_energy_everywhere(self):
+        result = gating_ablation(scene="room")
+        for pipeline, row in result["data"].items():
+            assert 0.0 < row["saving"] < 0.6, pipeline
+
+    def test_related_work_anchors(self):
+        result = related_work_comparisons(scene="room")
+        data = result["data"]
+        assert data["GSCore"]["gscore_vs_xavier"] == pytest.approx(15.0, rel=0.2)
+        assert data["GSCore"]["ours_vs_xavier"] == pytest.approx(12.0, rel=0.35)
+        assert data["CICERO"]["ours_over_cicero"] == pytest.approx(0.86, rel=0.2)
+        assert data["TRAM"]["uni_speedup"] == pytest.approx(25.0, rel=0.35)
+        assert data["FPGA-NVR"]["uni_speedup"] == pytest.approx(15.0, rel=0.35)
+        assert data["FPGA-NVR"]["energy_ratio"] == pytest.approx(10.0, rel=0.4)

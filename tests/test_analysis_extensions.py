@@ -1,0 +1,83 @@
+"""Tests for the extension studies and the consolidated report."""
+
+import pytest
+
+from repro.analysis import (
+    ALL_EXPERIMENTS,
+    run_all,
+    scale_scene_workload,
+    scene_scaling_study,
+    trajectory_study,
+)
+from repro.compile import compile_program
+from repro.core import UniRenderAccelerator
+from repro.errors import ConfigError
+
+
+class TestTrajectoryStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return trajectory_study(scene="room", pipeline="hashgrid", n_frames=5)
+
+    def test_one_fps_per_frame(self, study):
+        assert len(study["data"]["fps"]) == 5
+        assert all(f > 0 for f in study["data"]["fps"])
+
+    def test_statistics_consistent(self, study):
+        data = study["data"]
+        assert data["min"] <= data["mean"] <= data["max"]
+        assert data["all_real_time"] == all(f > 30 for f in data["fps"])
+
+    def test_views_vary_in_cost(self, study):
+        """Different viewpoints see different ray occupancy, so frame
+        cost varies along the orbit."""
+        assert study["data"]["max"] > study["data"]["min"]
+
+
+class TestSceneScaling:
+    def test_workload_scaling_includes_working_set(self):
+        program = compile_program("room", "hashgrid", 320, 180)
+        scaled = scale_scene_workload(program, 4.0)
+        assert scaled.total("bf16_ops") == pytest.approx(4 * program.total("bf16_ops"))
+        ws = [inv.workload.working_set_bytes for inv in program.invocations]
+        ws_scaled = [inv.workload.working_set_bytes for inv in scaled.invocations]
+        assert all(b == pytest.approx(4 * a) for a, b in zip(ws, ws_scaled))
+
+    def test_bad_factor(self):
+        program = compile_program("room", "hashgrid", 320, 180)
+        with pytest.raises(ConfigError):
+            scale_scene_workload(program, 0.0)
+
+    def test_bigger_scene_slower_at_fixed_design(self):
+        program = compile_program("room", "hashgrid", 1280, 720)
+        accel = UniRenderAccelerator()
+        base = accel.simulate(program).fps
+        big = accel.simulate(scale_scene_workload(program, 2.0)).fps
+        assert big < base / 1.8  # at least ~linear slowdown
+
+    def test_study_finds_escalating_requirements(self):
+        study = scene_scaling_study(
+            scene_factors=(1.0, 2.0), design_scales=(1, 2, 4)
+        )
+        data = study["data"]
+        assert data[1.0]["required_scale"] == 1
+        need2 = data[2.0]["required_scale"]
+        assert need2 is None or need2 > 1
+
+    def test_balanced_scaling_monotone(self):
+        study = scene_scaling_study(scene_factors=(1.0,), design_scales=(1, 2, 4))
+        fps = study["data"][1.0]["fps_at_scale"]
+        assert fps[4] > fps[2] > fps[1]
+
+
+class TestReport:
+    def test_experiment_registry_complete(self):
+        # Every paper artifact plus the two extensions.
+        for key in ("table1", "table2", "table3", "table4", "table5", "table6",
+                    "fig7", "fig15", "fig16", "fig17"):
+            assert key in ALL_EXPERIMENTS
+
+    def test_run_selected(self):
+        results = run_all(("table2", "table3"))
+        assert set(results) == {"table2", "table3"}
+        assert "text" in results["table2"]

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_render_defaults(self):
+        args = build_parser().parse_args(["render", "lego"])
+        assert args.scene == "lego"
+        assert args.pipeline == "hashgrid"
+        assert args.size == 48
+
+    def test_simulate_scaling_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "room", "hashgrid", "--pe-scale", "2", "--sram-scale", "2"]
+        )
+        assert args.pe_scale == 2 and args.sram_scale == 2
+
+
+class TestCommands:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(["simulate", "room", "hashgrid", "--timeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FPS" in out
+        assert "#" in out  # timeline bars
+
+    def test_simulate_scaled_design(self, capsys):
+        code = main(["simulate", "room", "hashgrid",
+                     "--pe-scale", "2", "--sram-scale", "2"])
+        assert code == 0
+        assert "FPS" in capsys.readouterr().out
+
+    def test_render_small_frame(self, capsys):
+        code = main(["render", "lego", "--pipeline", "gaussian", "--size", "16"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workload counters" in out
+
+    def test_report_selected(self, capsys):
+        code = main(["report", "table3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "module status" in out.lower() or "Table III" in out
+
+    def test_unknown_scene_is_clean_error(self, capsys):
+        code = main(["simulate", "atlantis", "hashgrid"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_clean_error(self, capsys):
+        code = main(["report", "table99"])
+        assert code == 2
+        assert "unknown experiments" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Tests for the pipeline -> micro-op compilers (Sec. IV executable)."""
+
+import pytest
+
+from repro.compile import compile_program, measure_coeffs, profile_for
+from repro.core import MicroOp
+from repro.errors import CompileError
+
+
+class TestProfiles:
+    def test_all_pipeline_kind_combinations_exist(self):
+        for pipeline in ("mesh", "mlp", "lowrank", "hashgrid", "gaussian"):
+            for kind in ("synthetic", "unbounded"):
+                assert profile_for(pipeline, kind) is not None
+
+    def test_unknown_profile(self):
+        with pytest.raises(CompileError):
+            profile_for("raytracing", "synthetic")
+
+    def test_unbounded_heavier_than_synthetic(self):
+        mesh_s = profile_for("mesh", "synthetic")
+        mesh_u = profile_for("mesh", "unbounded")
+        assert mesh_u.n_triangles > mesh_s.n_triangles
+        hash_s = profile_for("hashgrid", "synthetic")
+        hash_u = profile_for("hashgrid", "unbounded")
+        assert hash_u.table_bytes > hash_s.table_bytes
+        assert hash_u.samples_per_ray > hash_s.samples_per_ray
+
+
+class TestMeasure:
+    def test_volume_coeffs_field_based(self):
+        coeffs = measure_coeffs("lego", "hashgrid")
+        assert 0.0 < coeffs["live_fraction"] < 0.5
+
+    def test_live_fraction_shared_across_volume_pipelines(self):
+        a = measure_coeffs("lego", "hashgrid")["live_fraction"]
+        b = measure_coeffs("lego", "lowrank")["live_fraction"]
+        assert a == b  # same field-derived statistic
+
+    def test_mixrt_live_fraction_halved(self):
+        full = measure_coeffs("lego", "hashgrid")["live_fraction"]
+        hybrid = measure_coeffs("lego", "mixrt")["live_fraction"]
+        assert hybrid == pytest.approx(0.5 * full)
+
+    def test_mesh_coeffs_have_coverage(self):
+        coeffs = measure_coeffs("lego", "mesh")
+        assert 0.0 < coeffs["coverage"] <= 1.0
+        assert coeffs["overdraw"] > 0
+
+    def test_gaussian_coeffs(self):
+        coeffs = measure_coeffs("lego", "gaussian")
+        assert 0.0 < coeffs["visible_fraction"] <= 1.0
+        assert coeffs["splat_overlap"] > 0
+
+
+class TestCompilers:
+    """Programs must use exactly the micro-operators Table II assigns."""
+
+    def test_mesh_program_ops(self):
+        prog = compile_program("lego", "mesh", 100, 100)
+        ops = set(prog.ops_used())
+        assert ops == {MicroOp.GEMM, MicroOp.GEOMETRIC, MicroOp.COMBINED_GRID}
+        names = [inv.name for inv in prog.invocations]
+        assert "rasterization" in names and "texture_indexing" in names
+
+    def test_mlp_program_is_gemm_only(self):
+        prog = compile_program("lego", "mlp", 100, 100)
+        assert set(prog.ops_used()) == {MicroOp.GEMM}
+
+    def test_lowrank_uses_decomposed_grid(self):
+        prog = compile_program("lego", "lowrank", 100, 100)
+        assert MicroOp.DECOMPOSED_GRID in prog.ops_used()
+        assert MicroOp.COMBINED_GRID not in prog.ops_used()
+
+    def test_hashgrid_uses_combined_grid(self):
+        prog = compile_program("lego", "hashgrid", 100, 100)
+        assert MicroOp.COMBINED_GRID in prog.ops_used()
+        assert MicroOp.DECOMPOSED_GRID not in prog.ops_used()
+
+    def test_gaussian_uses_sorting(self):
+        prog = compile_program("lego", "gaussian", 100, 100)
+        ops = set(prog.ops_used())
+        assert MicroOp.SORTING in ops
+        assert MicroOp.GEOMETRIC in ops
+
+    def test_mixrt_combines_both_halves(self):
+        prog = compile_program("room", "mixrt", 100, 100)
+        names = [inv.name for inv in prog.invocations]
+        assert any(n.startswith("mesh:") for n in names)
+        assert any(n.startswith("volume:") for n in names)
+        assert MicroOp.COMBINED_GRID in prog.ops_used()
+        assert MicroOp.GEOMETRIC in prog.ops_used()
+
+    def test_unknown_pipeline(self):
+        with pytest.raises(CompileError):
+            compile_program("lego", "pathtracing", 10, 10)
+
+    def test_bad_resolution(self):
+        with pytest.raises(CompileError):
+            compile_program("lego", "mesh", 0, 10)
+
+    def test_volume_work_scales_with_pixels(self):
+        small = compile_program("lego", "hashgrid", 100, 100)
+        large = compile_program("lego", "hashgrid", 200, 200)
+        assert large.total("bf16_ops") == pytest.approx(
+            4 * small.total("bf16_ops"), rel=0.01
+        )
+
+    def test_mesh_geometry_term_resolution_independent(self):
+        """Triangle-count-driven work must not scale with resolution."""
+        small = compile_program("lego", "mesh", 100, 100)
+        large = compile_program("lego", "mesh", 200, 200)
+
+        def raster_prims(prog):
+            for inv in prog.invocations:
+                if inv.name == "rasterization":
+                    return inv.workload.dram_unique_bytes
+            raise AssertionError("no rasterization stage")
+
+        assert raster_prims(small) == raster_prims(large)
+
+    def test_pixel_reuse_reduces_work(self):
+        full = compile_program("lego", "mlp", 200, 200)
+        reused = compile_program("lego", "mlp", 200, 200, pixel_reuse=20)
+        assert reused.total("bf16_ops") == pytest.approx(
+            full.total("bf16_ops") / 20, rel=0.01
+        )
+
+    def test_programs_record_pixels(self):
+        prog = compile_program("lego", "gaussian", 123, 45)
+        assert prog.pixels == 123 * 45
+
+    @pytest.mark.parametrize(
+        "pipeline", ["mesh", "mlp", "lowrank", "hashgrid", "gaussian", "mixrt"]
+    )
+    def test_all_workloads_positive(self, pipeline):
+        scene = "room" if pipeline == "mixrt" else "lego"
+        prog = compile_program(scene, pipeline, 64, 64)
+        assert prog.invocations
+        for inv in prog.invocations:
+            assert inv.workload.items >= 0
+            assert inv.workload.bf16_ops + inv.workload.int_ops > 0

@@ -1,0 +1,182 @@
+"""Behavioural tests for the reconfigurable hardware components."""
+
+import numpy as np
+import pytest
+
+from repro.core.alu import ALUMode, ReconfigurableALU
+from repro.core.network import ArrayMode, DataNetwork, ReductionLinks
+from repro.core.pe import ControllerMode, PSUse, ReconfigurablePE
+from repro.core.scratchpad import Scratchpad
+from repro.errors import ConfigError, SimulationError
+
+
+class TestALU:
+    def test_cross2d_matches_numpy(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.VECTOR)
+        a = np.array([[1.0, 0.0], [0.5, 2.0]])
+        b = np.array([[0.0, 1.0], [1.0, -1.0]])
+        out = alu.cross2d(a, b)
+        assert np.allclose(out, [1.0, -2.5])
+
+    def test_index_address_linearizes(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.INDEX_FUNCTION)
+        coords = np.array([[1, 2, 3]])
+        strides = np.array([100, 10, 1])
+        assert alu.index_address(coords, strides, base=5)[0] == 128
+
+    def test_compare_exchange_orders(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.COMPARATOR)
+        assert alu.compare_exchange(5, 3) == (3, 5)
+        assert alu.compare_exchange(1, 9) == (1, 9)
+
+    def test_adder_tree_weighted(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.ADDER_TREE)
+        assert alu.adder_tree([1.0, 2.0, 3.0], [0.5, 0.5, 1.0]) == pytest.approx(4.5)
+
+    def test_mode_enforced(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.MAC)
+        with pytest.raises(ConfigError):
+            alu.cross2d(np.zeros((1, 2)), np.zeros((1, 2)))
+        assert alu.mac(1.0, 2.0, 3.0) == 7.0
+
+    def test_comparator_mode_consumes_bf16_lanes(self):
+        alu = ReconfigurableALU()
+        alu.configure(ALUMode.COMPARATOR)
+        assert alu.bf16_throughput() == 0
+        assert alu.compare_throughput() == 4
+        alu.configure(ALUMode.ADDER_TREE)
+        assert alu.bf16_throughput() == 4
+        assert alu.compare_throughput() == 0
+
+
+class TestScratchpad:
+    def test_capacity_matches_paper(self):
+        ff = Scratchpad(words_per_cell=512, n_cells=4)
+        assert ff.capacity_bytes == 4096  # 4x 512x16 bits
+        assert ff.ports_per_cycle == 4
+
+    def test_read_write_roundtrip(self):
+        pad = Scratchpad(8, 2)
+        pad.write(9, 1234)
+        assert pad.read(9) == 1234
+        assert pad.reads == 1 and pad.writes == 1
+
+    def test_out_of_range(self):
+        pad = Scratchpad(8, 2)
+        with pytest.raises(SimulationError):
+            pad.read(16)
+        with pytest.raises(SimulationError):
+            pad.write(-1, 0)
+
+    def test_load_block_and_reset(self):
+        pad = Scratchpad(8, 2)
+        pad.load_block(4, [1, 2, 3])
+        assert [pad.read(4 + i) for i in range(3)] == [1, 2, 3]
+        pad.reset_counters()
+        assert pad.reads == 0 and pad.writes == 0
+
+    def test_load_block_overflow(self):
+        pad = Scratchpad(4, 1)
+        with pytest.raises(SimulationError):
+            pad.load_block(2, [1, 2, 3])
+
+
+class TestPE:
+    def test_automatic_counter(self):
+        pe = ReconfigurablePE()
+        assert [pe.next_index() for _ in range(3)] == [0, 1, 2]
+        pe.reset_counter()
+        assert pe.next_index() == 0
+
+    def test_min_depth_hold(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.RASTERIZATION, ALUMode.VECTOR, PSUse.Z_BUFFER)
+        depth, index = pe.min_depth_hold([5.0, 2.0, 7.0, 2.5], [10, 20, 30, 40])
+        assert depth == 2.0 and index == 20
+        assert pe.ps.read(1) == 20
+
+    def test_min_depth_hold_requires_zbuffer(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.GEMM, ALUMode.ADDER_TREE, PSUse.OUTPUT_FEATURES)
+        with pytest.raises(ConfigError):
+            pe.min_depth_hold([1.0], [0])
+
+    def test_merge_sort_in_ff(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.SORTING, ALUMode.COMPARATOR, PSUse.OFF)
+        keys = [9, 3, 7, 1, 8, 2, 5]
+        out, comps = pe.merge_sort_in_ff(keys)
+        assert out == sorted(keys)
+        assert comps > 0
+        assert pe.ff.writes >= len(keys)
+
+    def test_merge_sort_patch_must_fit(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.SORTING, ALUMode.COMPARATOR, PSUse.OFF)
+        with pytest.raises(SimulationError):
+            pe.merge_sort_in_ff(list(range(5000)))
+
+    def test_weight_stationary_gemm(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.GEMM, ALUMode.ADDER_TREE, PSUse.OUTPUT_FEATURES)
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(8, 4))
+        inputs = rng.normal(size=(16, 8))
+        out = pe.weight_stationary_gemm(weights, inputs)
+        assert np.allclose(out, inputs @ weights)
+        assert pe.ps.writes == out.size
+
+    def test_gemm_weight_tile_capacity(self):
+        pe = ReconfigurablePE()
+        pe.configure(ControllerMode.GEMM, ALUMode.ADDER_TREE, PSUse.OUTPUT_FEATURES)
+        with pytest.raises(SimulationError):
+            pe.weight_stationary_gemm(np.zeros((100, 100)), np.zeros((1, 100)))
+
+
+class TestDataNetwork:
+    def test_configure_reports_changes(self):
+        net = DataNetwork(4, 4)
+        changed = net.configure(ArrayMode.PIPELINE, ReductionLinks.HORIZONTAL, True)
+        assert changed and net.reconfigurations == 1
+        unchanged = net.configure(ArrayMode.PIPELINE, ReductionLinks.HORIZONTAL, True)
+        assert not unchanged and net.reconfigurations == 1
+
+    def test_horizontal_reduce_weighted(self):
+        net = DataNetwork(2, 3)
+        net.configure(ArrayMode.PIPELINE, ReductionLinks.HORIZONTAL, True)
+        values = np.arange(6, dtype=float).reshape(2, 3)
+        weights = np.full((2, 3), 0.5)
+        out = net.horizontal_reduce(values, weights)
+        assert np.allclose(out, [1.5, 6.0])
+
+    def test_reduce_requires_links(self):
+        net = DataNetwork(2, 2)
+        net.configure(ArrayMode.SYSTOLIC, ReductionLinks.OFF, True)
+        with pytest.raises(ConfigError):
+            net.horizontal_reduce(np.zeros((2, 2)))
+
+    def test_full_reduce_multiplies_lines(self):
+        net = DataNetwork(3, 2)
+        net.configure(ArrayMode.PIPELINE, ReductionLinks.FULL, True)
+        values = np.array([[1.0, 1.0], [2.0, 1.0], [0.5, 0.5]])
+        assert net.full_reduce(values) == pytest.approx(2.0 * 3.0 * 1.0)
+        assert net.full_reduce(values, combine="add") == pytest.approx(6.0)
+        with pytest.raises(ConfigError):
+            net.full_reduce(values, combine="xor")
+
+    def test_full_reduce_requires_full_links(self):
+        net = DataNetwork(2, 2)
+        net.configure(ArrayMode.PIPELINE, ReductionLinks.HORIZONTAL, True)
+        with pytest.raises(ConfigError):
+            net.full_reduce(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        net = DataNetwork(2, 2)
+        net.configure(ArrayMode.PIPELINE, ReductionLinks.HORIZONTAL, True)
+        with pytest.raises(ConfigError):
+            net.horizontal_reduce(np.zeros((3, 2)))

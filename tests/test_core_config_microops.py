@@ -1,0 +1,117 @@
+"""Tests for the accelerator configuration and micro-operator IR."""
+
+import pytest
+
+from repro.core import MicroOp, MicroOpProgram, TABLE_II
+from repro.core.config import AcceleratorConfig
+from repro.core.microops import (
+    IndexFunction,
+    MemAccessPattern,
+    MicroOpInvocation,
+    Workload,
+)
+from repro.errors import CompileError, ConfigError
+
+
+class TestConfig:
+    def test_paper_design_point(self):
+        cfg = AcceleratorConfig()
+        assert cfg.n_pes == 256                      # 16x16 array
+        assert cfg.clock_hz == 1.0e9                 # 1 GHz
+        assert cfg.dram_bandwidth == 59.7e9          # LPDDR4-1866
+        assert cfg.global_buffer_bytes == 256 * 1024
+        assert cfg.local_sram_bytes == 1_280 * 1024  # 1.25 MB (Fig. 9a)
+        assert cfg.ff_scratchpad_bytes == 4 * 512 * 2
+
+    def test_peak_rates(self):
+        cfg = AcceleratorConfig()
+        assert cfg.peak_bf16_macs_per_cycle == 1024
+        assert cfg.peak_int16_macs_per_cycle == 1024
+        assert cfg.dram_bytes_per_cycle == pytest.approx(59.7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(pe_rows=0)
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(clock_hz=-1)
+        with pytest.raises(ConfigError):
+            AcceleratorConfig(gemm_buffer_stage_overhead=-0.1)
+
+    def test_scaling_pe_only_keeps_total_sram(self):
+        base = AcceleratorConfig()
+        scaled = base.scaled(pe_scale=2, sram_scale=1)
+        assert scaled.n_pes == 512
+        assert scaled.local_sram_bytes == base.local_sram_bytes
+        assert scaled.global_buffer_bytes == base.global_buffer_bytes
+
+    def test_scaling_sram_only_keeps_pes(self):
+        base = AcceleratorConfig()
+        scaled = base.scaled(pe_scale=1, sram_scale=4)
+        assert scaled.n_pes == base.n_pes
+        assert scaled.local_sram_bytes == 4 * base.local_sram_bytes
+        assert scaled.global_buffer_bytes == 4 * base.global_buffer_bytes
+
+    def test_scaling_both(self):
+        scaled = AcceleratorConfig().scaled(pe_scale=4, sram_scale=4)
+        assert scaled.n_pes == 1024
+        assert scaled.local_sram_bytes == 4 * 1280 * 1024
+
+    def test_scaling_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AcceleratorConfig().scaled(pe_scale=3)
+        with pytest.raises(ConfigError):
+            AcceleratorConfig().scaled(sram_scale=0)
+
+
+class TestTableII:
+    def test_all_five_microops_present(self):
+        assert set(TABLE_II) == set(MicroOp)
+
+    def test_geometric_row(self):
+        steps, indexing, reduction = TABLE_II[MicroOp.GEOMETRIC]
+        assert "rasterization" in steps and "splatting" in steps
+        assert indexing.item == "mesh/gaussian"
+        assert indexing.dims == (1,)
+        assert indexing.functions == (IndexFunction.AUTOMATIC_COUNTER,)
+        assert reduction.pattern is MemAccessPattern.CONTINUOUS
+
+    def test_combined_grid_row(self):
+        _steps, indexing, reduction = TABLE_II[MicroOp.COMBINED_GRID]
+        assert IndexFunction.RANDOM_HASH in indexing.functions
+        assert reduction.pattern is MemAccessPattern.DISCRETE
+
+    def test_sorting_row_continuous(self):
+        _steps, _indexing, reduction = TABLE_II[MicroOp.SORTING]
+        assert reduction.pattern is MemAccessPattern.CONTINUOUS
+
+
+class TestWorkload:
+    def test_rejects_negative(self):
+        with pytest.raises(CompileError):
+            Workload(int_ops=-1)
+
+    def test_scaled_keeps_working_set(self):
+        w = Workload(int_ops=100, working_set_bytes=5000, streaming_bytes=10)
+        s = w.scaled(0.5)
+        assert s.int_ops == 50
+        assert s.streaming_bytes == 5
+        assert s.working_set_bytes == 5000
+
+    def test_invocation_requires_microop(self):
+        with pytest.raises(CompileError):
+            MicroOpInvocation("gemm", "x", Workload())
+
+
+class TestProgram:
+    def test_ops_used_in_order(self):
+        prog = MicroOpProgram(pipeline="test")
+        prog.append(MicroOp.GEMM, "a", Workload(items=1))
+        prog.append(MicroOp.SORTING, "b", Workload(items=1))
+        prog.append(MicroOp.GEMM, "c", Workload(items=1))
+        assert prog.ops_used() == (MicroOp.GEMM, MicroOp.SORTING)
+
+    def test_total_sums_fields(self):
+        prog = MicroOpProgram(pipeline="test")
+        prog.append(MicroOp.GEMM, "a", Workload(bf16_ops=10))
+        prog.append(MicroOp.GEMM, "b", Workload(bf16_ops=32))
+        assert prog.total("bf16_ops") == 42

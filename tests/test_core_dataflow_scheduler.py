@@ -1,0 +1,191 @@
+"""Tests for the dataflow cost model, scheduler, and simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MicroOp, MicroOpProgram, UniRenderAccelerator
+from repro.core.alu import ALUMode
+from repro.core.config import AcceleratorConfig
+from repro.core.dataflow import (
+    EFFICIENCY,
+    LAUNCH_LATENCY,
+    MODULE_STATUS,
+    no_reuse_ceiling_bytes,
+    phase_cost,
+    spill_factor,
+)
+from repro.core.microops import Workload
+from repro.core.network import ArrayMode, ReductionLinks
+from repro.core.pe import ControllerMode, PSUse
+from repro.core.scheduler import schedule
+from repro.errors import SimulationError
+
+
+class TestModuleStatus:
+    """MODULE_STATUS must reproduce Table III row by row."""
+
+    def test_all_ops_covered(self):
+        assert set(MODULE_STATUS) == set(MicroOp)
+
+    def test_geometric(self):
+        s = MODULE_STATUS[MicroOp.GEOMETRIC]
+        assert not s.input_network
+        assert s.reduction_links is ReductionLinks.OFF
+        assert s.controller is ControllerMode.RASTERIZATION
+        assert s.alu_mode is ALUMode.VECTOR
+        assert s.ps_use is PSUse.Z_BUFFER
+
+    def test_combined_grid_horizontal(self):
+        s = MODULE_STATUS[MicroOp.COMBINED_GRID]
+        assert s.input_network
+        assert s.reduction_links is ReductionLinks.HORIZONTAL
+        assert s.ps_use is PSUse.OFF
+
+    def test_decomposed_grid_full(self):
+        s = MODULE_STATUS[MicroOp.DECOMPOSED_GRID]
+        assert s.reduction_links is ReductionLinks.FULL
+
+    def test_sorting_isolated(self):
+        s = MODULE_STATUS[MicroOp.SORTING]
+        assert not s.input_network
+        assert s.reduction_links is ReductionLinks.OFF
+        assert s.alu_mode is ALUMode.COMPARATOR
+
+    def test_gemm_systolic(self):
+        s = MODULE_STATUS[MicroOp.GEMM]
+        assert s.array_mode is ArrayMode.SYSTOLIC
+        assert s.ff_contents == "model_weights"
+        assert s.ps_use is PSUse.OUTPUT_FEATURES
+
+
+class TestPhaseCost:
+    def test_compute_floor_is_launch_latency(self):
+        cost = phase_cost(MicroOp.GEMM, Workload(items=1), AcceleratorConfig())
+        assert cost.compute_cycles == LAUNCH_LATENCY
+
+    def test_gemm_buffer_stage_slows_bf16(self):
+        w = Workload(bf16_ops=1e9, items=1)
+        base = AcceleratorConfig()
+        free = AcceleratorConfig(gemm_buffer_stage_overhead=0.0)
+        slow = phase_cost(MicroOp.GEMM, w, base).compute_cycles
+        fast = phase_cost(MicroOp.GEMM, w, free).compute_cycles
+        assert slow == pytest.approx(fast * 1.15, rel=1e-6)
+
+    def test_spill_factor_one_when_fitting(self):
+        w = Workload(dram_unique_bytes=1000, working_set_bytes=1000,
+                     sram_accesses=1e6, items=100)
+        assert spill_factor(w, MicroOp.GEMM, AcceleratorConfig()) == 1.0
+
+    def test_spill_linear_in_oversubscription(self):
+        """Doubling the working set doubles re-fetch traffic — the
+        mechanism behind Table V's SRAM column."""
+        cfg = AcceleratorConfig()
+        cap = cfg.global_buffer_bytes + cfg.n_pes * cfg.ff_scratchpad_bytes
+        w2 = Workload(dram_unique_bytes=cap, working_set_bytes=2 * cap,
+                      sram_accesses=1e13, items=1e9)
+        w8 = Workload(dram_unique_bytes=cap, working_set_bytes=8 * cap,
+                      sram_accesses=1e13, items=1e9)
+        assert spill_factor(w2, MicroOp.GEMM, cfg) == pytest.approx(2.0)
+        assert spill_factor(w8, MicroOp.GEMM, cfg) == pytest.approx(8.0)
+
+    def test_ceiling_uses_line_granularity_for_discrete(self):
+        w = Workload(items=1000, sram_accesses=1000, dram_unique_bytes=1)
+        discrete = no_reuse_ceiling_bytes(w, MicroOp.COMBINED_GRID)
+        continuous = no_reuse_ceiling_bytes(w, MicroOp.GEMM)
+        assert discrete == 1000 * 64.0
+        assert continuous == 2000.0
+
+    @given(st.floats(1e3, 1e12))
+    @settings(max_examples=40, deadline=None)
+    def test_spill_monotone_in_working_set(self, ws):
+        cfg = AcceleratorConfig()
+        w1 = Workload(dram_unique_bytes=1e6, working_set_bytes=ws,
+                      sram_accesses=1e12, items=1e10)
+        w2 = Workload(dram_unique_bytes=1e6, working_set_bytes=ws * 2,
+                      sram_accesses=1e12, items=1e10)
+        assert spill_factor(w2, MicroOp.GEMM, cfg) >= spill_factor(
+            w1, MicroOp.GEMM, cfg
+        )
+
+    def test_efficiencies_valid(self):
+        for op, eff in EFFICIENCY.items():
+            assert 0 < eff.int16 <= 1
+            assert 0 < eff.bf16 <= 1
+
+
+def _program(ops):
+    prog = MicroOpProgram(pipeline="test", pixels=100)
+    for i, op in enumerate(ops):
+        prog.append(op, f"stage{i}", Workload(bf16_ops=1e6, int_ops=1e6,
+                                              sram_accesses=1e6, items=1e4))
+    return prog
+
+
+class TestScheduler:
+    def test_empty_program_rejected(self):
+        with pytest.raises(SimulationError):
+            schedule(MicroOpProgram(pipeline="x"), AcceleratorConfig())
+
+    def test_reconfig_charged_on_mode_change_only(self):
+        cfg = AcceleratorConfig()
+        same = schedule(_program([MicroOp.GEMM, MicroOp.GEMM]), cfg)
+        mixed = schedule(_program([MicroOp.GEMM, MicroOp.SORTING]), cfg)
+        assert same.reconfig_cycles == cfg.reconfigure_cycles        # first only
+        assert mixed.reconfig_cycles == 2 * cfg.reconfigure_cycles
+
+    def test_phase_time_is_max_of_compute_memory(self):
+        cfg = AcceleratorConfig()
+        frame = schedule(_program([MicroOp.GEMM]), cfg)
+        phase = frame.phases[0]
+        assert phase.phase_cycles == pytest.approx(
+            max(phase.cost.compute_cycles, phase.memory_cycles)
+        )
+
+    def test_cycles_by_op_sums_to_total(self):
+        frame = schedule(_program([MicroOp.GEMM, MicroOp.SORTING]), AcceleratorConfig())
+        assert sum(frame.cycles_by_op().values()) == pytest.approx(frame.total_cycles)
+
+    def test_bound_labels(self):
+        compute_heavy = MicroOpProgram(pipeline="x")
+        compute_heavy.append(MicroOp.GEMM, "big", Workload(bf16_ops=1e10, items=1))
+        frame = schedule(compute_heavy, AcceleratorConfig())
+        assert frame.phases[0].bound == "compute"
+
+
+class TestSimulator:
+    def test_fps_inverse_of_cycles(self):
+        accel = UniRenderAccelerator()
+        result = accel.simulate(_program([MicroOp.GEMM]))
+        assert result.fps == pytest.approx(
+            accel.config.clock_hz / result.cycles
+        )
+
+    def test_energy_positive_and_power_consistent(self):
+        result = UniRenderAccelerator().simulate(_program([MicroOp.GEMM]))
+        assert result.energy_per_frame_j > 0
+        seconds = result.cycles / 1e9
+        assert result.power_w == pytest.approx(result.energy_per_frame_j / seconds)
+
+    def test_real_time_flag(self):
+        result = UniRenderAccelerator().simulate(_program([MicroOp.GEMM]))
+        assert result.real_time == (result.fps > 30.0)
+
+    def test_gating_saves_energy(self):
+        accel = UniRenderAccelerator()
+        prog = _program([MicroOp.SORTING])  # SFUs and more idle here
+        gated = accel.simulate(prog, gated=True)
+        ungated = accel.simulate(prog, gated=False)
+        assert gated.energy_per_frame_j < ungated.energy_per_frame_j
+
+    def test_scale_study_base_is_one(self):
+        matrix = UniRenderAccelerator().scale_study(_program([MicroOp.GEMM]))
+        assert matrix[(1, 1)] == pytest.approx(1.0)
+        assert all(v > 0 for v in matrix.values())
+
+    def test_more_pes_never_slower_for_compute_bound(self):
+        prog = MicroOpProgram(pipeline="x")
+        prog.append(MicroOp.GEMM, "big", Workload(bf16_ops=1e10, items=1))
+        matrix = UniRenderAccelerator().scale_study(prog)
+        assert matrix[(4, 1)] >= matrix[(2, 1)] >= matrix[(1, 1)] - 1e-9

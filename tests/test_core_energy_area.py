@@ -1,0 +1,114 @@
+"""Tests for the energy, power, area, and gating models (Fig. 15)."""
+
+import pytest
+
+from repro.core.area import area_report
+from repro.core.config import AcceleratorConfig
+from repro.core.dataflow import phase_cost
+from repro.core.energy import EnergyBreakdown, nameplate_power, phase_energy
+from repro.core.gating import (
+    IDLE_FRACTION_GATED,
+    IDLE_FRACTION_UNGATED,
+    idle_power_factor,
+    module_activity,
+)
+from repro.core.microops import MicroOp, Workload
+
+
+class TestArea:
+    def test_total_matches_paper(self):
+        report = area_report(AcceleratorConfig())
+        assert report.total == pytest.approx(14.96, rel=1e-3)
+
+    def test_breakdown_matches_fig15(self):
+        frac = area_report(AcceleratorConfig()).breakdown()
+        assert frac["computing_and_control_logic"] == pytest.approx(0.54, abs=0.01)
+        assert frac["sram_inside_pe_array"] == pytest.approx(0.31, abs=0.01)
+        assert frac["sram_outside_pe_array"] == pytest.approx(0.15, abs=0.01)
+
+    def test_fractions_sum_to_one(self):
+        frac = area_report(AcceleratorConfig()).breakdown()
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_area_scales_with_configuration(self):
+        base = area_report(AcceleratorConfig())
+        bigger = area_report(AcceleratorConfig().scaled(pe_scale=2, sram_scale=2))
+        assert bigger.logic == pytest.approx(2 * base.logic)
+        assert bigger.pe_sram == pytest.approx(2 * base.pe_sram)
+        assert bigger.global_sram == pytest.approx(2 * base.global_sram)
+
+
+class TestNameplatePower:
+    def test_typical_power_matches_paper(self):
+        power = nameplate_power(AcceleratorConfig())
+        assert power.chip_total == pytest.approx(5.78, rel=0.02)
+
+    def test_breakdown_matches_fig15(self):
+        frac = nameplate_power(AcceleratorConfig()).fractions()
+        assert frac["computing_and_control_logic"] == pytest.approx(0.75, abs=0.02)
+        assert frac["sram_inside_pe_array"] == pytest.approx(0.10, abs=0.02)
+        assert frac["sram_outside_pe_array"] == pytest.approx(0.15, abs=0.02)
+
+    def test_power_grows_with_array(self):
+        small = nameplate_power(AcceleratorConfig()).chip_total
+        large = nameplate_power(AcceleratorConfig().scaled(2, 2)).chip_total
+        assert large > 1.5 * small
+
+
+class TestPhaseEnergy:
+    def _cost(self, op=MicroOp.GEMM):
+        w = Workload(bf16_ops=1e6, int_ops=1e5, sfu_ops=1e4,
+                     sram_accesses=1e6, dram_unique_bytes=1e6,
+                     working_set_bytes=1e6, items=1e4)
+        return phase_cost(op, w, AcceleratorConfig())
+
+    def test_components_positive(self):
+        e = phase_energy(MicroOp.GEMM, self._cost(), 1e5, AcceleratorConfig())
+        assert e.compute_and_control > 0
+        assert e.pe_sram > 0
+        assert e.global_sram > 0
+        assert e.dram > 0
+
+    def test_dram_excluded_from_chip_total(self):
+        e = phase_energy(MicroOp.GEMM, self._cost(), 1e5, AcceleratorConfig())
+        assert e.chip_total == pytest.approx(
+            e.compute_and_control + e.pe_sram + e.global_sram
+        )
+
+    def test_gating_reduces_idle_energy(self):
+        cost = self._cost(MicroOp.SORTING)
+        gated = phase_energy(MicroOp.SORTING, cost, 1e6, AcceleratorConfig(), gated=True)
+        ungated = phase_energy(MicroOp.SORTING, cost, 1e6, AcceleratorConfig(), gated=False)
+        assert gated.compute_and_control < ungated.compute_and_control
+
+    def test_breakdown_add(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = EnergyBreakdown(0.5, 0.5, 0.5, 0.5)
+        a.add(b)
+        assert (a.compute_and_control, a.pe_sram, a.global_sram, a.dram) == (
+            1.5, 2.5, 3.5, 4.5,
+        )
+
+
+class TestGating:
+    def test_idle_fractions_ordered(self):
+        assert IDLE_FRACTION_GATED < IDLE_FRACTION_UNGATED
+
+    def test_active_module_full_power(self):
+        assert idle_power_factor(True, gated=True) == 1.0
+
+    def test_idle_module_gated_vs_ungated(self):
+        assert idle_power_factor(False, True) == IDLE_FRACTION_GATED
+        assert idle_power_factor(False, False) == IDLE_FRACTION_UNGATED
+
+    def test_sfus_idle_during_gemm(self):
+        """Sec. VII-E's example: 'executing GEMM leaves the special
+        function units idle'."""
+        assert not module_activity(MicroOp.GEMM).sfu_active
+        assert module_activity(MicroOp.COMBINED_GRID).sfu_active
+
+    def test_reduction_network_active_only_for_grids(self):
+        assert module_activity(MicroOp.COMBINED_GRID).reduction_network_active
+        assert module_activity(MicroOp.DECOMPOSED_GRID).reduction_network_active
+        assert not module_activity(MicroOp.SORTING).reduction_network_active
+        assert not module_activity(MicroOp.GEMM).reduction_network_active

@@ -1,0 +1,149 @@
+"""Tests for the behavioural array executor: every Table III
+configuration must compute what its pipeline stage needs."""
+
+import numpy as np
+import pytest
+
+from repro.core import MicroOp
+from repro.core.executor import ArrayExecutor
+from repro.core.network import ArrayMode
+from repro.errors import ConfigError, SimulationError
+
+
+@pytest.fixture()
+def array():
+    return ArrayExecutor(rows=4, cols=4)
+
+
+class TestConfiguration:
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            ArrayExecutor(rows=0, cols=4)
+
+    def test_configure_applies_table_iii(self, array):
+        array.configure(MicroOp.GEMM)
+        assert array.network.mode is ArrayMode.SYSTOLIC
+        array.configure(MicroOp.COMBINED_GRID)
+        assert array.network.mode is ArrayMode.PIPELINE
+        assert array.configured_for is MicroOp.COMBINED_GRID
+
+    def test_reconfiguration_counted(self, array):
+        array.configure(MicroOp.GEMM)
+        count = array.network.reconfigurations
+        array.configure(MicroOp.GEMM)  # identical: no change
+        assert array.network.reconfigurations == count
+        array.configure(MicroOp.SORTING)
+        assert array.network.reconfigurations == count + 1
+
+    def test_wrong_mode_rejected(self, array):
+        array.configure(MicroOp.GEMM)
+        with pytest.raises(SimulationError):
+            array.run_sorting([[3, 1, 2]])
+
+
+class TestGeometricDataflow:
+    def test_matches_reference_rasterization(self, array):
+        array.configure(MicroOp.GEOMETRIC)
+        rng = np.random.default_rng(0)
+        # Two overlapping triangles at different depths.
+        triangles = np.array(
+            [
+                [[0, 0, 2.0], [10, 0, 2.0], [0, 10, 2.0]],
+                [[0, 0, 1.0], [10, 0, 1.0], [0, 10, 1.0]],
+            ]
+        )
+        pixels = rng.uniform(0.5, 4.0, size=(8, 2))
+        depths, indices = array.run_geometric(triangles, pixels)
+        # Every probed pixel inside both triangles must pick the nearer.
+        inside = pixels.sum(axis=1) < 10
+        assert np.all(indices[inside] == 1)
+        assert np.allclose(depths[inside], 1.0)
+
+    def test_miss_gives_sentinel(self, array):
+        array.configure(MicroOp.GEOMETRIC)
+        triangles = np.array([[[0, 0, 1.0], [1, 0, 1.0], [0, 1, 1.0]]])
+        depths, indices = array.run_geometric(triangles, np.array([[5.0, 5.0]]))
+        assert np.isinf(depths[0]) and indices[0] == -1
+
+    def test_degenerate_triangle_skipped(self, array):
+        array.configure(MicroOp.GEOMETRIC)
+        degenerate = np.array([[[0, 0, 1.0], [1, 1, 1.0], [2, 2, 1.0]]])
+        depths, indices = array.run_geometric(degenerate, np.array([[1.0, 1.0]]))
+        assert indices[0] == -1
+
+
+class TestGridDataflows:
+    def test_combined_grid_matches_numpy(self, array):
+        array.configure(MicroOp.COMBINED_GRID)
+        rng = np.random.default_rng(1)
+        tables = [rng.normal(size=16) for _ in range(3)]
+        indices = rng.integers(0, 16, size=(3, 4))
+        weights = rng.uniform(0, 1, size=(3, 4))
+        out = array.run_combined_grid(tables, indices, weights)
+        expected = np.array(
+            [np.dot(tables[l][indices[l]], weights[l]) for l in range(3)]
+        )
+        assert np.allclose(out, expected)
+
+    def test_combined_grid_capacity(self, array):
+        array.configure(MicroOp.COMBINED_GRID)
+        tables = [np.zeros(4)] * 5  # five levels on a 4-row array
+        with pytest.raises(SimulationError):
+            array.run_combined_grid(tables, np.zeros((5, 2), int), np.zeros((5, 2)))
+
+    def test_decomposed_grid_multiplicative(self, array):
+        array.configure(MicroOp.DECOMPOSED_GRID)
+        values = np.array([[1.0, 3.0], [2.0, 2.0], [4.0, 0.0]])
+        weights = np.array([[0.5, 0.5], [0.25, 0.75], [1.0, 0.0]])
+        out = array.run_decomposed_grid(values, weights)
+        per_plane = (values * weights).sum(axis=1)  # [2.0, 2.0, 4.0]
+        assert out == pytest.approx(np.prod(per_plane))
+
+    def test_decomposed_grid_additive_mode(self, array):
+        array.configure(MicroOp.DECOMPOSED_GRID)
+        values = np.ones((2, 3))
+        weights = np.ones((2, 3))
+        assert array.run_decomposed_grid(values, weights, combine="add") == 6.0
+
+
+class TestSortingDataflow:
+    def test_sorts_every_patch_independently(self, array):
+        array.configure(MicroOp.SORTING)
+        patches = [[5, 3, 9, 1], [2, 2, 0], [7], []]
+        sorted_patches, comparisons = array.run_sorting(patches)
+        assert sorted_patches == [[1, 3, 5, 9], [0, 2, 2], [7], []]
+        assert comparisons > 0
+
+    def test_too_many_patches(self, array):
+        array.configure(MicroOp.SORTING)
+        with pytest.raises(SimulationError):
+            array.run_sorting([[1]] * 17)
+
+
+class TestGemmDataflow:
+    def test_matches_numpy(self, array):
+        array.configure(MicroOp.GEMM)
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=(6, 5))
+        inputs = rng.normal(size=(9, 6))
+        out = array.run_gemm(weights, inputs)
+        assert np.allclose(out, inputs @ weights)
+
+    def test_full_pipeline_sequence(self, array):
+        """A mesh-like frame: GEMM -> GEOMETRIC -> GEMM, with the
+        reconfigurations the scheduler would charge."""
+        rng = np.random.default_rng(3)
+        array.configure(MicroOp.GEMM)
+        verts = array.run_gemm(rng.normal(size=(4, 4)), rng.normal(size=(3, 4)))
+        assert verts.shape == (3, 4)
+
+        start = array.network.reconfigurations
+        array.configure(MicroOp.GEOMETRIC)
+        triangles = np.array([[[0, 0, 1.0], [8, 0, 1.0], [0, 8, 1.0]]])
+        depths, _ = array.run_geometric(triangles, np.array([[1.0, 1.0]]))
+        assert np.isfinite(depths[0])
+
+        array.configure(MicroOp.GEMM)
+        out = array.run_gemm(rng.normal(size=(2, 2)), rng.normal(size=(4, 2)))
+        assert out.shape == (4, 2)
+        assert array.network.reconfigurations == start + 2

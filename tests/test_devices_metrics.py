@@ -1,0 +1,144 @@
+"""Tests for device models, support matrices, and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import (
+    COMMERCIAL_DEVICES,
+    DEDICATED_ACCELERATORS,
+    DEVICES,
+    SUPPORT_MATRIX_TABLE_VI,
+    get_device,
+    supported_pipelines,
+)
+from repro.errors import ConfigError, UnsupportedPipelineError
+from repro.metrics import (
+    energy_efficiency_ratio,
+    geometric_mean,
+    mse,
+    psnr,
+    speedup,
+    ssim_global,
+)
+
+
+class TestDeviceRegistry:
+    def test_paper_device_set(self):
+        assert set(COMMERCIAL_DEVICES) == {"8Gen2", "Xavier NX", "Orin NX", "AMD 780M"}
+        assert set(DEDICATED_ACCELERATORS) == {"Instant-3D", "RT-NeRF", "MetaVRain"}
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigError):
+            get_device("H100")
+
+    def test_commercial_devices_support_all_pipelines(self):
+        for name in COMMERCIAL_DEVICES:
+            assert supported_pipelines(name) == (
+                "mesh", "mlp", "lowrank", "hashgrid", "gaussian",
+            )
+
+    def test_dedicated_devices_support_one(self):
+        assert supported_pipelines("Instant-3D") == ("hashgrid",)
+        assert supported_pipelines("RT-NeRF") == ("lowrank",)
+        assert supported_pipelines("MetaVRain") == ("mlp",)
+
+    def test_unsupported_pipeline_raises(self):
+        with pytest.raises(UnsupportedPipelineError) as err:
+            get_device("MetaVRain").fps("room", "gaussian", 1280, 720)
+        assert err.value.device == "MetaVRain"
+        assert err.value.pipeline == "gaussian"
+
+    def test_fps_scales_inverse_with_pixels(self):
+        device = get_device("Orin NX")
+        full = device.fps("room", "mesh", 1280, 720)
+        quarter = device.fps("room", "mesh", 640, 360)
+        assert quarter == pytest.approx(4 * full)
+
+    def test_complex_scenes_slower(self):
+        device = get_device("Orin NX")
+        room = device.fps("room", "mesh", 1280, 720)     # complexity 1.0
+        kitchen = device.fps("kitchen", "mesh", 1280, 720)  # complexity 1.6
+        assert kitchen < room
+
+    def test_energy_per_frame(self):
+        device = get_device("Orin NX")
+        fps = device.fps("room", "mesh", 1280, 720)
+        assert device.energy_per_frame_j("room", "mesh", 1280, 720) == pytest.approx(
+            device.power_w / fps
+        )
+
+    def test_table1_orin_bounds_respected(self):
+        """Table I: Orin NX is at most 20 / 0.2 / 10 / 1 / 5 FPS."""
+        device = get_device("Orin NX")
+        bounds = {"mesh": 20, "mlp": 0.2, "lowrank": 10, "hashgrid": 1, "gaussian": 5}
+        for pipeline, bound in bounds.items():
+            fps = device.fps("room", pipeline, 1280, 720)
+            assert fps <= bound * 1.05, pipeline
+
+
+class TestSupportMatrixTableVI:
+    def test_npus_only_mlp(self):
+        for name in ("Flexagon (NPU)", "STIFT (NPU)", "SIGMA (NPU)", "Eyeriss (NPU)"):
+            row = SUPPORT_MATRIX_TABLE_VI[name]
+            assert row["mlp"] and not any(
+                row[p] for p in ("mesh", "lowrank", "hashgrid", "gaussian")
+            )
+
+    def test_cgra_adds_lowrank(self):
+        row = SUPPORT_MATRIX_TABLE_VI["Plasticine (CGRA)"]
+        assert row["mlp"] and row["lowrank"] and not row["hashgrid"]
+
+    def test_ours_supports_everything(self):
+        row = SUPPORT_MATRIX_TABLE_VI["Uni-Render (ours)"]
+        assert all(row.values())
+
+
+class TestQualityMetrics:
+    def test_psnr_of_identical_is_infinite(self):
+        img = np.random.default_rng(0).uniform(size=(8, 8, 3))
+        assert psnr(img, img) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_ssim_identity_is_one(self):
+        img = np.random.default_rng(1).uniform(size=(16, 16, 3))
+        assert ssim_global(img, img) == pytest.approx(1.0)
+
+    def test_ssim_penalizes_noise(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(size=(16, 16, 3))
+        noisy = np.clip(img + rng.normal(0, 0.2, img.shape), 0, 1)
+        assert ssim_global(noisy, img) < 0.99
+
+
+class TestPerfMetrics:
+    def test_speedup(self):
+        assert speedup(30.0, 10.0) == 3.0
+        with pytest.raises(ConfigError):
+            speedup(0.0, 1.0)
+
+    def test_energy_efficiency(self):
+        # Twice the FPS at half the power = 4x the efficiency.
+        assert energy_efficiency_ratio(60, 5, 30, 10) == pytest.approx(4.0)
+
+    def test_geometric_mean_basics(self):
+        assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geometric_mean([])
+        with pytest.raises(ConfigError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_geomean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

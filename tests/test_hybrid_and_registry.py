@@ -1,0 +1,95 @@
+"""Tests for the MixRT hybrid and the top-level renderer registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.renderers import (
+    PIPELINE_BUILDERS,
+    PIPELINE_RENDERERS,
+    build_representation,
+    clear_representation_cache,
+    make_renderer,
+    render_scene,
+)
+from repro.renderers.hybrid import MixRTRenderer, build_mixrt_model
+from repro.scenes import Camera, get_scene, orbit_poses
+
+
+@pytest.fixture(scope="module")
+def mixrt_model():
+    field = get_scene("lego").field()
+    return build_mixrt_model(
+        field,
+        mesh_quality=0.5,
+        mesh_train_steps=20,
+        hash_levels=4,
+        hash_train_steps=30,
+        samples_per_ray=32,
+    )
+
+
+class TestMixRT:
+    def test_storage_sums_layers(self, mixrt_model):
+        assert mixrt_model.storage_bytes() == (
+            mixrt_model.mesh.storage_bytes() + mixrt_model.hashgrid.storage_bytes()
+        )
+
+    def test_render_merges_stats(self, mixrt_model, lego_field, lego_camera):
+        renderer = MixRTRenderer(mixrt_model, lego_field)
+        image, stats = renderer.render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        # Both halves contribute counters.
+        assert stats.get("tris_projected") > 0, "mesh half missing"
+        assert stats.get("hash_lookups") > 0, "volume half missing"
+
+    def test_depth_stop_reduces_volume_work(self, mixrt_model, lego_field, lego_camera):
+        from repro.renderers.hashgrid import HashGridRenderer
+
+        plain = HashGridRenderer(mixrt_model.hashgrid, lego_field)
+        _, plain_stats = plain.render(lego_camera)
+        hybrid = MixRTRenderer(mixrt_model, lego_field)
+        _, hybrid_stats = hybrid.render(lego_camera)
+        assert hybrid_stats.get("samples_shaded") <= plain_stats.get("samples_shaded")
+
+
+class TestRegistry:
+    def test_all_six_pipelines_registered(self):
+        assert set(PIPELINE_BUILDERS) == {
+            "mesh", "mlp", "lowrank", "hashgrid", "gaussian", "mixrt",
+        }
+        assert set(PIPELINE_RENDERERS) == set(PIPELINE_BUILDERS)
+
+    def test_unknown_pipeline_raises(self):
+        with pytest.raises(SceneError):
+            build_representation("lego", "raytracing")
+
+    def test_build_representation_caches(self):
+        clear_representation_cache()
+        a = build_representation("lego", "gaussian", n_gaussians=500)
+        b = build_representation("lego", "gaussian", n_gaussians=500)
+        assert a is b
+        c = build_representation("lego", "gaussian", n_gaussians=600)
+        assert c is not a
+
+    def test_cache_bypass(self):
+        a = build_representation("lego", "gaussian", cache=False, n_gaussians=500)
+        b = build_representation("lego", "gaussian", cache=False, n_gaussians=500)
+        assert a is not b
+
+    def test_make_renderer_pipeline_tags(self):
+        renderer = make_renderer("lego", "gaussian", n_gaussians=500)
+        assert renderer.pipeline == "gaussian"
+
+    def test_render_scene_end_to_end(self):
+        image, stats = render_scene(
+            "lego", pipeline="gaussian", size=(24, 24), n_gaussians=500
+        )
+        assert image.shape == (24, 24, 3)
+        assert stats.get("pixels") == 24 * 24
+
+    def test_render_scene_respects_view(self):
+        kwargs = dict(pipeline="gaussian", size=(16, 16), n_gaussians=500)
+        img0, _ = render_scene("lego", view=0, **kwargs)
+        img1, _ = render_scene("lego", view=3, **kwargs)
+        assert not np.allclose(img0, img1)

@@ -1,0 +1,171 @@
+"""Tests for the low-rank tri-plane and hash-grid pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.renderers.hashgrid import HashGridRenderer, spatial_hash
+from repro.renderers.lowrank import LowRankRenderer
+from repro.renderers.lowrank.triplane import bilinear_2d, trilinear_3d
+
+
+class TestBilinearTrilinear:
+    def test_bilinear_exact_at_grid_points(self):
+        rng = np.random.default_rng(0)
+        plane = rng.normal(size=(5, 5, 2))
+        # Unit coordinate of grid point (i, j) is i/(R-1).
+        u = np.array([0.0, 0.25, 1.0])
+        v = np.array([0.0, 0.5, 1.0])
+        out = bilinear_2d(plane, u, v)
+        assert np.allclose(out[0], plane[0, 0])
+        assert np.allclose(out[1], plane[1, 2])
+        assert np.allclose(out[2], plane[4, 4])
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_bilinear_within_convex_hull(self, u, v):
+        plane = np.random.default_rng(1).uniform(-2, 3, size=(6, 6, 3))
+        out = bilinear_2d(plane, np.array([u]), np.array([v]))
+        assert np.all(out >= plane.min() - 1e-9)
+        assert np.all(out <= plane.max() + 1e-9)
+
+    def test_trilinear_reproduces_constant(self):
+        grid = np.full((4, 4, 4, 2), 3.25)
+        pts = np.random.default_rng(2).uniform(0, 1, (32, 3))
+        assert np.allclose(trilinear_3d(grid, pts), 3.25)
+
+    def test_trilinear_linear_in_x(self):
+        # Grid storing f(x) = x should interpolate linearly.
+        res = 5
+        lin = np.linspace(0, 1, res)
+        grid = np.tile(lin[:, None, None, None], (1, res, res, 1))
+        pts = np.array([[0.5, 0.3, 0.7], [0.123, 0.9, 0.1]])
+        out = trilinear_3d(grid, pts)
+        assert np.allclose(out[:, 0], pts[:, 0], atol=1e-9)
+
+
+class TestTriplaneModel:
+    def test_features_additive_structure(self, triplane_model, rng):
+        pts = rng.uniform(triplane_model.lo, triplane_model.hi, (16, 3))
+        feats = triplane_model.features(pts)
+        assert feats.shape == (16, triplane_model.grid3d.shape[3])
+        assert np.all(np.isfinite(feats))
+
+    def test_query_ranges(self, triplane_model, rng):
+        pts = rng.uniform(-1, 1, (64, 3))
+        dirs = np.tile([0, 0, 1.0], (64, 1))
+        sigma, rgb = triplane_model.query(pts, dirs)
+        assert np.all(sigma >= 0)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_storage_counts_planes_and_grid(self, triplane_model):
+        plane_bytes = sum(p.size for p in triplane_model.planes) * 2
+        assert triplane_model.storage_bytes() >= plane_bytes
+
+    def test_factorization_beats_grid_alone(self, triplane_model, lego_field, rng):
+        """The planes must add information beyond the coarse grid."""
+        from repro.renderers.lowrank.triplane import _feature_targets
+
+        unit = rng.uniform(0, 1, (1024, 3))
+        world = triplane_model.lo + unit * (triplane_model.hi - triplane_model.lo)
+        target = _feature_targets(lego_field, world, triplane_model.sigma_scale)
+        dense = target[:, 0] > 0.02  # factorization is occupancy-weighted
+        if dense.sum() < 16:
+            pytest.skip("probe hit too little matter")
+        full = triplane_model.features(world)
+        grid_only = trilinear_3d(triplane_model.grid3d, unit)
+        err_full = np.mean((full[dense] - target[dense]) ** 2)
+        err_grid = np.mean((grid_only[dense] - target[dense]) ** 2)
+        assert err_full < err_grid
+
+    def test_render(self, triplane_model, lego_field, lego_camera):
+        image, stats = LowRankRenderer(triplane_model, lego_field).render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        shaded = stats.get("samples_shaded")
+        assert stats.get("plane_fetches") == 12 * shaded
+        assert stats.get("grid_fetches") == 8 * shaded
+
+
+class TestSpatialHash:
+    def test_range_and_determinism(self):
+        coords = np.random.default_rng(0).integers(0, 1000, (256, 3))
+        h1 = spatial_hash(coords, 4096)
+        h2 = spatial_hash(coords, 4096)
+        assert np.array_equal(h1, h2)
+        assert h1.min() >= 0 and h1.max() < 4096
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            spatial_hash(np.zeros((1, 3), dtype=int), 1000)
+
+    def test_collisions_exist_by_pigeonhole(self):
+        coords = np.stack(
+            np.meshgrid(np.arange(32), np.arange(32), np.arange(4), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, 3)
+        idx = spatial_hash(coords, 1024)  # 4096 vertices, 1024 slots
+        assert len(np.unique(idx)) <= 1024
+
+    @given(st.integers(4, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_distribution_not_degenerate(self, log2_size):
+        size = 1 << log2_size
+        coords = np.random.default_rng(3).integers(0, 10_000, (2048, 3))
+        idx = spatial_hash(coords, size)
+        # Should touch a decent share of the table, not collapse.
+        assert len(np.unique(idx)) > min(size, 2048) // 8
+
+
+class TestHashGridModel:
+    def test_dense_levels_are_collision_free(self, hashgrid_model):
+        for level in range(hashgrid_model.n_levels):
+            if hashgrid_model.level_is_dense(level):
+                assert hashgrid_model.collision_rate(level) == 0.0
+
+    def test_fine_levels_collide(self, hashgrid_model):
+        finest = hashgrid_model.n_levels - 1
+        if hashgrid_model.level_is_dense(finest):
+            pytest.skip("fixture has no hashed level")
+        assert hashgrid_model.collision_rate(finest) > 0.0
+
+    def test_lookup_weights_sum_to_one(self, hashgrid_model, rng):
+        unit = rng.uniform(0, 1 - 1e-9, (64, 3))
+        for level in (0, hashgrid_model.n_levels - 1):
+            _idx, w = hashgrid_model.level_lookup(level, unit)
+            assert np.allclose(w.sum(axis=1), 1.0, atol=1e-9)
+            assert np.all(w >= -1e-12)
+
+    def test_encode_width(self, hashgrid_model, rng):
+        pts = rng.uniform(-1, 1, (8, 3))
+        feats = hashgrid_model.encode(pts)
+        assert feats.shape == (8, hashgrid_model.encoding_width)
+
+    def test_query_ranges(self, hashgrid_model, rng):
+        pts = rng.uniform(-1, 1, (64, 3))
+        dirs = np.tile([1.0, 0, 0], (64, 1))
+        sigma, rgb = hashgrid_model.query(pts, dirs)
+        assert np.all(sigma >= 0)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_training_separates_matter(self, hashgrid_model, lego_field, rng):
+        pts = rng.uniform(-0.8, 0.8, (512, 3))
+        dirs = np.tile([0, 0, 1.0], (512, 1))
+        sigma_t, _ = lego_field.density_and_color(pts, dirs)
+        sigma_p, _ = hashgrid_model.query(pts, dirs)
+        dense = sigma_t > 20
+        if dense.sum() > 4 and (~dense).sum() > 4:
+            assert sigma_p[dense].mean() > 2 * max(sigma_p[~dense].mean(), 1e-6)
+
+    def test_render_counts_lookups(self, hashgrid_model, lego_field, lego_camera):
+        image, stats = HashGridRenderer(hashgrid_model, lego_field).render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        shaded = stats.get("samples_shaded")
+        assert stats.get("hash_lookups") == 8 * hashgrid_model.n_levels * shaded
+
+    def test_build_rejects_bad_growth(self, lego_field):
+        from repro.renderers.hashgrid import build_hashgrid_model
+
+        with pytest.raises(ConfigError):
+            build_hashgrid_model(lego_field, growth=1.0, train_steps=1)

@@ -1,0 +1,151 @@
+"""Tests for the mesh pipeline: geometry, rasterizer, build, rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.renderers.mesh import (
+    MeshRenderer,
+    TriangleMesh,
+    box_mesh,
+    cylinder_mesh,
+    plane_mesh,
+    rasterize,
+    sphere_mesh,
+    torus_mesh,
+)
+from repro.scenes import Camera, look_at
+
+
+class TestGeometry:
+    def test_triangle_mesh_validation(self):
+        with pytest.raises(SceneError):
+            TriangleMesh(np.zeros((3, 2)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(SceneError):
+            TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]))
+
+    def test_sphere_vertices_on_surface(self):
+        mesh = sphere_mesh((1, 2, 3), radius=0.7, segments=8)
+        dists = np.linalg.norm(mesh.vertices - np.array([1, 2, 3]), axis=1)
+        assert np.allclose(dists, 0.7, atol=1e-9)
+
+    def test_sphere_total_area_close_to_analytic(self):
+        mesh = sphere_mesh((0, 0, 0), radius=1.0, segments=24)
+        assert np.isclose(mesh.face_areas().sum(), 4 * np.pi, rtol=0.05)
+
+    def test_box_face_count_scales_with_segments(self):
+        assert box_mesh((0, 0, 0), (1, 1, 1), segments=1).num_faces == 12
+        assert box_mesh((0, 0, 0), (1, 1, 1), segments=2).num_faces == 48
+
+    def test_cylinder_and_torus_build(self):
+        cyl = cylinder_mesh((0, 0, 0), 0.5, 1.0, segments=10)
+        tor = torus_mesh((0, 0, 0), 0.6, 0.2, segments=10)
+        assert cyl.num_faces == 10 * 4
+        assert tor.num_faces == 10 * 10 * 2
+
+    def test_plane_is_flat(self):
+        plane = plane_mesh((0, 0, -1.0), half_size=2.0, segments=3)
+        assert np.allclose(plane.vertices[:, 2], -1.0)
+
+    def test_merge_tracks_owner(self):
+        merged, owner = TriangleMesh.merge(
+            [sphere_mesh((0, 0, 0), 1, 6), box_mesh((2, 0, 0), (1, 1, 1))]
+        )
+        assert merged.num_faces == len(owner)
+        assert set(np.unique(owner)) == {0, 1}
+        assert merged.faces.max() < merged.num_vertices
+
+    def test_minimum_segments_enforced(self):
+        with pytest.raises(SceneError):
+            sphere_mesh((0, 0, 0), 1, segments=2)
+
+
+class TestRasterizer:
+    def _camera(self, size=32):
+        return Camera(size, size, pose=look_at(np.array([0, -3.0, 0]), np.zeros(3)))
+
+    def test_single_triangle_covers_center(self):
+        tri = TriangleMesh(
+            np.array([[-1, 0, -1], [1, 0, -1], [0, 0, 1.5]], dtype=float),
+            np.array([[0, 1, 2]]),
+        )
+        out = rasterize(tri, self._camera())
+        assert out.face_id[16, 16] == 0
+        assert np.isclose(out.depth[16, 16], 3.0, rtol=0.05)
+
+    def test_barycentrics_in_simplex(self):
+        tri = TriangleMesh(
+            np.array([[-1, 0, -1], [1, 0, -1], [0, 0, 1.5]], dtype=float),
+            np.array([[0, 1, 2]]),
+        )
+        out = rasterize(tri, self._camera())
+        covered = out.face_id >= 0
+        b1 = out.bary[covered, 0]
+        b2 = out.bary[covered, 1]
+        assert np.all(b1 >= -1e-9) and np.all(b2 >= -1e-9)
+        assert np.all(b1 + b2 <= 1.0 + 1e-6)
+
+    def test_zbuffer_keeps_nearest(self):
+        near = np.array([[-1, -1.0, -1], [1, -1.0, -1], [0, -1.0, 1.5]])
+        far = np.array([[-1, 1.0, -1], [1, 1.0, -1], [0, 1.0, 1.5]])
+        mesh = TriangleMesh(np.vstack([near, far]), np.array([[0, 1, 2], [3, 4, 5]]))
+        out = rasterize(mesh, self._camera())
+        assert out.face_id[16, 16] == 0  # the nearer triangle wins
+
+    def test_behind_camera_culled(self):
+        tri = TriangleMesh(
+            np.array([[-1, -5.0, -1], [1, -5.0, -1], [0, -5.0, 1]], dtype=float),
+            np.array([[0, 1, 2]]),
+        )
+        out = rasterize(tri, self._camera())
+        assert out.tris_projected == 0
+        assert np.all(out.face_id == -1)
+
+    def test_offscreen_culled_without_tests(self):
+        tri = TriangleMesh(
+            np.array([[100, 0, 100], [101, 0, 100], [100, 0, 101]], dtype=float),
+            np.array([[0, 1, 2]]),
+        )
+        out = rasterize(tri, self._camera())
+        assert out.tri_tests == 0
+
+    def test_tri_tests_at_least_covered(self):
+        tri = TriangleMesh(
+            np.array([[-1, 0, -1], [1, 0, -1], [0, 0, 1.5]], dtype=float),
+            np.array([[0, 1, 2]]),
+        )
+        out = rasterize(tri, self._camera())
+        assert out.tri_tests >= int((out.face_id >= 0).sum())
+
+
+class TestMeshModelAndRenderer:
+    def test_storage_accounts_all_parts(self, mesh_model):
+        expected_min = mesh_model.mesh.num_faces * 3 * 4
+        assert mesh_model.storage_bytes() > expected_min
+
+    def test_fetch_features_shape_and_range(self, mesh_model, rng):
+        n = 32
+        faces = rng.integers(0, mesh_model.mesh.num_faces, n)
+        b1 = rng.uniform(0, 1, n)
+        b2 = rng.uniform(0, 1, n) * (1 - b1)
+        feats = mesh_model.fetch_features(faces, b1, b2)
+        assert feats.shape == (n, mesh_model.feature_channels)
+        assert feats.min() >= -1e-9 and feats.max() <= 1.0 + 1e-9
+
+    def test_render_image_and_stats(self, mesh_model, lego_field, lego_camera):
+        renderer = MeshRenderer(mesh_model, lego_field)
+        image, stats = renderer.render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        assert stats.get("pixels") == 32 * 32
+        assert stats.get("tris_projected") > 0
+        assert stats.get("mlp_macs") > 0
+        # texture fetches are 4 per shaded pixel (bilinear corners)
+        assert stats.get("texture_fetches") == 4 * stats.get("mlp_inputs")
+
+    def test_background_fills_empty_pixels(self, mesh_model, lego_field):
+        # Camera looking away from the scene: all background (white).
+        cam = Camera(16, 16, pose=look_at(np.array([0, -8.0, 0]), (0, -16.0, 0)))
+        renderer = MeshRenderer(mesh_model, lego_field)
+        image, stats = renderer.render(cam)
+        assert np.allclose(image, 1.0, atol=1e-6)
+        assert stats.get("mlp_inputs", 0) == 0

@@ -1,0 +1,197 @@
+"""Tests for the MLP pipeline: encoding, sampling, KiloNeRF, rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SceneError
+from repro.renderers.nerf import (
+    NerfRenderer,
+    OccupancyGrid,
+    encoding_width,
+    positional_encoding,
+    sample_along_rays,
+)
+from repro.renderers.nerf.sampling import _uncontract
+from repro.scenes import Camera, contract_unbounded, orbit_poses
+
+
+class TestEncoding:
+    def test_width_formula(self):
+        assert encoding_width(3, 4) == 3 * (1 + 8)
+        assert encoding_width(3, 0, include_input=False) == 0
+
+    def test_output_matches_width(self):
+        x = np.zeros((5, 3))
+        out = positional_encoding(x, 4)
+        assert out.shape == (5, encoding_width(3, 4))
+
+    def test_contains_input_when_requested(self):
+        x = np.array([[0.25, -0.5, 0.75]])
+        out = positional_encoding(x, 2)
+        assert np.allclose(out[0, :3], x[0])
+
+    def test_sin_cos_identity(self):
+        x = np.random.default_rng(0).uniform(-1, 1, (16, 3))
+        out = positional_encoding(x, 3, include_input=False)
+        # Check sin^2 + cos^2 = 1 per frequency block.
+        for k in range(3):
+            s = out[:, 6 * k : 6 * k + 3]
+            c = out[:, 6 * k + 3 : 6 * k + 6]
+            assert np.allclose(s**2 + c**2, 1.0, atol=1e-12)
+
+    def test_negative_freqs_rejected(self):
+        with pytest.raises(ConfigError):
+            positional_encoding(np.zeros((1, 3)), -1)
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_values_bounded(self, n_freqs):
+        x = np.random.default_rng(1).uniform(-1, 1, (8, 3))
+        out = positional_encoding(x, n_freqs)
+        assert np.all(np.abs(out) <= max(1.0, np.abs(x).max()) + 1e-12)
+
+
+class TestSampling:
+    def test_sample_count_and_spacing(self):
+        o = np.zeros((2, 3))
+        d = np.tile([0, 0, 1.0], (2, 1))
+        pts, dt = sample_along_rays(o, d, (1.0, 3.0), 8)
+        assert pts.shape == (2, 8, 3)
+        assert np.isclose(dt, 0.25)
+        assert np.allclose(np.diff(pts[0, :, 2]), 0.25)
+
+    def test_stratified_stays_in_bins(self):
+        rng = np.random.default_rng(0)
+        o = np.zeros((4, 3))
+        d = np.tile([1.0, 0, 0], (4, 1))
+        pts, dt = sample_along_rays(o, d, (0.0, 1.0), 10, rng=rng)
+        xs = pts[..., 0]
+        bins = np.floor(xs / dt).astype(int)
+        assert np.all((bins >= 0) & (bins <= 9))
+
+    def test_bad_inputs(self):
+        o = np.zeros((1, 3))
+        d = np.ones((1, 3))
+        with pytest.raises(SceneError):
+            sample_along_rays(o, d, (1.0, 1.0), 8)
+        with pytest.raises(SceneError):
+            sample_along_rays(o, d, (0.0, 1.0), 1)
+
+
+class TestOccupancyGrid:
+    def test_marks_matter_occupied(self, lego_field):
+        grid = OccupancyGrid(lego_field, resolution=16)
+        # Centroid of the lego tower is inside matter.
+        centers = np.array([p.center for p in lego_field.primitives])
+        assert grid.query(centers).mean() > 0.7
+
+    def test_far_points_empty(self, lego_field):
+        grid = OccupancyGrid(lego_field, resolution=16)
+        far = np.array([[50.0, 50.0, 50.0]])
+        assert not grid.query(far)[0]
+
+    def test_occupancy_between_zero_and_one(self, lego_field):
+        grid = OccupancyGrid(lego_field, resolution=16)
+        assert 0.0 < grid.occupancy < 1.0
+
+    def test_storage_is_one_bit_per_cell(self, lego_field):
+        grid = OccupancyGrid(lego_field, resolution=16)
+        assert grid.storage_bytes() == 16**3 // 8
+
+    def test_contracted_grid_for_unbounded(self, room_field):
+        grid = OccupancyGrid(room_field, resolution=16)
+        assert grid.contracted
+        # Distant content (beyond the unit ball) is still queryable.
+        assert grid.query(np.array([[6.0, 0.0, 0.0]])).shape == (1,)
+
+    @given(
+        st.tuples(st.floats(-0.99, 0.99), st.floats(-0.99, 0.99), st.floats(-0.99, 0.99))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uncontract_inverts_contract(self, point):
+        p = np.array([point])
+        assert np.allclose(_uncontract(contract_unbounded(p)), p, atol=1e-9)
+
+    def test_uncontract_inverts_outside_ball(self):
+        p = np.array([[3.0, -2.0, 1.0], [10.0, 0.0, 0.0]])
+        assert np.allclose(_uncontract(contract_unbounded(p)), p, rtol=1e-6)
+
+
+class TestKiloNeRF:
+    def test_cell_partition(self, kilonerf_model, rng):
+        pts = rng.uniform(kilonerf_model.lo, kilonerf_model.hi, (256, 3))
+        cells, local = kilonerf_model.cell_of(pts)
+        assert np.all((cells >= 0) & (cells < kilonerf_model.n_cells))
+        assert np.all((local >= -1.0) & (local <= 1.0))
+
+    def test_forward_cells_matches_manual(self, kilonerf_model, rng):
+        x = rng.normal(size=(16, kilonerf_model.input_width))
+        cells = rng.integers(0, kilonerf_model.n_cells, 16)
+        out = kilonerf_model.forward_cells(cells, x)
+        # Manual per-point evaluation.
+        for i in range(16):
+            c = cells[i]
+            h = np.maximum(x[i] @ kilonerf_model.w1[c] + kilonerf_model.b1[c], 0)
+            h = np.maximum(h @ kilonerf_model.w2[c] + kilonerf_model.b2[c], 0)
+            expected = h @ kilonerf_model.w3[c] + kilonerf_model.b3[c]
+            assert np.allclose(out[i], expected, atol=1e-10)
+
+    def test_query_ranges(self, kilonerf_model, rng):
+        pts = rng.uniform(-1, 1, (64, 3))
+        dirs = rng.normal(size=(64, 3))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        sigma, rgb = kilonerf_model.query(pts, dirs)
+        assert np.all(sigma >= 0)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_empty_cells_yield_zero_density(self, kilonerf_model):
+        empty_cells = np.nonzero(kilonerf_model.cell_empty)[0]
+        if len(empty_cells) == 0:
+            pytest.skip("no empty cells in this fixture")
+        # Build a point in the middle of the first empty cell.
+        c = empty_cells[0]
+        g = kilonerf_model.grid_size
+        idx = np.array([c // (g * g), (c // g) % g, c % g])
+        unit = (idx + 0.5) / g
+        pt = kilonerf_model.lo + unit * (kilonerf_model.hi - kilonerf_model.lo)
+        sigma, _ = kilonerf_model.query(pt[None], np.array([[0, 0, 1.0]]))
+        assert sigma[0] == 0.0
+
+    def test_training_fits_field(self, kilonerf_model, lego_field, rng):
+        pts = rng.uniform(-0.8, 0.8, (512, 3))
+        dirs = np.tile([0, 0, 1.0], (512, 1))
+        sigma_t, _ = lego_field.density_and_color(pts, dirs)
+        sigma_p, _ = kilonerf_model.query(pts, dirs)
+        # Trained model separates matter from empty space.
+        dense = sigma_t > 20
+        if dense.sum() > 4 and (~dense).sum() > 4:
+            assert sigma_p[dense].mean() > 3 * max(sigma_p[~dense].mean(), 1e-6)
+
+    def test_storage_and_macs(self, kilonerf_model):
+        assert kilonerf_model.storage_bytes() > kilonerf_model.num_params * 2 - 1
+        assert kilonerf_model.macs_per_sample() > 0
+
+
+class TestNerfRenderer:
+    def test_render_shapes_and_counters(self, kilonerf_model, lego_field, lego_camera):
+        renderer = NerfRenderer(kilonerf_model, lego_field)
+        image, stats = renderer.render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        assert stats.get("rays") == 1024
+        assert stats.get("samples_total") == 1024 * kilonerf_model.samples_per_ray
+        assert stats.get("samples_shaded") <= stats.get("samples_total")
+        assert stats.get("samples_effective") <= stats.get("samples_shaded")
+
+    def test_pixel_reuse_cuts_rays(self, kilonerf_model, lego_field, lego_camera):
+        full = NerfRenderer(kilonerf_model, lego_field)
+        reuse = NerfRenderer(kilonerf_model, lego_field, pixel_reuse=4)
+        _, stats_full = full.render(lego_camera)
+        img, stats_reuse = reuse.render(lego_camera)
+        assert img.shape == (32, 32, 3)
+        assert stats_reuse.get("rays") * 15 < stats_full.get("rays") * 1.05
+
+    def test_invalid_pixel_reuse(self, kilonerf_model, lego_field):
+        with pytest.raises(ConfigError):
+            NerfRenderer(kilonerf_model, lego_field, pixel_reuse=0)

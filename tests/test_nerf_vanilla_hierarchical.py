@@ -1,0 +1,90 @@
+"""Tests for vanilla NeRF and hierarchical (importance) sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SceneError
+from repro.renderers.nerf import (
+    NerfRenderer,
+    build_vanilla_nerf,
+    importance_sample,
+)
+
+
+@pytest.fixture(scope="module")
+def vanilla_model(lego_field):
+    return build_vanilla_nerf(
+        lego_field, hidden=24, depth=2, train_steps=150, samples_per_ray=48
+    )
+
+
+class TestVanillaNeRF:
+    def test_query_interface(self, vanilla_model, rng):
+        pts = rng.uniform(-1, 1, (32, 3))
+        dirs = np.tile([0, 0, 1.0], (32, 1))
+        sigma, rgb = vanilla_model.query(pts, dirs)
+        assert np.all(sigma >= 0)
+        assert np.all((rgb >= 0) & (rgb <= 1))
+
+    def test_no_occupancy_grid(self, vanilla_model):
+        """Vanilla NeRF shades everything — the Fig. 7 slowness."""
+        assert vanilla_model.occupancy is None
+
+    def test_renders_through_nerf_renderer(self, vanilla_model, lego_field, lego_camera):
+        image, stats = NerfRenderer(vanilla_model, lego_field).render(lego_camera)
+        assert image.shape == (32, 32, 3)
+        # Without skipping, every sample is shaded.
+        assert stats.get("samples_shaded") == stats.get("samples_total")
+
+    def test_storage_is_weights_only(self, vanilla_model):
+        assert vanilla_model.storage_bytes() == vanilla_model.num_params * 2
+
+    def test_smaller_storage_than_grids(self, vanilla_model, hashgrid_model):
+        """Table I: the MLP representation is the most storage-efficient."""
+        assert vanilla_model.storage_bytes() < hashgrid_model.storage_bytes()
+
+    def test_build_validation(self, lego_field):
+        with pytest.raises(ConfigError):
+            build_vanilla_nerf(lego_field, depth=0, train_steps=1)
+
+
+class TestImportanceSampling:
+    def test_concentrates_where_weights_are(self):
+        edges = np.linspace(0.0, 1.0, 9)  # 8 bins
+        weights = np.zeros((1, 8))
+        weights[0, 3] = 1.0  # all mass in bin [0.375, 0.5)
+        depths = importance_sample(edges, weights, 64)
+        assert depths.shape == (1, 64)
+        inside = (depths >= 0.374) & (depths <= 0.501)
+        assert inside.mean() > 0.95
+
+    def test_sorted_output(self):
+        rng = np.random.default_rng(0)
+        edges = np.linspace(0.0, 2.0, 17)
+        weights = rng.uniform(0, 1, (4, 16))
+        depths = importance_sample(edges, weights, 32, rng=rng)
+        assert np.all(np.diff(depths, axis=1) >= 0)
+
+    def test_uniform_weights_spread_samples(self):
+        edges = np.linspace(0.0, 1.0, 5)
+        weights = np.ones((1, 4))
+        depths = importance_sample(edges, weights, 400)
+        hist, _ = np.histogram(depths[0], bins=4, range=(0, 1))
+        assert hist.min() > 50  # roughly uniform
+
+    def test_range_stays_in_edges(self):
+        rng = np.random.default_rng(1)
+        edges = np.linspace(2.0, 5.0, 11)
+        weights = rng.uniform(0, 1, (3, 10))
+        depths = importance_sample(edges, weights, 16, rng=rng)
+        assert depths.min() >= 2.0 and depths.max() <= 5.0
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(SceneError):
+            importance_sample(np.linspace(0, 1, 3), np.ones((1, 2)), 0)
+
+    def test_degenerate_weights_handled(self):
+        """All-zero weights fall back to (near) uniform via the epsilon."""
+        edges = np.linspace(0.0, 1.0, 5)
+        depths = importance_sample(edges, np.zeros((1, 4)), 64)
+        assert np.isfinite(depths).all()

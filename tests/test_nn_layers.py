@@ -1,0 +1,147 @@
+"""Unit tests for the neural-network substrate: layers and MLPs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Dense, MLP, relu, relu_grad, sigmoid, sigmoid_grad
+
+
+class TestActivations:
+    def test_relu_clamps_negative(self):
+        x = np.array([-2.0, -0.1, 0.0, 0.5, 3.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 0.0, 0.5, 3.0])
+
+    def test_relu_grad_is_indicator(self):
+        x = np.array([-1.0, 0.5])
+        assert np.array_equal(relu_grad(x), [0.0, 1.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-50, 50, 101)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_sigmoid_extreme_values_stable(self):
+        assert np.isfinite(sigmoid(np.array([-1e4, 1e4]))).all()
+
+    def test_sigmoid_grad_peaks_at_zero(self):
+        g = sigmoid_grad(np.array([0.0]))
+        assert np.allclose(g, 0.25)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 7, rng=np.random.default_rng(0))
+        out = layer.forward(rng.normal(size=(11, 5)))
+        assert out.shape == (11, 7)
+
+    def test_linear_activation_is_affine(self):
+        layer = Dense(3, 2, activation="linear", rng=np.random.default_rng(0))
+        x = np.eye(3)
+        out = layer.forward(x)
+        assert np.allclose(out, layer.weight + layer.bias)
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(3, 2)
+        with pytest.raises(ConfigError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ConfigError):
+            Dense(3, 2, activation="tanhh")
+
+    def test_bad_widths_rejected(self):
+        with pytest.raises(ConfigError):
+            Dense(0, 2)
+
+    def test_num_params(self):
+        layer = Dense(4, 6)
+        assert layer.num_params == 4 * 6 + 6
+
+    def test_macs_per_sample(self):
+        assert Dense(4, 6).macs_per_sample() == 24
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 3, activation="sigmoid", rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x)
+        loss_grad = np.ones_like(out)
+        layer.backward(loss_grad)
+        analytic = layer.grad_weight.copy()
+
+        eps = 1e-6
+        i, j = 2, 1
+        layer.weight[i, j] += eps
+        up = layer.forward(x).sum()
+        layer.weight[i, j] -= 2 * eps
+        down = layer.forward(x).sum()
+        layer.weight[i, j] += eps
+        numeric = (up - down) / (2 * eps)
+        assert np.isclose(analytic[i, j], numeric, rtol=1e-4)
+
+
+class TestMLP:
+    def test_requires_two_widths(self):
+        with pytest.raises(ConfigError):
+            MLP([4])
+
+    def test_layer_count_and_widths(self):
+        mlp = MLP([4, 8, 8, 3])
+        assert len(mlp.layers) == 3
+        assert mlp.widths == (4, 8, 8, 3)
+
+    def test_output_activation_applied_last(self):
+        mlp = MLP([2, 4, 3], output_activation="sigmoid")
+        out = mlp(np.random.default_rng(0).normal(size=(9, 2)))
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_num_params_sums_layers(self):
+        mlp = MLP([4, 8, 3])
+        assert mlp.num_params == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_macs_per_sample_sums_layers(self):
+        mlp = MLP([4, 8, 3])
+        assert mlp.macs_per_sample() == 4 * 8 + 8 * 3
+
+    def test_storage_bytes_bf16(self):
+        mlp = MLP([4, 8, 3])
+        assert mlp.storage_bytes() == mlp.num_params * 2
+
+    def test_parameters_and_gradients_align(self):
+        mlp = MLP([3, 5, 2])
+        x = np.random.default_rng(1).normal(size=(7, 3))
+        out = mlp(x)
+        mlp.backward(np.ones_like(out))
+        params = mlp.parameters()
+        grads = mlp.gradients()
+        assert len(params) == len(grads) == 4
+        for p, g in zip(params, grads):
+            assert p.shape == g.shape
+
+    def test_full_backward_matches_finite_difference(self):
+        rng = np.random.default_rng(5)
+        mlp = MLP([3, 6, 2], output_activation="linear", rng=rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((mlp(x) ** 2).sum())
+
+        out = mlp(x)
+        mlp.backward(2.0 * out)
+        analytic = mlp.layers[0].grad_weight[1, 2]
+
+        eps = 1e-6
+        mlp.layers[0].weight[1, 2] += eps
+        up = loss()
+        mlp.layers[0].weight[1, 2] -= 2 * eps
+        down = loss()
+        mlp.layers[0].weight[1, 2] += eps
+        assert np.isclose(analytic, (up - down) / (2 * eps), rtol=1e-4)
+
+    def test_deterministic_given_rng(self):
+        a = MLP([3, 4, 2], rng=np.random.default_rng(9))
+        b = MLP([3, 4, 2], rng=np.random.default_rng(9))
+        x = np.ones((2, 3))
+        assert np.array_equal(a(x), b(x))

@@ -1,0 +1,115 @@
+"""Unit tests for optimizers and the BF16/INT16 quantization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.nn import (
+    Adam,
+    MLP,
+    bf16_round,
+    int16_dequantize,
+    int16_quantize,
+    quantization_mse,
+    sgd_step,
+)
+
+
+class TestSGD:
+    def test_moves_against_gradient(self):
+        p = np.array([1.0, -1.0])
+        sgd_step([p], [np.array([0.5, -0.5])], lr=0.1)
+        assert np.allclose(p, [0.95, -0.95])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            sgd_step([np.zeros(2)], [], lr=0.1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = np.array([5.0])
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            opt.step([2.0 * p])
+        assert abs(p[0]) < 1e-2
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            Adam([np.zeros(1)], lr=0.0)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([np.zeros(1)], beta1=1.0)
+
+    def test_gradient_list_must_match(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ConfigError):
+            opt.step([])
+
+    def test_trains_mlp_on_regression(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 16, 1], output_activation="linear", rng=rng)
+        x = rng.uniform(-1, 1, size=(256, 2))
+        y = (x[:, :1] * x[:, 1:2])  # multiplicative target
+        opt = Adam(mlp.parameters(), lr=1e-2)
+        first = None
+        for step in range(300):
+            pred = mlp(x)
+            err = pred - y
+            loss = float(np.mean(err**2))
+            if first is None:
+                first = loss
+            mlp.backward(2.0 * err / len(x))
+            opt.step(mlp.gradients())
+        assert loss < first * 0.2
+
+
+class TestBF16:
+    def test_idempotent(self):
+        x = np.random.default_rng(0).normal(size=100)
+        once = bf16_round(x)
+        assert np.array_equal(bf16_round(once), once)
+
+    def test_exact_for_small_integers(self):
+        x = np.arange(-128, 128, dtype=np.float64)
+        assert np.array_equal(bf16_round(x), x)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False).filter(
+            lambda v: v == 0.0 or abs(v) > 1e-30  # skip float32 subnormals
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_relative_error_bounded(self, value):
+        rounded = float(bf16_round(np.array([value]))[0])
+        if value != 0:
+            # BF16 has an 8-bit mantissa: relative error < 2^-8.
+            assert abs(rounded - value) <= abs(value) * 2.0**-8
+
+
+class TestINT16:
+    def test_roundtrip_error_bounded_by_scale(self):
+        x = np.linspace(-1, 1, 1001)
+        back = int16_dequantize(int16_quantize(x, 0.01), 0.01)
+        assert np.max(np.abs(back - x)) <= 0.005 + 1e-12
+
+    def test_saturation(self):
+        q = int16_quantize(np.array([1e9, -1e9]), 1.0)
+        assert q[0] == 32767 and q[1] == -32768
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            int16_quantize(np.zeros(1), 0.0)
+        with pytest.raises(ConfigError):
+            int16_dequantize(np.zeros(1, dtype=np.int16), -1.0)
+
+    @given(st.floats(min_value=4e-4, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_mse_bounded(self, scale):
+        # Scale chosen so +/-10 stays inside the INT16 range (no
+        # saturation): the uniform-quantization MSE bound then applies.
+        x = np.random.default_rng(0).uniform(-10, 10, 256)
+        assert quantization_mse(x, scale) <= scale**2 / 4 + 1e-9

@@ -1,0 +1,49 @@
+"""Tests for the deployment-parameter sweep study."""
+
+import pytest
+
+from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
+from repro.compile import compile_program, profile_for
+from repro.errors import ConfigError
+
+
+class TestHashgridSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return hashgrid_deployment_sweep(
+            log2_table_sizes=(17, 21, 23), level_counts=(8, 16)
+        )
+
+    def test_grid_covers_all_points(self, sweep):
+        assert len(sweep["data"]) == 6
+        assert all(row["fps"] > 0 for row in sweep["data"].values())
+
+    def test_bigger_tables_never_faster(self, sweep):
+        for levels in (8, 16):
+            fps = [sweep["data"][(levels, t)]["fps"] for t in (17, 21, 23)]
+            assert fps[0] >= fps[1] >= fps[2]
+
+    def test_more_levels_cost_more(self, sweep):
+        for log2_t in (17, 21, 23):
+            assert (
+                sweep["data"][(8, log2_t)]["fps"]
+                > sweep["data"][(16, log2_t)]["fps"]
+            )
+
+    def test_large_tables_become_memory_bound(self, sweep):
+        small = sweep["data"][(16, 17)]["memory_share"]
+        large = sweep["data"][(16, 23)]["memory_share"]
+        assert large >= small
+
+    def test_profile_restored_after_sweep(self, sweep):
+        # The sweep temporarily patches the global profile table; the
+        # paper deployment must be back in place afterwards.
+        profile = profile_for("hashgrid", "unbounded")
+        assert profile.lookups_per_sample == 128
+        assert profile.table_bytes == 16 * (1 << 21) * 4
+        program = compile_program("room", "hashgrid", 320, 180)
+        assert program.invocations
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            hashgrid_deployment_sweep(log2_table_sizes=(), level_counts=(8,))

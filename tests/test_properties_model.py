@@ -1,0 +1,138 @@
+"""Property-based tests on the performance-model invariants.
+
+These pin down the *algebra* of the cost model: linearity, monotonicity,
+and conservation properties that must hold for any workload — the
+guarantees the calibrated constants sit on top of.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MicroOp, MicroOpProgram, UniRenderAccelerator
+from repro.core.config import AcceleratorConfig
+from repro.core.dataflow import no_reuse_ceiling_bytes, phase_cost, spill_factor
+from repro.core.microops import Workload
+from repro.core.scheduler import schedule
+from repro.devices import get_device
+
+positive = st.floats(min_value=1.0, max_value=1e12)
+
+
+def _workload(int_ops, bf16_ops, sram, unique, ws, stream):
+    return Workload(
+        int_ops=int_ops,
+        bf16_ops=bf16_ops,
+        sram_accesses=sram,
+        dram_unique_bytes=unique,
+        working_set_bytes=ws,
+        streaming_bytes=stream,
+        items=max(int_ops, 1.0),
+    )
+
+
+class TestCostModelProperties:
+    @given(positive, positive, positive, positive, positive, positive)
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_never_exceeds_ceiling(self, a, b, sram, unique, ws, stream):
+        """DRAM traffic is bounded by the no-reuse worst case."""
+        cfg = AcceleratorConfig()
+        for op in (MicroOp.GEMM, MicroOp.COMBINED_GRID, MicroOp.GEOMETRIC):
+            w = _workload(a, b, sram, unique, ws, stream)
+            cost = phase_cost(op, w, cfg)
+            ceiling = max(no_reuse_ceiling_bytes(w, op), w.dram_unique_bytes)
+            bound = (ceiling + w.streaming_bytes) * (1.0 + 1e-9) + 1e-6
+            assert cost.dram_bytes <= bound
+
+    @given(positive, positive)
+    @settings(max_examples=60, deadline=None)
+    def test_compute_scales_linearly_in_ops(self, bf16_ops, factor_raw):
+        """Twice the MACs = twice the compute cycles (above the launch
+        floor)."""
+        factor = 1.0 + factor_raw % 7.0
+        cfg = AcceleratorConfig()
+        base_ops = max(bf16_ops, 1e6)  # keep above the latency floor
+        w1 = Workload(bf16_ops=base_ops, items=1)
+        w2 = Workload(bf16_ops=base_ops * factor, items=1)
+        c1 = phase_cost(MicroOp.GEMM, w1, cfg).compute_cycles
+        c2 = phase_cost(MicroOp.GEMM, w2, cfg).compute_cycles
+        assert c2 == pytest.approx(c1 * factor, rel=1e-9)
+
+    @given(positive)
+    @settings(max_examples=40, deadline=None)
+    def test_spill_at_least_one(self, ws):
+        w = _workload(10, 10, 1e9, 1e6, ws, 0)
+        assert spill_factor(w, MicroOp.COMBINED_GRID, AcceleratorConfig()) >= 1.0
+
+    @given(st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_design_never_slower(self, pe_exp, sram_exp):
+        """Monotonicity: more hardware can only help."""
+        program = MicroOpProgram(pipeline="x")
+        program.append(
+            MicroOp.COMBINED_GRID,
+            "grid",
+            _workload(1e9, 1e9, 1e9, 1e7, 1e8, 1e6),
+        )
+        base = UniRenderAccelerator().simulate(program).fps
+        scaled_cfg = AcceleratorConfig().scaled(2**pe_exp, 2 ** max(pe_exp, sram_exp))
+        scaled = UniRenderAccelerator(scaled_cfg).simulate(program).fps
+        assert scaled >= base * 0.999
+
+    def test_energy_additive_over_phases(self):
+        """Frame energy equals the sum over scheduled phases."""
+        program = MicroOpProgram(pipeline="x")
+        for i, op in enumerate((MicroOp.GEMM, MicroOp.SORTING, MicroOp.GEOMETRIC)):
+            program.append(op, f"s{i}", _workload(1e7, 1e7, 1e7, 1e5, 1e6, 1e4))
+        frame = schedule(program, AcceleratorConfig())
+        total = frame.energy()
+        assert total.chip_total == pytest.approx(
+            sum(p.energy.chip_total for p in frame.phases)
+        )
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_program_workload_scaling_linear(self, factor):
+        program = MicroOpProgram(pipeline="x")
+        program.append(MicroOp.GEMM, "a", Workload(bf16_ops=1e8, items=10))
+        scaled = MicroOpProgram(pipeline="x")
+        for inv in program.invocations:
+            scaled.append(inv.op, inv.name, inv.workload.scaled(factor))
+        assert scaled.total("bf16_ops") == pytest.approx(1e8 * factor)
+
+
+class TestDeviceModelProperties:
+    @given(st.integers(64, 2048), st.integers(64, 2048))
+    @settings(max_examples=40, deadline=None)
+    def test_fps_times_pixels_constant(self, width, height):
+        device = get_device("Orin NX")
+        fps = device.fps("room", "mesh", width, height)
+        product = fps * width * height
+        reference = device.fps("room", "mesh", 1280, 720) * 1280 * 720
+        assert product == pytest.approx(reference, rel=1e-9)
+
+    def test_energy_inverse_of_fps(self):
+        device = get_device("8Gen2")
+        half = device.energy_per_frame_j("room", "mesh", 640, 360)
+        full = device.energy_per_frame_j("room", "mesh", 1280, 720)
+        assert full == pytest.approx(4 * half, rel=1e-9)
+
+
+class TestSceneDeterminism:
+    def test_camera_rays_deterministic(self):
+        from repro.scenes import Camera, look_at
+
+        cam = Camera(16, 16, pose=look_at(np.array([1.0, 2.0, 3.0]), np.zeros(3)))
+        o1, d1 = cam.rays()
+        o2, d2 = cam.rays()
+        assert np.array_equal(o1, o2) and np.array_equal(d1, d2)
+
+    def test_compiled_program_deterministic(self):
+        from repro.compile import compile_program
+
+        a = compile_program("room", "hashgrid", 320, 180)
+        b = compile_program("room", "hashgrid", 320, 180)
+        for inv_a, inv_b in zip(a.invocations, b.invocations):
+            assert inv_a.workload.bf16_ops == inv_b.workload.bf16_ops
+            assert inv_a.workload.dram_unique_bytes == inv_b.workload.dram_unique_bytes

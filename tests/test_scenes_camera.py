@@ -1,0 +1,127 @@
+"""Unit tests for cameras, poses, rays, and tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SceneError
+from repro.scenes import Camera, look_at, orbit_poses, tiles
+
+
+class TestLookAt:
+    def test_rotation_is_orthonormal(self):
+        pose = look_at(np.array([3.0, 2.0, 1.0]), np.zeros(3))
+        rot = pose[:3, :3]
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+
+    def test_camera_minus_z_points_at_target(self):
+        eye = np.array([0.0, -5.0, 0.0])
+        pose = look_at(eye, np.zeros(3))
+        forward = -pose[:3, 2]
+        expected = -eye / np.linalg.norm(eye)
+        assert np.allclose(forward, expected)
+
+    def test_coincident_eye_target_raises(self):
+        with pytest.raises(SceneError):
+            look_at(np.ones(3), np.ones(3))
+
+    def test_degenerate_up_recovers(self):
+        # Looking straight along the default up vector.
+        pose = look_at(np.array([0.0, 0.0, 5.0]), np.zeros(3))
+        assert np.all(np.isfinite(pose))
+
+
+class TestOrbitPoses:
+    def test_count_and_radius(self):
+        poses = orbit_poses(2.5, 6)
+        assert len(poses) == 6
+        for pose in poses:
+            assert np.isclose(np.linalg.norm(pose[:3, 3]), 2.5)
+
+    def test_zero_views_rejected(self):
+        with pytest.raises(SceneError):
+            orbit_poses(1.0, 0)
+
+    def test_views_are_distinct(self):
+        poses = orbit_poses(2.0, 4)
+        assert not np.allclose(poses[0], poses[1])
+
+
+class TestTiles:
+    def test_cover_image_exactly(self):
+        mask = np.zeros((30, 50), dtype=int)
+        for y0, y1, x0, x1 in tiles(30, 50, 16):
+            mask[y0:y1, x0:x1] += 1
+        assert np.all(mask == 1)
+
+    def test_bad_patch_rejected(self):
+        with pytest.raises(SceneError):
+            list(tiles(10, 10, 0))
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 17))
+    @settings(max_examples=50, deadline=None)
+    def test_tiles_partition_any_size(self, h, w, patch):
+        mask = np.zeros((h, w), dtype=int)
+        for y0, y1, x0, x1 in tiles(h, w, patch):
+            assert y1 > y0 and x1 > x0
+            mask[y0:y1, x0:x1] += 1
+        assert np.all(mask == 1)
+
+
+class TestCamera:
+    def test_validation(self):
+        with pytest.raises(SceneError):
+            Camera(0, 10)
+        with pytest.raises(SceneError):
+            Camera(10, 10, fov_y_deg=200)
+        with pytest.raises(SceneError):
+            Camera(10, 10, near=2.0, far=1.0)
+
+    def test_rays_are_unit_and_counted(self):
+        cam = Camera(8, 6)
+        origins, dirs = cam.rays()
+        assert origins.shape == dirs.shape == (48, 3)
+        assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+    def test_center_ray_matches_view_direction(self):
+        pose = look_at(np.array([0, -4.0, 0]), np.zeros(3))
+        cam = Camera(33, 33, pose=pose)
+        _, dirs = cam.rays()
+        center = dirs[(33 * 33) // 2]
+        assert np.allclose(center, [0, 1, 0], atol=1e-2)
+
+    def test_world_to_screen_center(self):
+        pose = look_at(np.array([0, -4.0, 0]), np.zeros(3))
+        cam = Camera(64, 48, pose=pose)
+        screen, depth = cam.world_to_screen(np.zeros((1, 3)))
+        assert np.allclose(screen[0], [32, 24], atol=1e-9)
+        assert np.isclose(depth[0], 4.0)
+
+    def test_projection_depth_increases_with_distance(self):
+        cam = Camera(32, 32, pose=look_at(np.array([0, -4.0, 0]), np.zeros(3)))
+        _, depth = cam.world_to_screen(np.array([[0, 0, 0], [0, 1, 0]]))
+        # The camera sits at y=-4 looking toward +y, so y=1 is farther.
+        assert depth[1] > depth[0]
+        assert np.allclose(depth, [4.0, 5.0])
+
+    def test_points_along_ray_project_to_same_pixel(self):
+        cam = Camera(40, 40, pose=look_at(np.array([2.0, -3.0, 1.0]), np.zeros(3)))
+        origins, dirs = cam.rays()
+        idx = 137
+        pts = origins[idx] + dirs[idx] * np.array([[1.0], [2.0], [5.0]])
+        screen, _ = cam.world_to_screen(pts)
+        expected_x, expected_y = idx % 40 + 0.5, idx // 40 + 0.5
+        assert np.allclose(screen[:, 0], expected_x, atol=1e-6)
+        assert np.allclose(screen[:, 1], expected_y, atol=1e-6)
+
+    def test_resized_keeps_fov_and_pose(self):
+        cam = Camera(64, 48, fov_y_deg=55.0)
+        small = cam.resized(16, 12)
+        assert small.fov_y_deg == 55.0
+        assert np.array_equal(small.pose, cam.pose)
+        assert small.num_pixels == 192
+
+    def test_view_matrix_inverts_pose(self):
+        cam = Camera(8, 8, pose=look_at(np.array([1.0, 2.0, 3.0]), np.zeros(3)))
+        assert np.allclose(cam.view_matrix() @ cam.pose, np.eye(4), atol=1e-12)

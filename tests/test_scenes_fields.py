@@ -1,0 +1,170 @@
+"""Unit + property tests for primitives, fields, and compositing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SceneError
+from repro.scenes import (
+    Box,
+    Camera,
+    Cylinder,
+    FloorPlane,
+    SceneField,
+    Sphere,
+    Torus,
+    contract_unbounded,
+    orbit_poses,
+)
+from repro.scenes.fields import composite_along_rays
+
+unit_vec = st.tuples(
+    st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)
+).filter(lambda v: 1e-3 < np.linalg.norm(v))
+
+
+class TestPrimitives:
+    def test_sphere_sdf_exact(self):
+        s = Sphere(center=(1, 0, 0), radius=0.5)
+        d = s.sdf(np.array([[1, 0, 0], [2, 0, 0], [1, 0.5, 0]]))
+        assert np.allclose(d, [-0.5, 0.5, 0.0])
+
+    @given(unit_vec, st.floats(0.1, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_sphere_sdf_matches_norm(self, point, radius):
+        s = Sphere(radius=radius)
+        p = np.array([point])
+        assert np.isclose(s.sdf(p)[0], np.linalg.norm(p) - radius, atol=1e-12)
+
+    def test_box_inside_negative(self):
+        b = Box(half_extents=(1, 1, 1))
+        assert b.sdf(np.zeros((1, 3)))[0] < 0
+        assert b.sdf(np.array([[2.0, 0, 0]]))[0] > 0
+
+    def test_density_high_inside_low_outside(self):
+        for prim in (Sphere(radius=0.5), Box(), Cylinder(), Torus()):
+            inside = prim.density(prim.center[None] if not isinstance(prim, Torus)
+                                  else np.array([[prim.major_radius, 0, 0]]))
+            far = prim.density(np.array([[10.0, 10.0, 10.0]]))
+            assert inside[0] > 0.9 * prim.density_scale
+            assert far[0] < 1e-3
+
+    def test_floor_plane_infinite_radius_and_checker(self):
+        f = FloorPlane(center=(0, 0, 0))
+        assert np.isinf(f.bounding_radius())
+        c = f.color(np.array([[0.1, 0.1, -0.01], [0.6, 0.1, -0.01]]))
+        assert not np.allclose(c[0], c[1])  # checker alternates
+
+    def test_sheen_adds_view_dependence(self):
+        s = Sphere(sheen=0.5, sheen_dir=(0, 0, 1))
+        p = np.zeros((1, 3))
+        aligned = s.color(p, np.array([[0, 0, 1.0]]))
+        across = s.color(p, np.array([[1.0, 0, 0]]))
+        assert aligned[0].sum() > across[0].sum()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SceneError):
+            Sphere(density_scale=-1.0)
+        with pytest.raises(SceneError):
+            Box(half_extents=(0, 1, 1))
+
+
+class TestSceneField:
+    def test_needs_primitives(self):
+        with pytest.raises(SceneError):
+            SceneField([])
+
+    def test_density_is_max_of_primitives(self):
+        a = Sphere(center=(0, 0, 0), radius=0.5, density_scale=10.0)
+        b = Sphere(center=(0, 0, 0), radius=0.5, density_scale=40.0)
+        field = SceneField([a, b])
+        d = field.density(np.zeros((1, 3)))
+        assert np.isclose(d[0], b.density(np.zeros((1, 3)))[0])
+
+    def test_color_blends_toward_denser_primitive(self):
+        red = Sphere(center=(0, 0, 0), radius=0.5, albedo=(1, 0, 0), density_scale=100.0)
+        blue = Sphere(center=(0.4, 0, 0), radius=0.5, albedo=(0, 0, 1), density_scale=1.0)
+        field = SceneField([red, blue])
+        c = field.color(np.zeros((1, 3)))
+        assert c[0, 0] > 0.9
+
+    def test_backgrounds(self):
+        prim = [Sphere()]
+        dirs = np.array([[0, 0, 1.0], [0, 0, -1.0]])
+        white = SceneField(prim, background="white").background_color(dirs)
+        assert np.allclose(white, 1.0)
+        sky = SceneField(prim, background="sky").background_color(dirs)
+        assert sky[0, 2] > sky[1, 2]  # bluer at zenith
+        with pytest.raises(SceneError):
+            SceneField(prim, background="plaid")
+
+    def test_occupancy_fraction_bounds(self, lego_field, rng):
+        occ = lego_field.occupancy_fraction(rng, n_probe=2048)
+        assert 0.02 < occ < 0.9
+
+    def test_render_reference_shape_and_range(self, lego_field):
+        cam = Camera(16, 16, pose=orbit_poses(3.0, 4)[0])
+        img = lego_field.render_reference(cam, n_samples=24)
+        assert img.shape == (16, 16, 3)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+
+class TestContraction:
+    def test_identity_inside_unit_ball(self):
+        p = np.array([[0.3, -0.2, 0.1]])
+        assert np.allclose(contract_unbounded(p), p)
+
+    def test_outside_maps_into_radius_two(self):
+        p = np.array([[100.0, 0, 0], [0, 1e6, 0]])
+        out = contract_unbounded(p)
+        norms = np.linalg.norm(out, axis=1)
+        assert np.all(norms < 2.0)
+        assert norms[1] > norms[0]  # farther points land closer to the shell
+
+    @given(unit_vec, st.floats(1.01, 1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_contraction_preserves_direction(self, direction, scale):
+        d = np.asarray(direction) / np.linalg.norm(direction)
+        p = (d * scale)[None]
+        out = contract_unbounded(p)[0]
+        assert np.allclose(out / np.linalg.norm(out), d, atol=1e-9)
+
+
+class TestCompositing:
+    def test_empty_volume_returns_background(self):
+        sigma = np.zeros((4, 8))
+        rgb = np.zeros((4, 8, 3))
+        bg = np.full((4, 3), 0.7)
+        out = composite_along_rays(sigma, rgb, 0.1, bg)
+        assert np.allclose(out, 0.7, atol=1e-6)
+
+    def test_opaque_first_sample_dominates(self):
+        sigma = np.zeros((1, 8))
+        sigma[0, 0] = 1e6
+        rgb = np.zeros((1, 8, 3))
+        rgb[0, 0] = [0.2, 0.4, 0.6]
+        out = composite_along_rays(sigma, rgb, 0.1, np.ones((1, 3)))
+        assert np.allclose(out[0], [0.2, 0.4, 0.6], atol=1e-4)
+
+    def test_weights_never_exceed_one(self):
+        rng = np.random.default_rng(0)
+        sigma = rng.uniform(0, 50, size=(16, 32))
+        rgb = np.ones((16, 32, 3))
+        out = composite_along_rays(sigma, rgb, 0.05, None)
+        assert np.all(out <= 1.0 + 1e-9)
+
+    @given(st.floats(0.0, 100.0), st.floats(0.01, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_single_sample_alpha_formula(self, sigma_val, dt):
+        sigma = np.array([[sigma_val]])
+        rgb = np.ones((1, 1, 3))
+        out = composite_along_rays(sigma, rgb, dt, np.zeros((1, 3)))
+        expected = 1.0 - np.exp(-sigma_val * dt)
+        assert np.allclose(out[0], expected, atol=1e-9)
+
+    def test_more_density_more_opacity(self):
+        rgb = np.ones((1, 16, 3))
+        lo = composite_along_rays(np.full((1, 16), 0.5), rgb, 0.1, np.zeros((1, 3)))
+        hi = composite_along_rays(np.full((1, 16), 5.0), rgb, 0.1, np.zeros((1, 3)))
+        assert hi[0, 0] > lo[0, 0]

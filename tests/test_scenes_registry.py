@@ -1,0 +1,75 @@
+"""Tests for the named-scene registry (dataset substitutes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SceneError
+from repro.scenes import (
+    NERF_SYNTHETIC_SCENES,
+    UNBOUNDED_360_SCENES,
+    UNBOUNDED_INDOOR_SCENES,
+    get_scene,
+    scene_names,
+)
+
+
+class TestRegistry:
+    def test_dataset_sizes_match_papers(self):
+        # NeRF-Synthetic has 8 scenes, Unbounded-360's public set has 7.
+        assert len(NERF_SYNTHETIC_SCENES) == 8
+        assert len(UNBOUNDED_360_SCENES) == 7
+        assert set(UNBOUNDED_INDOOR_SCENES) <= set(UNBOUNDED_360_SCENES)
+        assert UNBOUNDED_INDOOR_SCENES == ("room", "counter", "kitchen", "bonsai")
+
+    def test_scene_names_filters(self):
+        assert set(scene_names("synthetic")) == set(NERF_SYNTHETIC_SCENES)
+        assert set(scene_names("unbounded")) == set(UNBOUNDED_360_SCENES)
+        assert set(scene_names()) == set(NERF_SYNTHETIC_SCENES) | set(UNBOUNDED_360_SCENES)
+        with pytest.raises(SceneError):
+            scene_names("indoor")
+
+    def test_unknown_scene_raises_with_choices(self):
+        with pytest.raises(SceneError, match="available"):
+            get_scene("garden_of_eden")
+
+    @pytest.mark.parametrize("name", NERF_SYNTHETIC_SCENES)
+    def test_synthetic_scenes_build(self, name):
+        spec = get_scene(name)
+        assert spec.kind == "synthetic"
+        assert not spec.unbounded
+        field = spec.field()
+        assert field.background == "white"
+        assert len(field.primitives) >= 3
+
+    @pytest.mark.parametrize("name", UNBOUNDED_360_SCENES)
+    def test_unbounded_scenes_build(self, name):
+        spec = get_scene(name)
+        assert spec.unbounded
+        field = spec.field()
+        assert field.unbounded
+        assert field.background in ("dark", "sky")
+
+    def test_field_cached_per_spec(self):
+        spec = get_scene("lego")
+        assert spec.field() is spec.field()
+
+    def test_deterministic_rebuild(self):
+        field_a = get_scene("drums").builder()
+        field_b = get_scene("drums").builder()
+        pts = np.random.default_rng(0).uniform(-1, 1, (128, 3))
+        assert np.array_equal(field_a.density(pts), field_b.density(pts))
+
+    def test_bounds_contain_finite_primitives(self):
+        for name in NERF_SYNTHETIC_SCENES:
+            field = get_scene(name).field()
+            lo, hi = field.bounds
+            for prim in field.primitives:
+                radius = prim.bounding_radius()
+                if not np.isfinite(radius):
+                    continue
+                assert np.all(prim.center - radius >= lo - 1e-9), name
+                assert np.all(prim.center + radius <= hi + 1e-9), name
+
+    def test_complexity_positive(self):
+        for name in scene_names():
+            assert get_scene(name).complexity > 0

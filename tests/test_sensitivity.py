@@ -1,0 +1,60 @@
+"""Unit tests for the robustness/sensitivity studies."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    bandwidth_boundness,
+    bandwidth_sensitivity,
+    efficiency_sensitivity,
+)
+
+
+class TestBandwidthSensitivity:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return bandwidth_sensitivity(bandwidths_gbs=(30.0, 59.7, 120.0))
+
+    def test_fps_monotone_in_bandwidth(self, study):
+        for pipeline, row in study["data"].items():
+            values = [row[bw] for bw in sorted(row)]
+            assert all(a <= b * 1.001 for a, b in zip(values, values[1:])), pipeline
+
+    def test_design_point_matches_simulator(self, study):
+        from repro.analysis import uni_result
+
+        for pipeline, row in study["data"].items():
+            assert row[59.7] == pytest.approx(uni_result("room", pipeline).fps, rel=1e-6)
+
+    def test_hashgrid_saturates(self, study):
+        """Past the design point the hash-grid pipeline becomes
+        compute-bound: extra bandwidth stops helping."""
+        row = study["data"]["hashgrid"]
+        gain_low = row[59.7] / row[30.0]
+        gain_high = row[120.0] / row[59.7]
+        assert gain_low > 1.5
+        assert gain_high < 1.2
+
+
+class TestBoundness:
+    def test_unbounded_scenes_are_memory_bound(self):
+        data = bandwidth_boundness()["data"]
+        # The paper's Sec. VIII theme: irregular memory access, not MAC
+        # throughput, limits edge neural rendering.
+        assert all(share > 0.4 for share in data.values())
+
+
+class TestEfficiencyPerturbation:
+    def test_conclusions_stable(self):
+        study = efficiency_sensitivity(factors=(0.8, 1.2))
+        for factor, row in study["data"].items():
+            assert row["volume_real_time"], factor
+            assert row["mesh_crossover"], factor
+
+    def test_efficiency_restored_after_patch(self):
+        """The perturbation must not leak into the global tables."""
+        from repro.core.dataflow import EFFICIENCY
+        from repro.core.microops import MicroOp
+
+        before = EFFICIENCY[MicroOp.GEMM].bf16
+        efficiency_sensitivity(factors=(0.5,))
+        assert EFFICIENCY[MicroOp.GEMM].bf16 == before

@@ -1,0 +1,70 @@
+"""Tests for full-scale storage estimates and result summaries."""
+
+import pytest
+
+from repro.analysis import table1_overview, uni_result
+from repro.compile.profiles import storage_estimate_bytes
+from repro.errors import CompileError
+
+
+class TestStorageEstimates:
+    def test_all_pipelines_estimable(self):
+        for pipeline in ("mesh", "mlp", "lowrank", "hashgrid", "gaussian"):
+            for kind in ("synthetic", "unbounded"):
+                assert storage_estimate_bytes(pipeline, kind) > 0
+
+    def test_unknown_pipeline(self):
+        with pytest.raises(CompileError):
+            storage_estimate_bytes("voxels", "synthetic")
+
+    def test_mlp_is_most_storage_efficient(self):
+        """Table I: the MLP (NeRF) representation has 'very high'
+        storage efficiency — the smallest of the five."""
+        sizes = {
+            p: storage_estimate_bytes(p, "unbounded")
+            for p in ("mesh", "mlp", "lowrank", "hashgrid", "gaussian")
+        }
+        assert sizes["mlp"] == min(sizes.values())
+
+    def test_gaussian_heaviest_volume_representation(self):
+        """Explicit point clouds cost more than the factorized grids."""
+        gaussian = storage_estimate_bytes("gaussian", "unbounded")
+        assert gaussian > storage_estimate_bytes("lowrank", "unbounded")
+        assert gaussian > storage_estimate_bytes("hashgrid", "unbounded")
+
+    def test_within_table1_bounds(self):
+        """Ours stay within ~25% of the cited per-scene bounds."""
+        bounds_mb = {"mesh": 700, "mlp": 40, "lowrank": 160,
+                     "hashgrid": 110, "gaussian": 600}
+        for pipeline, bound in bounds_mb.items():
+            ours = storage_estimate_bytes(pipeline, "unbounded") / 1e6
+            assert ours <= bound * 1.25, (pipeline, ours)
+
+    def test_unbounded_heavier_than_synthetic(self):
+        for pipeline in ("mesh", "lowrank", "hashgrid", "gaussian"):
+            assert storage_estimate_bytes(pipeline, "unbounded") > (
+                storage_estimate_bytes(pipeline, "synthetic")
+            )
+
+    def test_table1_includes_storage(self):
+        result = table1_overview(scenes=("room",))
+        for row in result["data"].values():
+            assert row["storage_mb"] > 0
+        assert "storage (ours)" in result["text"]
+
+
+class TestResultSummaries:
+    def test_summary_mentions_key_facts(self):
+        result = uni_result("room", "hashgrid")
+        summary = result.summary()
+        assert "hashgrid" in summary
+        assert "FPS" in summary
+        assert "%" in summary
+
+    def test_timeline_one_bar_per_phase(self):
+        result = uni_result("room", "gaussian")
+        timeline = result.timeline(width=40)
+        lines = timeline.splitlines()
+        assert len(lines) == len(result.schedule.phases)
+        assert all("#" in line for line in lines)
+        assert any("[memory]" in line or "[compute]" in line for line in lines)

@@ -1,0 +1,136 @@
+"""Tests for the workload constructors, renderer base classes, and
+error-path behaviour across modules (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.compile.workloads import (
+    gemm_workload,
+    geometric_workload,
+    grid_workload,
+    sorting_workload,
+)
+from repro.errors import (
+    CompileError,
+    ConfigError,
+    ReproError,
+    SceneError,
+    SimulationError,
+    UnsupportedPipelineError,
+)
+from repro.renderers.base import RenderStats, as_image
+from repro.renderers.volume import VolumeRendererBase
+from repro.scenes import Camera, get_scene
+
+
+class TestWorkloadConstructors:
+    def test_gemm_accounts_weight_reads_and_psums(self):
+        w = gemm_workload(macs=1000, rows=10, in_width=8, out_width=4,
+                          weight_bytes=64)
+        assert w.bf16_ops == 1000
+        assert w.sram_accesses == 1000 + 10 * 4
+        assert w.working_set_bytes == 64
+        assert w.streaming_bytes == 10 * (8 + 4) * 2
+
+    def test_gemm_fused_streams_nothing(self):
+        w = gemm_workload(macs=10, rows=5, in_width=8, out_width=4,
+                          weight_bytes=64, stream_in=False, stream_out=False)
+        assert w.streaming_bytes == 0
+
+    def test_grid_touched_capped_by_table(self):
+        w = grid_workload(lookups=1e9, fetch_bytes=4, table_bytes=1e6,
+                          int_ops_per_lookup=6)
+        assert w.dram_unique_bytes == 1e6
+        small = grid_workload(lookups=10, fetch_bytes=4, table_bytes=1e6,
+                              int_ops_per_lookup=6)
+        assert small.dram_unique_bytes == 40
+
+    def test_geometric_counts_zbuffer_traffic(self):
+        w = geometric_workload(tests=100, primitives=10, primitive_bytes=28)
+        assert w.int_ops == 600
+        assert w.sram_accesses == 210
+        assert w.dram_unique_bytes == 280
+
+    def test_sorting_nlogn_passes(self):
+        w = sorting_workload(elements=1024, per_patch=256)
+        assert w.int_ops == 1024 * 8          # log2(256) passes
+        assert w.sram_accesses == 2 * 1024 * 8
+        tiny = sorting_workload(elements=4, per_patch=1)
+        assert tiny.int_ops == 4              # minimum one pass
+
+
+class TestRenderStats:
+    def test_merge_sums_counters(self):
+        a = RenderStats({"rays": 10.0})
+        b = RenderStats({"rays": 5.0, "mlp_macs": 7.0})
+        merged = a.merge(b)
+        assert merged.counts == {"rays": 15.0, "mlp_macs": 7.0}
+        assert a.counts == {"rays": 10.0}  # originals untouched
+
+    def test_scaled(self):
+        s = RenderStats({"rays": 10.0}).scaled(2.5)
+        assert s.counts["rays"] == 25.0
+
+    def test_per_pixel_requires_pixels(self):
+        with pytest.raises(SceneError):
+            RenderStats({"rays": 1.0}).per_pixel()
+        s = RenderStats({"pixels": 4.0, "rays": 8.0})
+        assert s.per_pixel()["rays"] == 2.0
+
+    def test_as_image_clips(self):
+        flat = np.array([[-0.5, 0.5, 1.5]])
+        img = as_image(flat, 1, 1)
+        assert img.min() == 0.0 and img.max() == 1.0
+
+
+class TestVolumeBaseValidation:
+    def test_rejects_bad_parameters(self, lego_field):
+        with pytest.raises(ConfigError):
+            VolumeRendererBase(lego_field, samples_per_ray=1, occupancy=None)
+        with pytest.raises(ConfigError):
+            VolumeRendererBase(lego_field, samples_per_ray=8, occupancy=None,
+                               chunk=0)
+
+    def test_shade_samples_is_abstract(self, lego_field):
+        base = VolumeRendererBase(lego_field, samples_per_ray=8, occupancy=None)
+        with pytest.raises(NotImplementedError):
+            base.render(Camera(4, 4))
+
+    def test_stop_depth_limits_live_samples(self, kilonerf_model, lego_field):
+        from repro.renderers.nerf import NerfRenderer
+
+        renderer = NerfRenderer(kilonerf_model, lego_field)
+        camera = Camera(8, 8, pose=np.eye(4))
+        origins, dirs = camera.rays()
+        stats_near = RenderStats()
+        stats_far = RenderStats()
+        near = np.full(camera.num_pixels, 0.2)
+        far = np.full(camera.num_pixels, 100.0)
+        renderer.march(origins, dirs, stats_near, stop_depth=near)
+        renderer.march(origins, dirs, stats_far, stop_depth=far)
+        assert stats_near.get("samples_shaded") <= stats_far.get("samples_shaded")
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for err in (ConfigError, SceneError, CompileError, SimulationError):
+            assert issubclass(err, ReproError)
+
+    def test_unsupported_pipeline_payload(self):
+        err = UnsupportedPipelineError("ChipX", "mesh")
+        assert isinstance(err, ReproError)
+        assert err.device == "ChipX"
+        assert err.pipeline == "mesh"
+        assert "ChipX" in str(err)
+
+
+class TestAnalysisRunner:
+    def test_resolution_for_kind(self):
+        from repro.analysis.runner import resolution_for
+
+        assert resolution_for("lego") == (800, 800)
+        assert resolution_for("room") == (1280, 720)
+
+    def test_scene_kind_lookup(self):
+        assert get_scene("lego").kind == "synthetic"
+        assert get_scene("bicycle").kind == "unbounded"
