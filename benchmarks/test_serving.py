@@ -1,0 +1,41 @@
+"""Serving benchmark: the fleet under synthetic load, per policy.
+
+RZBENCH-style application benchmark on top of the low-level frame
+model: one deterministic mixed-pipeline trace, replayed through the
+fleet once per sharding policy, scored on throughput, tail latency,
+SLO attainment, cache effectiveness, and reconfiguration spend.
+"""
+
+from repro.analysis.serving import serving_summary
+
+
+def test_serving_policy_comparison(benchmark, save_text):
+    result = benchmark.pedantic(serving_summary, rounds=1, iterations=1)
+    save_text("ext_serving", result["text"])
+    reports = result["reports"]
+    assert set(reports) == {"round-robin", "least-loaded", "pipeline-affinity"}
+
+    affinity = reports["pipeline-affinity"]
+    baseline = reports["round-robin"]
+
+    # The headline claim: affinity sharding avoids most PE-array
+    # switches oblivious round-robin incurs, without losing throughput.
+    assert affinity["total_switch_cycles"] < 0.7 * baseline["total_switch_cycles"]
+    assert affinity["total_reconfig_cycles"] < baseline["total_reconfig_cycles"]
+    assert affinity["throughput_rps"] >= 0.95 * baseline["throughput_rps"]
+
+    for policy, report in reports.items():
+        # Service-level sanity on every policy.
+        assert report["throughput_rps"] > 0, policy
+        assert (report["latency_p50_ms"] <= report["latency_p95_ms"]
+                <= report["latency_p99_ms"]), policy
+        assert 0.0 <= report["slo_attainment"] <= 1.0, policy
+        assert 0.0 <= report["mean_utilization"] <= 1.0, policy
+        # Two scenes x three pipelines x one resolution = 6 distinct
+        # traces; everything after the first compilations must hit.
+        assert report["cache"]["hit_rate"] > 0.9, policy
+        assert report["cache"]["misses"] == 6, policy
+        # The fleet actually spreads the load.
+        served = [c["requests_served"] for c in report["chips"]]
+        assert sum(served) == report["n_requests"], policy
+        assert sum(1 for s in served if s > 0) >= 2, policy

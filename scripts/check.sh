@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command verify: clean stale bytecode, run the tier-1 suite, then
+# smoke-run the serving CLI end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+find . -type d -name __pycache__ -prune -exec rm -rf {} +
+find . -type f -name '*.pyc' -delete
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+python -m pytest -x -q
+python -m repro serve --requests 50 --chips 2 --width 320 --height 180

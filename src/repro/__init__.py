@@ -17,6 +17,9 @@ The package is organized around the paper's structure:
   the paper's comparisons (Sec. III, Sec. VII).
 * :mod:`repro.metrics` — PSNR / FPS / speedup / energy-efficiency metrics.
 * :mod:`repro.analysis` — regenerates every table and figure of the paper.
+* :mod:`repro.serve` — the simulated multi-accelerator rendering service:
+  trace caching, pipeline-affinity batching, fleet sharding policies, a
+  discrete-event scheduler, and throughput / tail-latency / SLO metrics.
 
 Quickstart::
 
@@ -46,6 +49,8 @@ __all__ = [
     "SimulationError",
     "quick_render",
     "UniRenderAccelerator",
+    "ServeCluster",
+    "simulate_service",
     "PIPELINES",
 ]
 
@@ -70,4 +75,12 @@ def __getattr__(name):
         from repro.core.simulator import UniRenderAccelerator
 
         return UniRenderAccelerator
+    if name == "ServeCluster":
+        from repro.serve import ServeCluster
+
+        return ServeCluster
+    if name == "simulate_service":
+        from repro.serve import simulate_service
+
+        return simulate_service
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

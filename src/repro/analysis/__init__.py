@@ -40,6 +40,7 @@ from repro.analysis.sensitivity import (
     efficiency_sensitivity,
 )
 from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
+from repro.analysis.serving import serving_summary
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
 __all__ = [
@@ -69,6 +70,7 @@ __all__ = [
     "bandwidth_boundness",
     "efficiency_sensitivity",
     "hashgrid_deployment_sweep",
+    "serving_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

@@ -14,6 +14,7 @@ from repro.analysis.figures import (
     figure17_hybrid,
 )
 from repro.analysis.scaling_scenes import scene_scaling_study
+from repro.analysis.serving import serving_summary
 from repro.analysis.tables import (
     table1_overview,
     table2_microops,
@@ -45,6 +46,8 @@ ALL_EXPERIMENTS = {
                        trajectory_study),
     "ext_scene_scaling": ("Extension — scaling to larger scenes",
                           scene_scaling_study),
+    "ext_serving": ("Extension — fleet serving under synthetic load",
+                    serving_summary),
 }
 
 

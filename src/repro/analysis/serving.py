@@ -1,0 +1,80 @@
+"""Extension experiment: the rendering service under synthetic load.
+
+Replays one deterministic mixed-pipeline trace through the
+``repro.serve`` fleet once per sharding policy (fresh chips and a fresh
+trace cache each run, so the comparison is apples-to-apples) and
+tabulates the service-level metrics. The headline result mirrors the
+paper's Sec. VII-E reconfiguration story at fleet scale: scheduling by
+pipeline affinity avoids most PE-array switches that oblivious
+round-robin sharding incurs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.serve import (
+    PipelineBatcher,
+    ServeCluster,
+    SHARDING_POLICIES,
+    TraceCache,
+    generate_traffic,
+    simulate_service,
+)
+
+#: Evaluation workload: every policy sees this exact trace. Resolution
+#: and request count are sized so the experiment stays interactive.
+SERVING_WORKLOAD = dict(
+    pattern="mixed",
+    n_requests=120,
+    rate_rps=150.0,
+    seed=0,
+    scenes=("lego", "room"),
+    pipelines=("hashgrid", "gaussian", "mesh"),
+    resolution=(320, 180),
+    slo_s=0.05,
+)
+
+
+def serving_summary(
+    n_chips: int = 4,
+    policies: tuple[str, ...] | None = None,
+    workload: dict | None = None,
+) -> dict:
+    """Per-policy serving metrics on one shared mixed-pipeline trace."""
+    policies = policies if policies is not None else tuple(sorted(SHARDING_POLICIES))
+    trace = generate_traffic(**(workload or SERVING_WORKLOAD))
+
+    reports = {}
+    for policy in policies:
+        reports[policy] = simulate_service(
+            trace,
+            ServeCluster(n_chips, policy=policy),
+            cache=TraceCache(),
+            batcher=PipelineBatcher(),
+        )
+
+    rows = []
+    for policy in policies:
+        report = reports[policy]
+        rows.append([
+            policy,
+            f"{report.throughput_rps:.0f}",
+            f"{report.latency_p(50) * 1e3:.2f}",
+            f"{report.latency_p(95) * 1e3:.2f}",
+            f"{report.latency_p(99) * 1e3:.2f}",
+            f"{report.slo_attainment * 100:.1f}%",
+            f"{report.cache_hit_rate * 100:.1f}%",
+            f"{report.mean_utilization * 100:.1f}%",
+            f"{report.total_switch_cycles:.0f}",
+            f"{report.total_reconfig_cycles:.0f}",
+        ])
+    text = format_table(
+        ["policy", "req/s", "p50 ms", "p95 ms", "p99 ms", "SLO",
+         "cache hits", "util", "switch cyc", "reconfig cyc"],
+        rows,
+    )
+    return {
+        "rows": rows,
+        "reports": {p: r.to_dict() for p, r in reports.items()},
+        "text": text,
+    }

@@ -1,9 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the everyday workflows:
+Four commands cover the everyday workflows:
 
 * ``render``   — build a representation and render a probe frame.
 * ``simulate`` — compile a frame and run the accelerator model.
+* ``serve``    — run the multi-chip rendering service on synthetic load.
 * ``report``   — regenerate the paper's tables and figures.
 """
 
@@ -50,6 +51,44 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.core.config import AcceleratorConfig
+    from repro.serve import (
+        PipelineBatcher,
+        ServeCluster,
+        SHARDING_POLICIES,
+        TraceCache,
+        format_service_report,
+        generate_traffic,
+        simulate_service,
+    )
+
+    config = AcceleratorConfig().scaled(args.pe_scale, args.sram_scale)
+    trace = generate_traffic(
+        pattern=args.traffic,
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        seed=args.seed,
+        scenes=tuple(args.scenes.split(",")),
+        pipelines=tuple(args.pipelines.split(",")),
+        resolution=(args.width, args.height),
+        slo_s=args.slo_ms / 1e3,
+    )
+    policies = sorted(SHARDING_POLICIES) if args.compare_policies else [args.policy]
+    for policy in policies:
+        # Fresh cache per policy so the comparison stays apples-to-apples.
+        report = simulate_service(
+            trace,
+            ServeCluster(args.chips, config=config, policy=policy),
+            cache=TraceCache(capacity=args.cache_size),
+            batcher=PipelineBatcher(max_batch=args.max_batch),
+        )
+        print(format_service_report(report))
+        if len(policies) > 1:
+            print()
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis import ALL_EXPERIMENTS, run_all
 
@@ -92,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--timeline", action="store_true",
                           help="print the per-phase ASCII timeline")
     simulate.set_defaults(fn=_cmd_simulate)
+
+    serve = sub.add_parser("serve", help="run the simulated rendering service")
+    serve.add_argument("--chips", type=int, default=4)
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--traffic", default="mixed",
+                       help="steady | bursty | diurnal | mixed")
+    serve.add_argument("--policy", default="pipeline-affinity",
+                       help="round-robin | least-loaded | pipeline-affinity")
+    serve.add_argument("--compare-policies", action="store_true",
+                       help="run every sharding policy on the same trace")
+    serve.add_argument("--rate", type=float, default=150.0,
+                       help="mean arrival rate, requests/s")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scenes", default="lego,room",
+                       help="comma-separated scene names")
+    serve.add_argument("--pipelines", default="hashgrid,gaussian,mesh",
+                       help="comma-separated pipeline names")
+    serve.add_argument("--width", type=int, default=640)
+    serve.add_argument("--height", type=int, default=360)
+    serve.add_argument("--slo-ms", type=float, default=50.0,
+                       help="per-request latency SLO, milliseconds")
+    serve.add_argument("--cache-size", type=int, default=64,
+                       help="trace-cache capacity (0 disables caching)")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--pe-scale", type=int, default=1)
+    serve.add_argument("--sram-scale", type=int, default=1)
+    serve.set_defaults(fn=_cmd_serve)
 
     report = sub.add_parser("report", help="regenerate paper experiments")
     report.add_argument("experiments", nargs="*",

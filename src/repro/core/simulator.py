@@ -41,6 +41,27 @@ class FrameResult:
         """The paper's bar: >30 FPS."""
         return self.fps > 30.0
 
+    def to_dict(self) -> dict:
+        """JSON-ready export for programmatic consumers (schedule
+        omitted; use ``timeline()`` for the per-phase view)."""
+        return {
+            "pipeline": self.pipeline,
+            "cycles": self.cycles,
+            "fps": self.fps,
+            "real_time": self.real_time,
+            "power_w": self.power_w,
+            "dram_bytes": self.dram_bytes,
+            "reconfig_cycles": self.reconfig_cycles,
+            "cycles_by_op": dict(self.cycles_by_op),
+            "energy_per_frame_j": self.energy_per_frame_j,
+            "energy": {
+                "compute_and_control": self.energy.compute_and_control,
+                "pe_sram": self.energy.pe_sram,
+                "global_sram": self.energy.global_sram,
+                "dram": self.energy.dram,
+            },
+        }
+
     def summary(self) -> str:
         """One-paragraph human-readable result."""
         dominant = max(self.cycles_by_op, key=self.cycles_by_op.get)

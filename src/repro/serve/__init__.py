@@ -1,0 +1,65 @@
+"""``repro.serve`` — the simulated multi-accelerator rendering service.
+
+Turns the one-shot simulator into a service model: requests arrive over
+time (:mod:`~repro.serve.traffic`), compiled frame traces are reused
+through an LRU cache (:mod:`~repro.serve.trace_cache`), queued requests
+of one pipeline are coalesced to amortize PE-array reconfiguration
+(:mod:`~repro.serve.batcher`), a fleet of chips with a pluggable
+sharding policy executes them (:mod:`~repro.serve.cluster`), a
+discrete-event loop drives the whole thing
+(:mod:`~repro.serve.scheduler`), and the outcome is scored on
+throughput, tail latency, SLO attainment, utilization, and energy
+(:mod:`~repro.serve.metrics`).
+
+Quickstart::
+
+    from repro.serve import ServeCluster, generate_traffic, simulate_service
+
+    trace = generate_traffic("bursty", n_requests=200, seed=0)
+    report = simulate_service(trace, ServeCluster(n_chips=4))
+    print(report.throughput_rps, report.latency_p(99), report.slo_attainment)
+"""
+
+from repro.serve.request import RenderRequest, RenderResponse, TraceKey
+from repro.serve.trace_cache import CacheStats, TraceCache
+from repro.serve.batcher import Batch, PipelineBatcher
+from repro.serve.cluster import (
+    ChipState,
+    ServeCluster,
+    SHARDING_POLICIES,
+)
+from repro.serve.metrics import (
+    ServiceReport,
+    format_service_report,
+    latency_percentile,
+)
+from repro.serve.scheduler import simulate_service
+from repro.serve.traffic import (
+    DEFAULT_PIPELINES,
+    DEFAULT_RESOLUTION,
+    DEFAULT_SCENES,
+    TRAFFIC_PATTERNS,
+    generate_traffic,
+)
+
+__all__ = [
+    "RenderRequest",
+    "RenderResponse",
+    "TraceKey",
+    "TraceCache",
+    "CacheStats",
+    "Batch",
+    "PipelineBatcher",
+    "ChipState",
+    "ServeCluster",
+    "SHARDING_POLICIES",
+    "ServiceReport",
+    "format_service_report",
+    "latency_percentile",
+    "simulate_service",
+    "generate_traffic",
+    "TRAFFIC_PATTERNS",
+    "DEFAULT_SCENES",
+    "DEFAULT_PIPELINES",
+    "DEFAULT_RESOLUTION",
+]

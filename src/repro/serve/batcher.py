@@ -1,0 +1,86 @@
+"""Pipeline-affinity batching of queued requests.
+
+Switching the PE array between micro-operator pipelines costs
+``reconfigure_cycles`` (Sec. VII-E), so the dispatcher coalesces queued
+requests of the *same* pipeline into one batch: only the first frame of
+a batch can trigger a pipeline switch on its chip, and every subsequent
+frame rides the already-configured array. Batches are anchored at the
+oldest queued request, so head-of-line requests are never starved by
+younger traffic of a hotter pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.request import RenderRequest
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Same-pipeline requests dispatched to one chip back to back."""
+
+    batch_id: int
+    pipeline: str
+    requests: tuple[RenderRequest, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_arrival_s(self) -> float:
+        return min(r.arrival_s for r in self.requests)
+
+
+@dataclass
+class BatcherStats:
+    batches: int = 0
+    requests: int = 0
+    sizes: list[int] = field(default_factory=list)
+
+    @property
+    def mean_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class PipelineBatcher:
+    """Forms batches from the pending queue at dispatch time.
+
+    ``max_batch`` bounds how many requests one chip grabs at once, which
+    caps the queueing delay a batch can inflict on other pipelines'
+    traffic; ``max_batch=1`` degenerates to plain FIFO dispatch.
+    """
+
+    def __init__(self, max_batch: int = 8) -> None:
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.stats = BatcherStats()
+        self._next_batch_id = 0
+
+    def next_batch(self, pending: "deque[RenderRequest]") -> Batch:
+        """Pop the head request plus queued same-pipeline followers.
+
+        The queue order of untaken requests is preserved.
+        """
+        if not pending:
+            raise ConfigError("cannot batch an empty queue")
+        pipeline = pending[0].pipeline
+        taken: list[RenderRequest] = []
+        kept: list[RenderRequest] = []
+        while pending:
+            request = pending.popleft()
+            if request.pipeline == pipeline and len(taken) < self.max_batch:
+                taken.append(request)
+            else:
+                kept.append(request)
+        pending.extend(kept)
+
+        batch = Batch(self._next_batch_id, pipeline, tuple(taken))
+        self._next_batch_id += 1
+        self.stats.batches += 1
+        self.stats.requests += len(taken)
+        self.stats.sizes.append(len(taken))
+        return batch

@@ -1,0 +1,142 @@
+"""A fleet of Uni-Render chips with pluggable sharding policies.
+
+The cluster tracks, per chip, when it frees up, which pipeline its PE
+array is currently configured for, and lifetime accounting (busy time,
+cycles, energy, reconfigurations). A sharding policy picks the chip a
+batch runs on:
+
+* ``round-robin`` — rotate through chips regardless of state.
+* ``least-loaded`` — the chip that frees up earliest.
+* ``pipeline-affinity`` — prefer a chip already configured for the
+  batch's pipeline when waiting for it costs less than reconfiguring a
+  cold one; fall back to least-loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.config import AcceleratorConfig
+from repro.core.simulator import UniRenderAccelerator
+from repro.errors import ConfigError
+from repro.serve.batcher import Batch
+
+
+@dataclass
+class ChipState:
+    """One accelerator of the fleet plus its serving state."""
+
+    chip_id: int
+    accelerator: UniRenderAccelerator
+    free_at_s: float = 0.0
+    configured_pipeline: str | None = None
+
+    # Lifetime accounting.
+    busy_s: float = 0.0
+    requests_served: int = 0
+    frame_cycles: float = 0.0
+    switch_cycles: float = 0.0          # service-level pipeline switches
+    frame_reconfig_cycles: float = 0.0  # intra-frame reconfigurations
+    pipeline_switches: int = 0
+    energy_j: float = 0.0
+
+    @property
+    def config(self) -> AcceleratorConfig:
+        return self.accelerator.config
+
+    @property
+    def switch_s(self) -> float:
+        """Wall time of one pipeline switch on this chip."""
+        return self.config.reconfigure_cycles / self.config.clock_hz
+
+    def utilization(self, horizon_s: float) -> float:
+        return self.busy_s / horizon_s if horizon_s > 0 else 0.0
+
+    def to_dict(self, horizon_s: float) -> dict:
+        return {
+            "chip_id": self.chip_id,
+            "requests_served": self.requests_served,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization(horizon_s),
+            "pipeline_switches": self.pipeline_switches,
+            "switch_cycles": self.switch_cycles,
+            "frame_reconfig_cycles": self.frame_reconfig_cycles,
+            "energy_j": self.energy_j,
+            "configured_pipeline": self.configured_pipeline,
+        }
+
+
+#: A policy maps (chips, batch, now) -> the chip to run the batch on.
+ShardingPolicy = Callable[[list[ChipState], Batch, float], ChipState]
+
+
+def _round_robin() -> ShardingPolicy:
+    state = {"next": 0}
+
+    def pick(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
+        chip = chips[state["next"] % len(chips)]
+        state["next"] += 1
+        return chip
+
+    return pick
+
+
+def _least_loaded(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
+    return min(chips, key=lambda c: (c.free_at_s, c.chip_id))
+
+
+def _pipeline_affinity(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
+    coldest = _least_loaded(chips, batch, now)
+    warm = [c for c in chips if c.configured_pipeline == batch.pipeline]
+    if not warm:
+        return coldest
+    warmest = min(warm, key=lambda c: (c.free_at_s, c.chip_id))
+    # Waiting for the warm chip is worth at most one avoided switch.
+    cold_start = max(now, coldest.free_at_s)
+    warm_start = max(now, warmest.free_at_s)
+    if warm_start <= cold_start + coldest.switch_s:
+        return warmest
+    return coldest
+
+
+#: Registry of policy factories (fresh state per cluster).
+SHARDING_POLICIES: dict[str, Callable[[], ShardingPolicy]] = {
+    "round-robin": _round_robin,
+    "least-loaded": lambda: _least_loaded,
+    "pipeline-affinity": lambda: _pipeline_affinity,
+}
+
+
+class ServeCluster:
+    """N identical (by default) Uni-Render chips behind one dispatcher."""
+
+    def __init__(
+        self,
+        n_chips: int = 4,
+        config: AcceleratorConfig | None = None,
+        policy: str = "pipeline-affinity",
+    ) -> None:
+        if n_chips < 1:
+            raise ConfigError("cluster needs at least one chip")
+        if policy not in SHARDING_POLICIES:
+            raise ConfigError(
+                f"unknown sharding policy {policy!r}; "
+                f"choose from {sorted(SHARDING_POLICIES)}"
+            )
+        self.policy_name = policy
+        self._policy = SHARDING_POLICIES[policy]()
+        self.chips = [
+            ChipState(i, UniRenderAccelerator(config)) for i in range(n_chips)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    # ------------------------------------------------------------------
+    def select_chip(self, batch: Batch, now: float) -> ChipState:
+        return self._policy(self.chips, batch, now)
+
+    @property
+    def earliest_free_s(self) -> float:
+        return min(chip.free_at_s for chip in self.chips)

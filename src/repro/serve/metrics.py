@@ -1,0 +1,167 @@
+"""Service-level objectives and fleet metrics.
+
+The serving counterpart of :mod:`repro.metrics`: where the paper scores
+single frames (FPS, energy/frame), a service is scored on throughput,
+tail latency, SLO attainment, fleet utilization, and energy per request
+— the low-level + application view of RZBENCH-style benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.serve.cluster import ChipState
+from repro.serve.request import RenderResponse
+
+
+def latency_percentile(latencies_s: list[float] | np.ndarray, q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100])."""
+    if len(latencies_s) == 0:
+        raise SimulationError("no latencies to summarize")
+    return float(np.percentile(np.asarray(latencies_s, dtype=float), q))
+
+
+@dataclass
+class ServiceReport:
+    """Everything one service simulation produced."""
+
+    policy: str
+    responses: list[RenderResponse]
+    chips: list[ChipState]
+    cache_stats: dict
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.responses:
+            raise SimulationError("service completed no requests")
+
+    # -- time span ------------------------------------------------------
+    @property
+    def first_arrival_s(self) -> float:
+        return min(r.request.arrival_s for r in self.responses)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        return max(r.finish_s for r in self.responses) - self.first_arrival_s
+
+    # -- headline service metrics --------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.responses)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.makespan_s
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.responses])
+
+    def latency_p(self, q: float) -> float:
+        return latency_percentile(self.latencies_s, q)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests finishing within their SLO."""
+        return sum(r.slo_met for r in self.responses) / self.n_requests
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_stats.get("hit_rate", 0.0)
+
+    # -- fleet metrics --------------------------------------------------
+    @property
+    def utilizations(self) -> dict[int, float]:
+        return {c.chip_id: c.utilization(self.makespan_s) for c in self.chips}
+
+    @property
+    def mean_utilization(self) -> float:
+        values = list(self.utilizations.values())
+        return sum(values) / len(values)
+
+    @property
+    def total_switch_cycles(self) -> float:
+        return sum(c.switch_cycles for c in self.chips)
+
+    @property
+    def total_frame_reconfig_cycles(self) -> float:
+        return sum(c.frame_reconfig_cycles for c in self.chips)
+
+    @property
+    def total_reconfig_cycles(self) -> float:
+        return self.total_switch_cycles + self.total_frame_reconfig_cycles
+
+    @property
+    def energy_per_request_j(self) -> float:
+        return sum(r.energy_j for r in self.responses) / self.n_requests
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 1.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "n_requests": self.n_requests,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p(50) * 1e3,
+            "latency_p95_ms": self.latency_p(95) * 1e3,
+            "latency_p99_ms": self.latency_p(99) * 1e3,
+            "slo_attainment": self.slo_attainment,
+            "cache": dict(self.cache_stats),
+            "mean_batch_size": self.mean_batch_size,
+            "mean_utilization": self.mean_utilization,
+            "utilizations": self.utilizations,
+            "total_switch_cycles": self.total_switch_cycles,
+            "total_frame_reconfig_cycles": self.total_frame_reconfig_cycles,
+            "total_reconfig_cycles": self.total_reconfig_cycles,
+            "energy_per_request_j": self.energy_per_request_j,
+            "chips": [c.to_dict(self.makespan_s) for c in self.chips],
+        }
+
+
+def format_service_report(report: ServiceReport) -> str:
+    """Human-readable serving summary (the `repro serve` output)."""
+    from repro.analysis.tables import format_table
+
+    lines = [
+        f"policy={report.policy}  chips={len(report.chips)}  "
+        f"requests={report.n_requests}  makespan={report.makespan_s * 1e3:.1f} ms",
+        "",
+        f"throughput        {report.throughput_rps:10.1f} req/s",
+        f"latency p50       {report.latency_p(50) * 1e3:10.2f} ms",
+        f"latency p95       {report.latency_p(95) * 1e3:10.2f} ms",
+        f"latency p99       {report.latency_p(99) * 1e3:10.2f} ms",
+        f"SLO attainment    {report.slo_attainment * 100:10.1f} %",
+        f"cache hit rate    {report.cache_hit_rate * 100:10.1f} %",
+        f"mean batch size   {report.mean_batch_size:10.2f}",
+        f"energy/request    {report.energy_per_request_j * 1e3:10.2f} mJ",
+        f"reconfig cycles   {report.total_reconfig_cycles:10.0f} "
+        f"(switch {report.total_switch_cycles:.0f} "
+        f"+ in-frame {report.total_frame_reconfig_cycles:.0f})",
+        "",
+    ]
+    rows = []
+    for chip in report.chips:
+        rows.append([
+            chip.chip_id,
+            chip.requests_served,
+            f"{chip.utilization(report.makespan_s) * 100:.1f}%",
+            chip.pipeline_switches,
+            f"{chip.switch_cycles:.0f}",
+            f"{chip.energy_j:.3f}",
+            chip.configured_pipeline or "-",
+        ])
+    lines.append(format_table(
+        ["chip", "served", "util", "switches", "switch cyc", "energy J", "last pipeline"],
+        rows,
+    ))
+    return "\n".join(lines)

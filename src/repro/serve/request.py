@@ -1,0 +1,106 @@
+"""Requests and responses of the simulated rendering service.
+
+A :class:`RenderRequest` is one user-facing frame: which scene, which
+pipeline, at what resolution, when it arrived, and how quickly it must
+complete (its latency SLO). A :class:`RenderResponse` records what the
+fleet actually did with it — where it ran, how long it queued, whether
+its compiled trace came from the cache, and how many cycles the chip
+spent reconfiguring for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Cache/memo key of a compiled frame trace.
+TraceKey = tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class RenderRequest:
+    """One frame requested from the service."""
+
+    request_id: int
+    scene: str
+    pipeline: str
+    width: int
+    height: int
+    arrival_s: float
+    slo_s: float = 0.05  # latency SLO: arrival -> completion deadline
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigError("request resolution must be positive")
+        if self.arrival_s < 0:
+            raise ConfigError("arrival time cannot be negative")
+        if self.slo_s <= 0:
+            raise ConfigError("latency SLO must be positive")
+
+    @property
+    def trace_key(self) -> TraceKey:
+        """Key under which the compiled program is cached."""
+        return (self.scene, self.pipeline, self.width, self.height)
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class RenderResponse:
+    """Service-side record of one completed request."""
+
+    request: RenderRequest
+    chip_id: int
+    batch_id: int
+    start_s: float          # when the chip began this frame
+    finish_s: float
+    cycles: float           # frame cycles (switch cycles excluded)
+    switch_cycles: float    # pipeline-switch reconfiguration on the chip
+    frame_reconfig_cycles: float  # intra-frame reconfigurations (model)
+    energy_j: float
+    cache_hit: bool
+
+    @property
+    def service_s(self) -> float:
+        """Time on the chip, including the pipeline switch."""
+        return self.finish_s - self.start_s
+
+    @property
+    def queue_s(self) -> float:
+        """Time between arrival and the chip starting the frame."""
+        return self.start_s - self.request.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency the user observes."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def slo_met(self) -> bool:
+        return self.latency_s <= self.request.slo_s
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (for logs and programmatic consumers)."""
+        return {
+            "request_id": self.request.request_id,
+            "scene": self.request.scene,
+            "pipeline": self.request.pipeline,
+            "resolution": [self.request.width, self.request.height],
+            "arrival_s": self.request.arrival_s,
+            "slo_s": self.request.slo_s,
+            "chip_id": self.chip_id,
+            "batch_id": self.batch_id,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "queue_s": self.queue_s,
+            "latency_s": self.latency_s,
+            "cycles": self.cycles,
+            "switch_cycles": self.switch_cycles,
+            "frame_reconfig_cycles": self.frame_reconfig_cycles,
+            "energy_j": self.energy_j,
+            "cache_hit": self.cache_hit,
+            "slo_met": self.slo_met,
+        }

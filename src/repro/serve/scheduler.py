@@ -1,0 +1,133 @@
+"""Discrete-event loop of the rendering service.
+
+Drives arrivals -> pending queue -> batch formation -> chip dispatch ->
+completion. Time advances to the next decision point (a request arrives
+or a chip frees up); at each point the batcher coalesces queued
+same-pipeline requests and the cluster's sharding policy places the
+batch. A frame's service time is its simulated ``FrameResult.cycles``
+at the chip's clock, plus one ``reconfigure_cycles`` pipeline switch
+whenever the chip's PE array was configured for a different pipeline.
+
+Simulation results are memoized per (trace key, chip config): chips at
+the same design point render identical frames in identical cycles, so
+the fleet only pays the performance model once per distinct frame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.core.config import AcceleratorConfig
+from repro.core.simulator import FrameResult
+from repro.errors import SimulationError
+from repro.serve.batcher import Batch, PipelineBatcher
+from repro.serve.cluster import ChipState, ServeCluster
+from repro.serve.metrics import ServiceReport
+from repro.serve.request import RenderRequest, RenderResponse, TraceKey
+from repro.serve.trace_cache import TraceCache
+
+
+def _execute_batch(
+    chip: ChipState,
+    batch: Batch,
+    start_s: float,
+    cache: TraceCache,
+    result_memo: dict[tuple[TraceKey, AcceleratorConfig], FrameResult],
+) -> list[RenderResponse]:
+    """Run a batch back to back on one chip; returns its responses."""
+    clock = chip.config.clock_hz
+    responses = []
+    t = start_s
+    for request in batch.requests:
+        program, cache_hit = cache.get(request.trace_key)
+        memo_key = (request.trace_key, chip.config)
+        result = result_memo.get(memo_key)
+        if result is None:
+            result = chip.accelerator.simulate(program)
+            result_memo[memo_key] = result
+
+        switch = 0.0
+        if chip.configured_pipeline != request.pipeline:
+            switch = float(chip.config.reconfigure_cycles)
+            chip.pipeline_switches += 1
+            chip.configured_pipeline = request.pipeline
+        finish = t + (result.cycles + switch) / clock
+
+        responses.append(RenderResponse(
+            request=request,
+            chip_id=chip.chip_id,
+            batch_id=batch.batch_id,
+            start_s=t,
+            finish_s=finish,
+            cycles=result.cycles,
+            switch_cycles=switch,
+            frame_reconfig_cycles=result.reconfig_cycles,
+            energy_j=result.energy_per_frame_j,
+            cache_hit=cache_hit,
+        ))
+        chip.requests_served += 1
+        chip.frame_cycles += result.cycles
+        chip.switch_cycles += switch
+        chip.frame_reconfig_cycles += result.reconfig_cycles
+        chip.energy_j += result.energy_per_frame_j
+        t = finish
+
+    chip.busy_s += t - start_s
+    chip.free_at_s = t
+    return responses
+
+
+def simulate_service(
+    requests: Iterable[RenderRequest] | Sequence[RenderRequest],
+    cluster: ServeCluster | None = None,
+    cache: TraceCache | None = None,
+    batcher: PipelineBatcher | None = None,
+) -> ServiceReport:
+    """Serve every request on the fleet; returns the full report.
+
+    Deterministic: identical inputs produce identical schedules. The
+    same ``cluster`` must not be reused across runs (its chips carry
+    lifetime accounting); ``cache`` may be shared to model a warm
+    service.
+    """
+    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    if not ordered:
+        raise SimulationError("cannot simulate a service with no requests")
+    cluster = cluster if cluster is not None else ServeCluster()
+    cache = cache if cache is not None else TraceCache()
+    batcher = batcher if batcher is not None else PipelineBatcher()
+
+    result_memo: dict[tuple[TraceKey, AcceleratorConfig], FrameResult] = {}
+    responses: list[RenderResponse] = []
+    pending: deque[RenderRequest] = deque()
+    now = 0.0
+    i = 0
+    n = len(ordered)
+    while i < n or pending:
+        if not pending:
+            # Idle service: jump to the next arrival.
+            now = max(now, ordered[i].arrival_s)
+            while i < n and ordered[i].arrival_s <= now:
+                pending.append(ordered[i])
+                i += 1
+        if cluster.earliest_free_s > now:
+            # Whole fleet busy: let the queue build until a chip frees,
+            # so batches can coalesce more same-pipeline requests.
+            now = cluster.earliest_free_s
+            while i < n and ordered[i].arrival_s <= now:
+                pending.append(ordered[i])
+                i += 1
+
+        batch = batcher.next_batch(pending)
+        chip = cluster.select_chip(batch, now)
+        start = max(now, chip.free_at_s)
+        responses.extend(_execute_batch(chip, batch, start, cache, result_memo))
+
+    return ServiceReport(
+        policy=cluster.policy_name,
+        responses=responses,
+        chips=cluster.chips,
+        cache_stats=cache.stats.to_dict(),
+        batch_sizes=list(batcher.stats.sizes),
+    )

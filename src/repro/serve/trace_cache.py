@@ -1,0 +1,116 @@
+"""Keyed LRU cache of compiled micro-op programs.
+
+Compiling a frame (``compile_program``) renders probe frames to measure
+scene coefficients — milliseconds to seconds of work — while the
+compiled :class:`~repro.core.microops.MicroOpProgram` for a given
+(scene, pipeline, width, height) never changes. The service therefore
+keeps traces in an LRU cache so repeated requests skip compilation
+entirely; the hit/miss/eviction counters feed the serving report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.microops import MicroOpProgram
+from repro.errors import ConfigError
+from repro.serve.request import TraceKey
+
+
+def _default_compile(key: TraceKey) -> MicroOpProgram:
+    from repro.compile import compile_program
+
+    return compile_program(*key)
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    compile_s: float = 0.0        # wall time spent compiling on misses
+    compile_s_saved: float = 0.0  # compile time avoided by hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "compile_s": self.compile_s,
+            "compile_s_saved": self.compile_s_saved,
+        }
+
+
+class TraceCache:
+    """LRU cache of compiled frame programs, keyed by trace key.
+
+    ``capacity`` is the number of resident programs; 0 disables caching
+    (every lookup compiles), which the policy-comparison experiments use
+    as a baseline. ``compile_fn`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        compile_fn: Callable[[TraceKey], MicroOpProgram] = _default_compile,
+    ) -> None:
+        if capacity < 0:
+            raise ConfigError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self.compile_fn = compile_fn
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[TraceKey, MicroOpProgram]" = OrderedDict()
+        self._compile_cost_s: dict[TraceKey, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self._entries
+
+    @property
+    def keys(self) -> tuple[TraceKey, ...]:
+        """Resident keys, least recently used first."""
+        return tuple(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, key: TraceKey) -> tuple[MicroOpProgram, bool]:
+        """Return ``(program, cache_hit)``, compiling on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
+            return self._entries[key], True
+
+        began = time.perf_counter()
+        program = self.compile_fn(key)
+        cost = time.perf_counter() - began
+        self.stats.misses += 1
+        self.stats.compile_s += cost
+        self._compile_cost_s[key] = cost
+        if self.capacity > 0:
+            self._entries[key] = program
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._compile_cost_s.pop(evicted, None)
+                self.stats.evictions += 1
+        return program, False
+
+    def clear(self) -> None:
+        """Drop entries and cost records; counters are kept."""
+        self._entries.clear()
+        self._compile_cost_s.clear()

@@ -1,0 +1,136 @@
+"""Deterministic, seeded workload generators for the rendering service.
+
+Each pattern shapes *arrival times*; scenes and pipelines are drawn per
+request from the provided sets. All randomness flows through one
+``numpy`` generator seeded by the caller, so a (pattern, seed, n)
+triple always reproduces the same trace — the property the
+policy-comparison experiments and tests rely on.
+
+Patterns (RZBENCH-style scenario diversity):
+
+* ``steady``  — Poisson arrivals at a constant rate.
+* ``bursty``  — short high-rate bursts separated by idle gaps.
+* ``diurnal`` — sinusoidally modulated rate (a compressed day).
+* ``mixed``   — steady arrivals, but every request draws a pipeline
+  uniformly from the full set (maximum pipeline churn).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serve.request import RenderRequest
+
+#: Default request mix: two scenes, three pipelines with distinct
+#: PE-array configurations (so pipeline switches actually occur).
+DEFAULT_SCENES = ("lego", "room")
+DEFAULT_PIPELINES = ("hashgrid", "gaussian", "mesh")
+DEFAULT_RESOLUTION = (640, 360)
+
+
+def _steady_arrivals(n: int, rate_rps: float, rng: np.random.Generator) -> np.ndarray:
+    return np.cumsum(rng.exponential(1.0 / rate_rps, n))
+
+
+def _bursty_arrivals(
+    n: int,
+    rate_rps: float,
+    rng: np.random.Generator,
+    burst_size: int = 16,
+    burst_rate_factor: float = 10.0,
+) -> np.ndarray:
+    """Bursts of ``burst_size`` requests at ``burst_rate_factor`` times
+    the mean rate, spaced so the long-run rate still averages out."""
+    times = []
+    t = 0.0
+    emitted = 0
+    while emitted < n:
+        size = min(burst_size, n - emitted)
+        gaps = rng.exponential(1.0 / (rate_rps * burst_rate_factor), size)
+        for gap in gaps:
+            t += gap
+            times.append(t)
+        emitted += size
+        # Idle gap restoring the long-run mean rate.
+        t += size / rate_rps * (1.0 - 1.0 / burst_rate_factor)
+    return np.array(times)
+
+
+def _diurnal_arrivals(
+    n: int,
+    rate_rps: float,
+    rng: np.random.Generator,
+    period_s: float = 4.0,
+    depth: float = 0.8,
+) -> np.ndarray:
+    """Rate swings sinusoidally between (1-depth) and (1+depth) of the
+    mean over ``period_s`` — a day compressed to simulation scale."""
+    times = np.empty(n)
+    t = 0.0
+    for k in range(n):
+        local_rate = rate_rps * (1.0 + depth * np.sin(2.0 * np.pi * t / period_s))
+        t += rng.exponential(1.0 / max(local_rate, 1e-6))
+        times[k] = t
+    return times
+
+
+_ARRIVAL_SHAPES = {
+    "steady": _steady_arrivals,
+    "bursty": _bursty_arrivals,
+    "diurnal": _diurnal_arrivals,
+    "mixed": _steady_arrivals,
+}
+
+#: Public pattern names, in presentation order.
+TRAFFIC_PATTERNS = tuple(_ARRIVAL_SHAPES)
+
+
+def generate_traffic(
+    pattern: str = "steady",
+    n_requests: int = 200,
+    rate_rps: float = 150.0,
+    seed: int = 0,
+    scenes: tuple[str, ...] = DEFAULT_SCENES,
+    pipelines: tuple[str, ...] = DEFAULT_PIPELINES,
+    resolution: tuple[int, int] = DEFAULT_RESOLUTION,
+    slo_s: float = 0.05,
+    pipeline_run_length: int = 4,
+) -> list[RenderRequest]:
+    """Build one reproducible request trace.
+
+    ``pipeline_run_length`` models client-side temporal locality —
+    consecutive frames of one session use one pipeline — for every
+    pattern except ``mixed``, which redraws the pipeline per request
+    (worst-case churn for the dispatcher).
+    """
+    if pattern not in _ARRIVAL_SHAPES:
+        raise ConfigError(
+            f"unknown traffic pattern {pattern!r}; choose from {TRAFFIC_PATTERNS}"
+        )
+    if n_requests < 1:
+        raise ConfigError("n_requests must be >= 1")
+    if rate_rps <= 0:
+        raise ConfigError("rate must be positive")
+    if not scenes or not pipelines:
+        raise ConfigError("need at least one scene and one pipeline")
+
+    rng = np.random.default_rng(seed)
+    arrivals = _ARRIVAL_SHAPES[pattern](n_requests, rate_rps, rng)
+
+    run_length = 1 if pattern == "mixed" else max(1, pipeline_run_length)
+    requests = []
+    current_pipeline = None
+    for k in range(n_requests):
+        if k % run_length == 0 or current_pipeline is None:
+            current_pipeline = pipelines[int(rng.integers(len(pipelines)))]
+        requests.append(RenderRequest(
+            request_id=k,
+            scene=scenes[int(rng.integers(len(scenes)))],
+            pipeline=current_pipeline,
+            width=resolution[0],
+            height=resolution[1],
+            arrival_s=float(arrivals[k]),
+            slo_s=slo_s,
+        ))
+    return requests

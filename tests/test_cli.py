@@ -58,3 +58,44 @@ class TestCommands:
         code = main(["report", "table99"])
         assert code == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.chips == 4
+        assert args.requests == 200
+        assert args.traffic == "mixed"
+        assert args.policy == "pipeline-affinity"
+
+    def test_serve_prints_service_metrics(self, capsys):
+        code = main(["serve", "--chips", "2", "--requests", "20",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid,gaussian"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput" in out
+        assert "latency p99" in out
+        assert "SLO attainment" in out
+        assert "cache hit rate" in out
+
+    def test_serve_compare_policies(self, capsys):
+        code = main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--compare-policies"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for policy in ("round-robin", "least-loaded", "pipeline-affinity"):
+            assert f"policy={policy}" in out
+
+    def test_serve_unknown_traffic_is_clean_error(self, capsys):
+        code = main(["serve", "--traffic", "tsunami", "--requests", "5"])
+        assert code == 2
+        assert "unknown traffic pattern" in capsys.readouterr().err
+
+    def test_serve_unknown_policy_is_clean_error(self, capsys):
+        code = main(["serve", "--policy", "chaos", "--requests", "5",
+                     "--width", "64", "--height", "64"])
+        assert code == 2
+        assert "unknown sharding policy" in capsys.readouterr().err

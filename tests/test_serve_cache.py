@@ -1,0 +1,118 @@
+"""Trace cache: LRU behaviour, stats, and compile skipping."""
+
+import pytest
+
+from repro.compile.workloads import gemm_workload
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.errors import ConfigError
+from repro.serve import TraceCache
+
+
+def tiny_program(pipeline="hashgrid"):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=1e6, rows=1e3, in_width=32, out_width=4,
+                      weight_bytes=1e4),
+    )
+    return program
+
+
+class CountingCompiler:
+    """Stub compile_fn recording how often each key compiles."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, key):
+        self.calls.append(key)
+        return tiny_program(pipeline=key[1])
+
+
+KEY_A = ("lego", "hashgrid", 64, 64)
+KEY_B = ("lego", "gaussian", 64, 64)
+KEY_C = ("room", "hashgrid", 64, 64)
+
+
+class TestHitsAndMisses:
+    def test_hit_skips_recompilation(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=4, compile_fn=compiler)
+        program1, hit1 = cache.get(KEY_A)
+        program2, hit2 = cache.get(KEY_A)
+        assert (hit1, hit2) == (False, True)
+        assert program1 is program2
+        assert compiler.calls == [KEY_A]  # second lookup never compiled
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_distinct_resolutions_are_distinct_keys(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=4, compile_fn=compiler)
+        cache.get(("lego", "hashgrid", 64, 64))
+        cache.get(("lego", "hashgrid", 128, 128))
+        assert cache.stats.misses == 2
+        assert len(compiler.calls) == 2
+
+    def test_compile_time_is_accounted(self):
+        cache = TraceCache(capacity=4, compile_fn=CountingCompiler())
+        cache.get(KEY_A)
+        cache.get(KEY_A)
+        assert cache.stats.compile_s >= 0.0
+        assert cache.stats.compile_s_saved >= 0.0
+        stats = cache.stats.to_dict()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=2, compile_fn=compiler)
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        cache.get(KEY_A)          # refresh A; B is now LRU
+        cache.get(KEY_C)          # evicts B
+        assert KEY_A in cache and KEY_C in cache
+        assert KEY_B not in cache
+        assert cache.stats.evictions == 1
+        # Re-fetching the evicted key recompiles.
+        cache.get(KEY_B)
+        assert compiler.calls.count(KEY_B) == 2
+
+    def test_keys_report_lru_order(self):
+        cache = TraceCache(capacity=3, compile_fn=CountingCompiler())
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        cache.get(KEY_A)
+        assert cache.keys == (KEY_B, KEY_A)
+
+    def test_zero_capacity_disables_caching(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=0, compile_fn=compiler)
+        cache.get(KEY_A)
+        cache.get(KEY_A)
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            TraceCache(capacity=-1)
+
+    def test_clear_drops_entries_but_keeps_counters(self):
+        cache = TraceCache(capacity=4, compile_fn=CountingCompiler())
+        cache.get(KEY_A)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+
+class TestDefaultCompiler:
+    def test_compiles_real_programs(self):
+        cache = TraceCache(capacity=2)
+        program, hit = cache.get(("lego", "hashgrid", 48, 48))
+        assert not hit
+        assert program.pipeline == "hashgrid"
+        assert program.pixels == 48 * 48
+        _, hit = cache.get(("lego", "hashgrid", 48, 48))
+        assert hit

@@ -1,0 +1,119 @@
+"""Fleet state and sharding policies, including the affinity payoff."""
+
+import pytest
+
+from repro.compile.workloads import gemm_workload
+from repro.core.config import AcceleratorConfig
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.errors import ConfigError
+from repro.serve import (
+    Batch,
+    ServeCluster,
+    SHARDING_POLICIES,
+    TraceCache,
+    generate_traffic,
+    simulate_service,
+)
+
+
+def tiny_program(pipeline):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=1e6, rows=1e3, in_width=32, out_width=4,
+                      weight_bytes=1e4),
+    )
+    return program
+
+
+def stub_cache():
+    return TraceCache(capacity=64, compile_fn=lambda key: tiny_program(key[1]))
+
+
+def batch_of(pipeline):
+    return Batch(batch_id=0, pipeline=pipeline, requests=())
+
+
+class TestClusterConstruction:
+    def test_policy_registry(self):
+        assert set(SHARDING_POLICIES) == {
+            "round-robin", "least-loaded", "pipeline-affinity"
+        }
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeCluster(2, policy="random")
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeCluster(0)
+
+    def test_chips_share_the_design_point(self):
+        config = AcceleratorConfig().scaled(2, 2)
+        cluster = ServeCluster(3, config=config)
+        assert len(cluster) == 3
+        assert all(chip.config == config for chip in cluster.chips)
+
+
+class TestPolicies:
+    def test_round_robin_rotates(self):
+        cluster = ServeCluster(3, policy="round-robin")
+        picks = [cluster.select_chip(batch_of("mesh"), 0.0).chip_id
+                 for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_picks_earliest_free(self):
+        cluster = ServeCluster(3, policy="least-loaded")
+        cluster.chips[0].free_at_s = 5.0
+        cluster.chips[1].free_at_s = 1.0
+        cluster.chips[2].free_at_s = 3.0
+        assert cluster.select_chip(batch_of("mesh"), 0.0).chip_id == 1
+
+    def test_affinity_prefers_warm_chip(self):
+        cluster = ServeCluster(2, policy="pipeline-affinity")
+        cluster.chips[1].configured_pipeline = "gaussian"
+        # Chip 1 busy for less than one switch; worth the wait.
+        cluster.chips[1].free_at_s = cluster.chips[1].switch_s / 2.0
+        assert cluster.select_chip(batch_of("gaussian"), 0.0).chip_id == 1
+
+    def test_affinity_abandons_overloaded_warm_chip(self):
+        cluster = ServeCluster(2, policy="pipeline-affinity")
+        cluster.chips[1].configured_pipeline = "gaussian"
+        cluster.chips[1].free_at_s = cluster.chips[1].switch_s * 10.0
+        assert cluster.select_chip(batch_of("gaussian"), 0.0).chip_id == 0
+
+    def test_affinity_falls_back_when_no_chip_is_warm(self):
+        cluster = ServeCluster(2, policy="pipeline-affinity")
+        cluster.chips[0].free_at_s = 2.0
+        assert cluster.select_chip(batch_of("mesh"), 0.0).chip_id == 1
+
+
+class TestAffinityPayoff:
+    def test_affinity_beats_round_robin_on_reconfig_cycles(self):
+        """The acceptance claim: on a mixed-pipeline trace, affinity
+        sharding spends measurably fewer reconfiguration cycles than
+        round-robin, at no throughput cost."""
+        trace = generate_traffic("mixed", n_requests=80, seed=0,
+                                 rate_rps=300.0, resolution=(64, 64))
+        reports = {}
+        for policy in ("round-robin", "pipeline-affinity"):
+            reports[policy] = simulate_service(
+                trace, ServeCluster(4, policy=policy), cache=stub_cache(),
+            )
+        affinity = reports["pipeline-affinity"]
+        baseline = reports["round-robin"]
+        assert affinity.total_switch_cycles < 0.7 * baseline.total_switch_cycles
+        assert affinity.total_reconfig_cycles < baseline.total_reconfig_cycles
+        assert affinity.throughput_rps >= 0.95 * baseline.throughput_rps
+
+    def test_accounting_totals_match_responses(self):
+        trace = generate_traffic("mixed", n_requests=40, seed=1,
+                                 resolution=(64, 64))
+        report = simulate_service(trace, ServeCluster(2), cache=stub_cache())
+        assert report.total_switch_cycles == pytest.approx(
+            sum(r.switch_cycles for r in report.responses))
+        assert report.total_frame_reconfig_cycles == pytest.approx(
+            sum(r.frame_reconfig_cycles for r in report.responses))
+        assert sum(c.requests_served for c in report.chips) == 40
+        assert report.energy_per_request_j > 0

@@ -1,0 +1,183 @@
+"""Discrete-event service loop: batching, switches, SLOs, determinism."""
+
+import pytest
+
+from repro.compile.workloads import gemm_workload
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.errors import ConfigError, SimulationError
+from repro.serve import (
+    PipelineBatcher,
+    RenderRequest,
+    ServeCluster,
+    TraceCache,
+    generate_traffic,
+    simulate_service,
+)
+
+SWITCH = 2048  # AcceleratorConfig.reconfigure_cycles default
+
+
+def tiny_program(pipeline):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=1e6, rows=1e3, in_width=32, out_width=4,
+                      weight_bytes=1e4),
+    )
+    return program
+
+
+def stub_cache(capacity=64):
+    return TraceCache(capacity=capacity, compile_fn=lambda key: tiny_program(key[1]))
+
+
+def request(i, pipeline="hashgrid", arrival=0.0, scene="lego", slo=0.05):
+    return RenderRequest(
+        request_id=i, scene=scene, pipeline=pipeline,
+        width=64, height=64, arrival_s=arrival, slo_s=slo,
+    )
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_service([], ServeCluster(1), cache=stub_cache())
+
+    def test_bad_request_rejected(self):
+        with pytest.raises(ConfigError):
+            request(0, arrival=-1.0)
+        with pytest.raises(ConfigError):
+            RenderRequest(0, "lego", "hashgrid", 0, 64, 0.0)
+
+
+class TestBatchingAmortization:
+    def test_only_first_of_batch_pays_the_switch(self):
+        # Both requests queue while the chip warms up on request 0, so
+        # they dispatch as one batch; the second rides the configuration.
+        trace = [request(0, "gaussian", 0.0), request(1, "gaussian", 0.0)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        by_id = {r.request.request_id: r for r in report.responses}
+        assert by_id[0].switch_cycles == SWITCH
+        assert by_id[1].switch_cycles == 0.0
+        assert by_id[0].batch_id == by_id[1].batch_id
+
+    def test_pipeline_change_pays_the_switch(self):
+        trace = [request(0, "gaussian", 0.0), request(1, "mesh", 0.0)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        assert all(r.switch_cycles == SWITCH for r in report.responses)
+
+    def test_queue_builds_while_fleet_is_busy(self):
+        # Requests 1..4 arrive while the single chip serves request 0
+        # (its service time is microseconds); they must coalesce into
+        # one batch rather than dispatch eagerly to the busy chip.
+        trace = [request(0, "mesh", 0.0)] + [
+            request(i, "hashgrid", 1e-8 * i) for i in range(1, 5)
+        ]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        assert max(report.batch_sizes) == 4
+        assert report.mean_batch_size > 1.0
+
+    def test_max_batch_caps_coalescing(self):
+        trace = [request(0, "mesh", 0.0)] + [
+            request(i, "hashgrid", 1e-6) for i in range(1, 8)
+        ]
+        report = simulate_service(
+            trace, ServeCluster(1), cache=stub_cache(),
+            batcher=PipelineBatcher(max_batch=3),
+        )
+        assert max(report.batch_sizes) == 3
+
+
+class TestResponses:
+    def test_every_request_is_served_exactly_once(self):
+        trace = [request(i, "hashgrid", i * 1e-6) for i in range(20)]
+        report = simulate_service(trace, ServeCluster(2), cache=stub_cache())
+        assert sorted(r.request.request_id for r in report.responses) == list(range(20))
+
+    def test_time_accounting_is_consistent(self):
+        trace = [request(i, p, i * 1e-5)
+                 for i, p in enumerate(("mesh", "mesh", "gaussian", "mesh"))]
+        report = simulate_service(trace, ServeCluster(2), cache=stub_cache())
+        for r in report.responses:
+            assert r.start_s >= r.request.arrival_s
+            assert r.finish_s > r.start_s
+            assert r.latency_s == pytest.approx(r.queue_s + r.service_s)
+            assert r.service_s >= r.cycles / 1e9
+
+    def test_chip_serves_sequentially(self):
+        trace = [request(i, "hashgrid", 0.0) for i in range(6)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        ordered = sorted(report.responses, key=lambda r: r.start_s)
+        for before, after in zip(ordered, ordered[1:]):
+            assert after.start_s >= before.finish_s - 1e-12
+
+    def test_cache_hits_reported_per_response(self):
+        trace = [request(i, "hashgrid", i * 1e-6) for i in range(4)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        hits = [r.cache_hit for r in sorted(report.responses,
+                                            key=lambda r: r.start_s)]
+        assert hits == [False, True, True, True]
+        assert report.cache_hit_rate == pytest.approx(0.75)
+
+    def test_response_to_dict_round_trips(self):
+        trace = [request(0, "hashgrid", 0.0)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        record = report.responses[0].to_dict()
+        assert record["slo_met"] is True
+        assert record["pipeline"] == "hashgrid"
+        assert record["latency_s"] == pytest.approx(
+            report.responses[0].latency_s)
+
+
+class TestServiceReport:
+    def test_headline_metrics(self):
+        trace = [request(i, "hashgrid", i * 1e-6, slo=1.0) for i in range(10)]
+        report = simulate_service(trace, ServeCluster(2), cache=stub_cache())
+        assert report.throughput_rps > 0
+        assert report.latency_p(50) <= report.latency_p(95) <= report.latency_p(99)
+        assert report.slo_attainment == 1.0
+        assert 0.0 < report.mean_utilization <= 1.0
+        payload = report.to_dict()
+        assert payload["n_requests"] == 10
+        assert payload["policy"] == "pipeline-affinity"
+
+    def test_impossible_slo_is_missed(self):
+        trace = [request(0, "hashgrid", 0.0, slo=1e-9)]
+        report = simulate_service(trace, ServeCluster(1), cache=stub_cache())
+        assert report.slo_attainment == 0.0
+
+    def test_deterministic_replay(self):
+        def run():
+            trace = generate_traffic("mixed", n_requests=40, seed=7,
+                                     resolution=(64, 64))
+            report = simulate_service(trace, ServeCluster(2),
+                                      cache=stub_cache())
+            return [(r.request.request_id, r.chip_id, r.start_s, r.finish_s)
+                    for r in report.responses]
+
+        assert run() == run()
+
+
+class TestTraffic:
+    def test_seeded_generation_is_reproducible(self):
+        a = generate_traffic("bursty", n_requests=30, seed=3)
+        b = generate_traffic("bursty", n_requests=30, seed=3)
+        assert a == b
+        c = generate_traffic("bursty", n_requests=30, seed=4)
+        assert a != c
+
+    def test_arrivals_are_increasing(self):
+        for pattern in ("steady", "bursty", "diurnal", "mixed"):
+            trace = generate_traffic(pattern, n_requests=50, seed=0)
+            arrivals = [r.arrival_s for r in trace]
+            assert arrivals == sorted(arrivals), pattern
+            assert all(t >= 0 for t in arrivals)
+
+    def test_mixed_pattern_uses_every_pipeline(self):
+        trace = generate_traffic("mixed", n_requests=60, seed=0)
+        assert {r.pipeline for r in trace} == {"hashgrid", "gaussian", "mesh"}
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_traffic("tsunami", n_requests=10)
