@@ -1,0 +1,47 @@
+"""Elastic-serving benchmark: autoscaled heterogeneous fleet vs static.
+
+The acceptance claim of the elastic-serving extension: on bursty
+traffic, an autoscaled heterogeneous fleet (cost-aware placement, mixed
+2x-PE and baseline chips, drain between bursts) meets at least the SLO
+attainment of a statically provisioned fleet of the same ceiling while
+consuming fewer provisioned chip-seconds — and SLO-aware admission
+control trades a few shed requests for a much shorter tail.
+"""
+
+from repro.analysis.serving import elastic_summary
+
+
+def test_elastic_fleet_beats_static_on_cost(benchmark, save_text):
+    result = benchmark.pedantic(elastic_summary, rounds=1, iterations=1)
+    save_text("ext_elastic", result["text"])
+    reports = result["reports"]
+
+    for pattern in ("bursty", "diurnal"):
+        static = reports[f"{pattern}/static"]
+        auto = reports[f"{pattern}/autoscaled"]
+        shedding = reports[f"{pattern}/autoscaled+shed"]
+
+        # The elastic fleet provisions measurably fewer chip-seconds.
+        assert auto["total_chip_seconds"] < 0.9 * static["total_chip_seconds"], pattern
+        assert auto["autoscaled"] and not static["autoscaled"], pattern
+        assert auto["fleet_events"], pattern
+        # It grows beyond its floor and mixes design points when it does.
+        assert auto["peak_fleet_size"] > 3, pattern
+        if any(e["action"] == "add" for e in auto["fleet_events"]):
+            assert len(auto["cost_by_config"]) > 1, pattern
+        # Nothing is shed without an admission policy.
+        assert auto["n_shed"] == 0 and static["n_shed"] == 0, pattern
+        assert shedding["n_offered"] == auto["n_offered"], pattern
+
+    # Headline (bursty): SLO attainment no worse, at lower cost.
+    static = reports["bursty/static"]
+    auto = reports["bursty/autoscaled"]
+    assert auto["slo_attainment"] >= static["slo_attainment"]
+    assert auto["total_cost_units"] < static["total_cost_units"]
+
+    # Admission control: shedding hopeless requests shortens the tail of
+    # what the service does complete.
+    shedding = reports["bursty/autoscaled+shed"]
+    assert shedding["n_shed"] > 0
+    assert shedding["slo_attainment"] >= auto["slo_attainment"]
+    assert shedding["latency_p99_ms"] < auto["latency_p99_ms"]

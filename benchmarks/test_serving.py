@@ -13,7 +13,9 @@ def test_serving_policy_comparison(benchmark, save_text):
     result = benchmark.pedantic(serving_summary, rounds=1, iterations=1)
     save_text("ext_serving", result["text"])
     reports = result["reports"]
-    assert set(reports) == {"round-robin", "least-loaded", "pipeline-affinity"}
+    assert set(reports) == {
+        "round-robin", "least-loaded", "pipeline-affinity", "cost-aware"
+    }
 
     affinity = reports["pipeline-affinity"]
     baseline = reports["round-robin"]

@@ -40,7 +40,7 @@ from repro.analysis.sensitivity import (
     efficiency_sensitivity,
 )
 from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
-from repro.analysis.serving import serving_summary
+from repro.analysis.serving import elastic_summary, serving_summary
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
 __all__ = [
@@ -71,6 +71,7 @@ __all__ = [
     "efficiency_sensitivity",
     "hashgrid_deployment_sweep",
     "serving_summary",
+    "elastic_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

@@ -14,7 +14,7 @@ from repro.analysis.figures import (
     figure17_hybrid,
 )
 from repro.analysis.scaling_scenes import scene_scaling_study
-from repro.analysis.serving import serving_summary
+from repro.analysis.serving import elastic_summary, serving_summary
 from repro.analysis.tables import (
     table1_overview,
     table2_microops,
@@ -48,6 +48,8 @@ ALL_EXPERIMENTS = {
                           scene_scaling_study),
     "ext_serving": ("Extension — fleet serving under synthetic load",
                     serving_summary),
+    "ext_elastic": ("Extension — elastic fleets: autoscaling, admission, "
+                    "heterogeneous chips", elastic_summary),
 }
 
 

@@ -1,12 +1,20 @@
-"""Extension experiment: the rendering service under synthetic load.
+"""Extension experiments: the rendering service under synthetic load.
 
-Replays one deterministic mixed-pipeline trace through the
-``repro.serve`` fleet once per sharding policy (fresh chips and a fresh
-trace cache each run, so the comparison is apples-to-apples) and
-tabulates the service-level metrics. The headline result mirrors the
-paper's Sec. VII-E reconfiguration story at fleet scale: scheduling by
-pipeline affinity avoids most PE-array switches that oblivious
-round-robin sharding incurs.
+``serving_summary`` replays one deterministic mixed-pipeline trace
+through the ``repro.serve`` fleet once per sharding policy (fresh chips
+and a fresh trace cache each run, so the comparison is
+apples-to-apples) and tabulates the service-level metrics. The headline
+result mirrors the paper's Sec. VII-E reconfiguration story at fleet
+scale: scheduling by pipeline affinity avoids most PE-array switches
+that oblivious round-robin sharding incurs.
+
+``elastic_summary`` compares a *static* fleet (max chips provisioned
+for the whole run) against an *autoscaled heterogeneous* fleet (a small
+baseline floor that grows with mixed 2x-PE and baseline chips under
+cost-aware placement, and drains between bursts) on bursty and diurnal
+traffic, with and without SLO-aware admission control. The headline:
+the elastic fleet matches or beats the static fleet's SLO attainment
+while provisioning fewer chip-seconds (lower cost).
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from repro.serve import (
     SHARDING_POLICIES,
     TraceCache,
     generate_traffic,
+    make_admission_policy,
+    make_elastic_autoscaler,
     simulate_service,
 )
 
@@ -78,3 +88,76 @@ def serving_summary(
         "reports": {p: r.to_dict() for p, r in reports.items()},
         "text": text,
     }
+
+
+#: Elastic-serving evaluation workload: bursts that overwhelm the
+#: autoscaler's floor but leave long drain gaps, so fleet size actually
+#: matters. Shared by the experiment, the example, and the benchmark.
+ELASTIC_WORKLOAD = dict(
+    n_requests=160,
+    rate_rps=150.0,
+    seed=0,
+    scenes=("lego", "room"),
+    pipelines=("hashgrid", "gaussian", "mesh"),
+    resolution=(320, 180),
+    slo_s=0.05,
+)
+
+#: The static baseline provisions this many chips for the whole run;
+#: the autoscaler may grow to the same ceiling but starts at its floor.
+ELASTIC_MAX_CHIPS = 6
+ELASTIC_MIN_CHIPS = 3
+
+
+def elastic_summary(
+    patterns: tuple[str, ...] = ("bursty", "diurnal"),
+    workload: dict | None = None,
+) -> dict:
+    """Static vs autoscaled (vs autoscaled + admission) per pattern."""
+    workload = dict(workload or ELASTIC_WORKLOAD)
+
+    rows = []
+    reports: dict[str, dict] = {}
+    for pattern in patterns:
+        trace = generate_traffic(pattern=pattern, **workload)
+
+        variants = {
+            "static": dict(
+                cluster=ServeCluster(ELASTIC_MAX_CHIPS,
+                                     policy="pipeline-affinity"),
+            ),
+            "autoscaled": dict(
+                cluster=ServeCluster(ELASTIC_MIN_CHIPS, policy="cost-aware"),
+                autoscaler=make_elastic_autoscaler(),
+            ),
+            "autoscaled+shed": dict(
+                cluster=ServeCluster(ELASTIC_MIN_CHIPS, policy="cost-aware"),
+                autoscaler=make_elastic_autoscaler(),
+                admission=make_admission_policy("slo-shed"),
+            ),
+        }
+        for name, kwargs in variants.items():
+            report = simulate_service(
+                trace,
+                cache=TraceCache(),
+                batcher=PipelineBatcher(),
+                **kwargs,
+            )
+            reports[f"{pattern}/{name}"] = report.to_dict()
+            rows.append([
+                pattern,
+                name,
+                f"{report.slo_attainment * 100:.1f}%",
+                f"{report.goodput_slo_attainment * 100:.1f}%",
+                f"{report.latency_p(99) * 1e3:.1f}",
+                f"{report.n_shed}",
+                f"{report.peak_fleet_size}",
+                f"{report.total_chip_seconds:.2f}",
+                f"{report.total_cost_units:.2f}",
+            ])
+    text = format_table(
+        ["traffic", "fleet", "SLO", "goodput", "p99 ms", "shed",
+         "peak chips", "chip-s", "cost"],
+        rows,
+    )
+    return {"rows": rows, "reports": reports, "text": text}

@@ -55,15 +55,21 @@ def _cmd_serve(args) -> int:
     from repro.core.config import AcceleratorConfig
     from repro.serve import (
         PipelineBatcher,
+        make_elastic_autoscaler,
         ServeCluster,
         SHARDING_POLICIES,
         TraceCache,
         format_service_report,
         generate_traffic,
+        make_admission_policy,
+        parse_fleet_spec,
         simulate_service,
     )
 
     config = AcceleratorConfig().scaled(args.pe_scale, args.sram_scale)
+    fleet_configs = (
+        parse_fleet_spec(args.fleet_spec, base=config) if args.fleet_spec else None
+    )
     trace = generate_traffic(
         pattern=args.traffic,
         n_requests=args.requests,
@@ -74,16 +80,58 @@ def _cmd_serve(args) -> int:
         resolution=(args.width, args.height),
         slo_s=args.slo_ms / 1e3,
     )
+
+    def admission():
+        if args.admission == "admit-all":
+            return None
+        return make_admission_policy(args.admission)
+
+    def static_cluster(policy):
+        if fleet_configs is not None:
+            return ServeCluster(configs=fleet_configs, policy=policy)
+        return ServeCluster(args.chips, config=config, policy=policy)
+
     policies = sorted(SHARDING_POLICIES) if args.compare_policies else [args.policy]
     for policy in policies:
-        # Fresh cache per policy so the comparison stays apples-to-apples.
-        report = simulate_service(
+        # Fresh cache/batcher per run so comparisons stay apples-to-apples.
+        static = simulate_service(
             trace,
-            ServeCluster(args.chips, config=config, policy=policy),
+            static_cluster(policy),
             cache=TraceCache(capacity=args.cache_size),
             batcher=PipelineBatcher(max_batch=args.max_batch),
+            admission=admission(),
         )
-        print(format_service_report(report))
+        print(format_service_report(static))
+        if args.autoscale:
+            # Grow through the fleet spec round-robin; without a spec,
+            # mix 2x-PE/2x-SRAM chips with the base design point.
+            growth = fleet_configs or [config.scaled(2, 2), config]
+            max_chips = len(fleet_configs) if fleet_configs else args.chips
+            autoscaled = simulate_service(
+                trace,
+                ServeCluster(args.min_chips, config=config, policy=policy),
+                cache=TraceCache(capacity=args.cache_size),
+                batcher=PipelineBatcher(max_batch=args.max_batch),
+                autoscaler=make_elastic_autoscaler(
+                    min_chips=args.min_chips,
+                    max_chips=max(max_chips, args.min_chips),
+                    warmup_s=args.warmup_ms / 1e3,
+                    growth_configs=growth,
+                ),
+                admission=admission(),
+            )
+            print()
+            print(format_service_report(autoscaled))
+            saved = 1.0 - autoscaled.total_chip_seconds / static.total_chip_seconds
+            print(
+                f"\nautoscaled vs static ({policy}): "
+                f"SLO {autoscaled.slo_attainment * 100:.1f}% vs "
+                f"{static.slo_attainment * 100:.1f}%, "
+                f"chip-seconds {autoscaled.total_chip_seconds:.2f} vs "
+                f"{static.total_chip_seconds:.2f} ({saved * 100:.0f}% saved), "
+                f"cost {autoscaled.total_cost_units:.2f} vs "
+                f"{static.total_cost_units:.2f} units"
+            )
         if len(policies) > 1:
             print()
     return 0
@@ -157,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--pe-scale", type=int, default=1)
     serve.add_argument("--sram-scale", type=int, default=1)
+    serve.add_argument("--autoscale", action="store_true",
+                       help="also run an autoscaled fleet (floor "
+                            "--min-chips, ceiling --chips or the fleet "
+                            "spec) and compare it against the static one")
+    serve.add_argument("--min-chips", type=int, default=2,
+                       help="autoscaler fleet floor")
+    serve.add_argument("--warmup-ms", type=float, default=5.0,
+                       help="delay before an added chip accepts work")
+    serve.add_argument("--admission", default="admit-all",
+                       help="admit-all | tail-drop | slo-shed | downgrade")
+    serve.add_argument("--fleet-spec", default=None,
+                       help="heterogeneous fleet as [count*]PExSRAM entries, "
+                            "e.g. '3*1x1,1*2x2' (static fleet composition "
+                            "and the autoscaler's growth pool)")
     serve.set_defaults(fn=_cmd_serve)
 
     report = sub.add_parser("report", help="regenerate paper experiments")

@@ -13,6 +13,11 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 
+#: The paper's default design point, used to normalize derived chip
+#: cost rates: 16x16 PEs and 1.25 MB local + 256 KB global SRAM.
+_BASELINE_PES = 256
+_BASELINE_SRAM_BYTES = 256 * (4 * 512 * 2 + 512 * 2) + 256 * 1024
+
 
 @dataclass(frozen=True)
 class AcceleratorConfig:
@@ -46,6 +51,13 @@ class AcceleratorConfig:
     # derate relative to a vanilla systolic array.
     gemm_buffer_stage_overhead: float = 0.15
 
+    # Serving-economics hook: cost units charged per *provisioned*
+    # chip-second. ``None`` derives the rate from silicon (PE count and
+    # on-chip SRAM against the paper's 16x16 / 1.5 MB baseline, which
+    # prices at exactly 1.0); autoscaling experiments override it to
+    # model e.g. spot or reserved pricing.
+    cost_rate_per_s: float | None = None
+
     def __post_init__(self) -> None:
         if self.pe_rows < 1 or self.pe_cols < 1:
             raise ConfigError("PE array dimensions must be positive")
@@ -57,6 +69,8 @@ class AcceleratorConfig:
             raise ConfigError("global buffer unreasonably small")
         if self.gemm_buffer_stage_overhead < 0:
             raise ConfigError("overheads cannot be negative")
+        if self.cost_rate_per_s is not None and self.cost_rate_per_s <= 0:
+            raise ConfigError("chip cost rate must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -83,6 +97,28 @@ class AcceleratorConfig:
     @property
     def dram_bytes_per_cycle(self) -> float:
         return self.dram_bandwidth / self.clock_hz
+
+    # -- serving economics ----------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short design-point tag used in fleet cost breakdowns."""
+        return f"{self.pe_rows}x{self.pe_cols}pe-{self.total_sram_bytes // 1024}KB"
+
+    @property
+    def chip_cost_rate(self) -> float:
+        """Cost units per provisioned chip-second.
+
+        Explicit ``cost_rate_per_s`` wins; otherwise the rate is derived
+        from silicon, half weighted on the PE array and half on total
+        on-chip SRAM, normalized so the paper's default design point
+        costs 1.0/s. Derived rates therefore track ``scaled()``
+        automatically (a 4x-PE chip is pricier than the baseline but
+        cheaper than four baseline chips' idle tails it replaces).
+        """
+        if self.cost_rate_per_s is not None:
+            return self.cost_rate_per_s
+        return (0.5 * self.n_pes / _BASELINE_PES
+                + 0.5 * self.total_sram_bytes / _BASELINE_SRAM_BYTES)
 
     # ------------------------------------------------------------------
     def scaled(self, pe_scale: int = 1, sram_scale: int = 1) -> "AcceleratorConfig":

@@ -1,15 +1,19 @@
 """``repro.serve`` — the simulated multi-accelerator rendering service.
 
 Turns the one-shot simulator into a service model: requests arrive over
-time (:mod:`~repro.serve.traffic`), compiled frame traces are reused
+time (:mod:`~repro.serve.traffic`), an admission policy may shed or
+degrade arrivals that cannot meet their SLO
+(:mod:`~repro.serve.admission`), compiled frame traces are reused
 through an LRU cache (:mod:`~repro.serve.trace_cache`), queued requests
 of one pipeline are coalesced to amortize PE-array reconfiguration
-(:mod:`~repro.serve.batcher`), a fleet of chips with a pluggable
-sharding policy executes them (:mod:`~repro.serve.cluster`), a
-discrete-event loop drives the whole thing
-(:mod:`~repro.serve.scheduler`), and the outcome is scored on
-throughput, tail latency, SLO attainment, utilization, and energy
-(:mod:`~repro.serve.metrics`).
+(:mod:`~repro.serve.batcher`), a fleet of chips — optionally
+heterogeneous (mixed PE/SRAM scales) and elastic — executes them under
+a pluggable sharding policy (:mod:`~repro.serve.cluster`), an
+autoscaler grows and shrinks that fleet against queue depth and SLO
+attainment (:mod:`~repro.serve.autoscaler`), a discrete-event loop
+drives the whole thing (:mod:`~repro.serve.scheduler`), and the outcome
+is scored on throughput, tail latency, SLO attainment, utilization,
+energy, and provisioned cost (:mod:`~repro.serve.metrics`).
 
 Quickstart::
 
@@ -18,6 +22,20 @@ Quickstart::
     trace = generate_traffic("bursty", n_requests=200, seed=0)
     report = simulate_service(trace, ServeCluster(n_chips=4))
     print(report.throughput_rps, report.latency_p(99), report.slo_attainment)
+
+Elastic serving::
+
+    from repro.serve import Autoscaler, make_admission_policy, parse_fleet_spec
+
+    fleet = parse_fleet_spec("2*1x1,1*2x2")     # two baseline + one big chip
+    report = simulate_service(
+        trace,
+        ServeCluster(configs=fleet[:1], policy="cost-aware"),
+        autoscaler=Autoscaler(min_chips=1, max_chips=4,
+                              growth_configs=fleet),
+        admission=make_admission_policy("slo-shed"),
+    )
+    print(report.total_cost_units, report.shed_rate, report.fleet_size_timeline)
 """
 
 from repro.serve.request import RenderRequest, RenderResponse, TraceKey
@@ -27,7 +45,19 @@ from repro.serve.cluster import (
     ChipState,
     ServeCluster,
     SHARDING_POLICIES,
+    parse_fleet_spec,
 )
+from repro.serve.admission import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    Downgrade,
+    DOWNGRADE_LADDER,
+    ShedRecord,
+    SloShed,
+    TailDrop,
+    make_admission_policy,
+)
+from repro.serve.autoscaler import Autoscaler, FleetEvent, make_elastic_autoscaler
 from repro.serve.metrics import (
     ServiceReport,
     format_service_report,
@@ -53,6 +83,18 @@ __all__ = [
     "ChipState",
     "ServeCluster",
     "SHARDING_POLICIES",
+    "parse_fleet_spec",
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "TailDrop",
+    "SloShed",
+    "Downgrade",
+    "DOWNGRADE_LADDER",
+    "ShedRecord",
+    "make_admission_policy",
+    "Autoscaler",
+    "FleetEvent",
+    "make_elastic_autoscaler",
     "ServiceReport",
     "format_service_report",
     "latency_percentile",

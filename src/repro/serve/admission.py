@@ -1,0 +1,163 @@
+"""Admission control and load shedding for the rendering service.
+
+Under overload a queue-everything service answers *every* request late;
+an admission policy instead decides, the moment a request arrives,
+whether serving it is still worth anything. The scheduler hands each
+policy its live projection of the request's queue wait (time until a
+chip frees plus the backlog ahead of it, scaled by the observed mean
+service time) and the policy returns one of three outcomes:
+
+* **admit** — enqueue the request unchanged;
+* **shed** — reject it now (the client sees a fast failure instead of a
+  blown SLO); the scheduler records a :class:`ShedRecord`;
+* **degrade** — admit a rewritten request on a cheaper pipeline, trading
+  rendering fidelity for latency headroom.
+
+Policies:
+
+* ``admit-all``  — the PR-1 behavior; every request queues.
+* ``tail-drop``  — shed once the pending queue exceeds a fixed depth.
+* ``slo-shed``   — shed when the projected wait plus one mean service
+  time already exceeds the request's SLO budget.
+* ``downgrade``  — same trigger as ``slo-shed``, but first try moving
+  the request to the cheapest pipeline of a configurable ladder; shed
+  only when it is already at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.serve.request import RenderRequest
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One request the service refused to queue."""
+
+    request: RenderRequest
+    shed_at_s: float
+    reason: str
+    projected_wait_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request.request_id,
+            "pipeline": self.request.pipeline,
+            "arrival_s": self.request.arrival_s,
+            "slo_s": self.request.slo_s,
+            "shed_at_s": self.shed_at_s,
+            "reason": self.reason,
+            "projected_wait_s": self.projected_wait_s,
+        }
+
+
+class AdmissionPolicy:
+    """Admit every request (the no-op baseline)."""
+
+    name = "admit-all"
+
+    def admit(
+        self,
+        request: RenderRequest,
+        now: float,
+        projected_wait_s: float,
+        est_service_s: float,
+        queue_depth: int,
+    ) -> RenderRequest | None:
+        """Return the request to enqueue (possibly rewritten) or ``None``
+        to shed it."""
+        return request
+
+
+class TailDrop(AdmissionPolicy):
+    """Classic bounded queue: shed arrivals once the queue is full."""
+
+    name = "tail-drop"
+
+    def __init__(self, max_queue: int = 32) -> None:
+        if max_queue < 1:
+            raise ConfigError("tail-drop queue bound must be >= 1")
+        self.max_queue = max_queue
+
+    def admit(self, request, now, projected_wait_s, est_service_s, queue_depth):
+        if queue_depth >= self.max_queue:
+            return None
+        return request
+
+
+class SloShed(AdmissionPolicy):
+    """Shed requests whose projected completion already blows the SLO.
+
+    ``margin`` scales the budget: 1.0 sheds exactly at the SLO, < 1.0
+    sheds earlier (conservative), > 1.0 lets borderline requests try.
+    """
+
+    name = "slo-shed"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        if margin <= 0:
+            raise ConfigError("slo-shed margin must be positive")
+        self.margin = margin
+
+    def admit(self, request, now, projected_wait_s, est_service_s, queue_depth):
+        # Decisions are made at the request's arrival instant (the
+        # scheduler passes now == arrival_s), so the budget is the SLO.
+        if projected_wait_s + est_service_s > request.slo_s * self.margin:
+            return None
+        return request
+
+
+#: Default fidelity ladder, priciest first. Mesh rasterization is the
+#: cheapest frame in the model, so it is the degradation target.
+DOWNGRADE_LADDER = ("gaussian", "hashgrid", "mesh")
+
+
+class Downgrade(SloShed):
+    """Degrade-to-cheaper-pipeline before shedding.
+
+    When a request's projected wait blows its SLO budget, rewrite it to
+    the cheapest pipeline of ``ladder`` (keeping scene/resolution/SLO);
+    only requests already at the bottom of the ladder are shed.
+    """
+
+    name = "downgrade"
+
+    def __init__(
+        self, margin: float = 1.0, ladder: tuple[str, ...] = DOWNGRADE_LADDER
+    ) -> None:
+        super().__init__(margin)
+        if len(ladder) < 2:
+            raise ConfigError("downgrade ladder needs at least two rungs")
+        self.ladder = tuple(ladder)
+
+    def admit(self, request, now, projected_wait_s, est_service_s, queue_depth):
+        admitted = super().admit(
+            request, now, projected_wait_s, est_service_s, queue_depth
+        )
+        if admitted is not None:
+            return admitted
+        cheapest = self.ladder[-1]
+        if request.pipeline == cheapest or request.pipeline not in self.ladder:
+            return None
+        return replace(request, pipeline=cheapest, degraded=True)
+
+
+#: Registry of admission-policy factories (fresh state per run).
+ADMISSION_POLICIES: dict[str, Callable[[], AdmissionPolicy]] = {
+    "admit-all": AdmissionPolicy,
+    "tail-drop": TailDrop,
+    "slo-shed": SloShed,
+    "downgrade": Downgrade,
+}
+
+
+def make_admission_policy(name: str) -> AdmissionPolicy:
+    if name not in ADMISSION_POLICIES:
+        raise ConfigError(
+            f"unknown admission policy {name!r}; "
+            f"choose from {sorted(ADMISSION_POLICIES)}"
+        )
+    return ADMISSION_POLICIES[name]()

@@ -1,0 +1,186 @@
+"""Feedback-controlled fleet sizing for the rendering service.
+
+The autoscaler watches two signals over a sliding window — pending
+queue depth per active chip and SLO attainment of recently finished
+requests — and actuates the cluster at the scheduler's decision points:
+
+* **scale up** when the windowed queue depth per chip exceeds
+  ``target_queue_per_chip`` or windowed SLO attainment drops below
+  ``slo_target``. New chips take ``warmup_s`` to come online (boot,
+  load firmware, fill the trace cache's working set) and draw their
+  config from ``growth_configs`` round-robin, so a heterogeneous fleet
+  can grow with whatever mix the operator provisioned.
+* **scale down** when the queue has drained, at least two active chips
+  sit idle *right now*, and the window shows no SLO pressure; the most
+  expensive idle chip is retired first (pairs with the ``cost-aware``
+  sharding policy, which packs work onto cheap chips and lets pricey
+  ones drain).
+
+Every action is appended to :attr:`Autoscaler.events`, which becomes
+the fleet-size timeline in the :class:`~repro.serve.metrics.ServiceReport`.
+``cooldown_s`` rate-limits actions so one burst cannot thrash the fleet.
+All state is deterministic: same trace, same decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.serve.cluster import ServeCluster
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One autoscaling action (the fleet-size timeline's unit)."""
+
+    t_s: float
+    action: str      # "add" | "retire"
+    chip_id: int
+    config: str      # AcceleratorConfig.label of the chip
+    n_active: int    # fleet size *after* the action
+
+    def to_dict(self) -> dict:
+        return {
+            "t_s": self.t_s,
+            "action": self.action,
+            "chip_id": self.chip_id,
+            "config": self.config,
+            "n_active": self.n_active,
+        }
+
+
+class Autoscaler:
+    """Grow/shrink a :class:`ServeCluster` against queue and SLO signals."""
+
+    def __init__(
+        self,
+        min_chips: int = 1,
+        max_chips: int = 8,
+        *,
+        target_queue_per_chip: float = 4.0,
+        slo_target: float = 0.99,
+        window_s: float = 0.25,
+        warmup_s: float = 0.02,
+        cooldown_s: float = 0.05,
+        growth_configs: Sequence[AcceleratorConfig | None] | None = None,
+    ) -> None:
+        if min_chips < 1:
+            raise ConfigError("autoscaler floor must be >= 1 chip")
+        if max_chips < min_chips:
+            raise ConfigError("autoscaler ceiling must be >= its floor")
+        if target_queue_per_chip <= 0:
+            raise ConfigError("target queue depth must be positive")
+        if not 0.0 < slo_target <= 1.0:
+            raise ConfigError("SLO target must be in (0, 1]")
+        if window_s <= 0 or warmup_s < 0 or cooldown_s < 0:
+            raise ConfigError("autoscaler time constants cannot be negative")
+        self.min_chips = min_chips
+        self.max_chips = max_chips
+        self.target_queue_per_chip = target_queue_per_chip
+        self.slo_target = slo_target
+        self.window_s = window_s
+        self.warmup_s = warmup_s
+        self.cooldown_s = cooldown_s
+        self.growth_configs = list(growth_configs) if growth_configs else [None]
+        self._next_growth = 0
+        self._last_action_s = float("-inf")
+        self._queue_samples: deque[tuple[float, int]] = deque()
+        self._slo_samples: deque[tuple[float, bool]] = deque()
+        self.events: list[FleetEvent] = []
+
+    # -- signal intake --------------------------------------------------
+    def record_response(self, finish_s: float, slo_met: bool) -> None:
+        """Feed one completed request into the SLO window."""
+        self._slo_samples.append((finish_s, slo_met))
+
+    def _prune(self, now: float) -> None:
+        # Samples are only approximately time-ordered (shed events carry
+        # arrival stamps that can interleave with completion stamps), so
+        # filter rather than pop from the left.
+        horizon = now - self.window_s
+        self._queue_samples = deque(
+            (t, d) for t, d in self._queue_samples if t >= horizon
+        )
+        self._slo_samples = deque(
+            (t, met) for t, met in self._slo_samples if t >= horizon
+        )
+
+    def mean_queue_depth(self) -> float:
+        if not self._queue_samples:
+            return 0.0
+        return sum(d for _, d in self._queue_samples) / len(self._queue_samples)
+
+    def window_slo_attainment(self) -> float:
+        """SLO attainment over the window; 1.0 when nothing finished."""
+        if not self._slo_samples:
+            return 1.0
+        return sum(met for _, met in self._slo_samples) / len(self._slo_samples)
+
+    # -- control loop ---------------------------------------------------
+    def observe(self, now: float, cluster: ServeCluster, queue_depth: int) -> None:
+        """One control-loop tick at a scheduler decision point."""
+        self._prune(now)
+        self._queue_samples.append((now, queue_depth))
+        if now - self._last_action_s < self.cooldown_s:
+            return
+
+        n_active = cluster.n_active
+        pressure = (
+            self.mean_queue_depth() / n_active > self.target_queue_per_chip
+            or self.window_slo_attainment() < self.slo_target
+        )
+        if pressure and n_active < self.max_chips:
+            config = self.growth_configs[self._next_growth % len(self.growth_configs)]
+            self._next_growth += 1
+            chip = cluster.add_chip(config, now=now, warmup_s=self.warmup_s)
+            self._last_action_s = now
+            self.events.append(FleetEvent(
+                now, "add", chip.chip_id, chip.config.label, cluster.n_active
+            ))
+            return
+
+        idle = [c for c in cluster.active_chips if c.free_at_s <= now]
+        calm = (
+            queue_depth == 0
+            and self.mean_queue_depth() < 1.0
+            and self.window_slo_attainment() >= self.slo_target
+        )
+        if calm and n_active > self.min_chips and len(idle) >= 2:
+            victim = max(
+                idle, key=lambda c: (c.config.chip_cost_rate, c.added_at_s, c.chip_id)
+            )
+            cluster.retire_chip(victim, now)
+            self._last_action_s = now
+            self.events.append(FleetEvent(
+                now, "retire", victim.chip_id, victim.config.label,
+                cluster.n_active,
+            ))
+
+
+def make_elastic_autoscaler(
+    min_chips: int = 3,
+    max_chips: int = 6,
+    warmup_s: float = 0.005,
+    growth_configs: Sequence[AcceleratorConfig | None] | None = None,
+) -> Autoscaler:
+    """The tuned controller shared by ``repro serve --autoscale``, the
+    ``ext_elastic`` experiment, and the elastic example: by default grow
+    with a mix of 2x-PE/2x-SRAM and baseline chips and drain between
+    bursts. Defaults are tuned for the elastic evaluation workload
+    (bursts at ~10x a 150 req/s mean against a 50 ms SLO)."""
+    if growth_configs is None:
+        growth_configs = [AcceleratorConfig().scaled(2, 2), None]
+    return Autoscaler(
+        min_chips=min_chips,
+        max_chips=max_chips,
+        target_queue_per_chip=1.0,
+        slo_target=0.95,
+        window_s=0.1,
+        warmup_s=warmup_s,
+        cooldown_s=0.02,
+        growth_configs=growth_configs,
+    )

@@ -2,20 +2,30 @@
 
 The cluster tracks, per chip, when it frees up, which pipeline its PE
 array is currently configured for, and lifetime accounting (busy time,
-cycles, energy, reconfigurations). A sharding policy picks the chip a
-batch runs on:
+cycles, energy, reconfigurations, provisioned cost). Fleets may be
+*heterogeneous* — each chip its own :class:`AcceleratorConfig` (mixed
+PE/SRAM scales) — and *elastic*: the autoscaler adds chips (with a
+warm-up delay) and retires them mid-run; retired chips stop receiving
+work but keep their accounting for the final report.
 
-* ``round-robin`` — rotate through chips regardless of state.
+A sharding policy picks the chip a batch runs on:
+
+* ``round-robin`` — rotate through chips, skipping busy chips whenever
+  an idle one exists at dispatch time.
 * ``least-loaded`` — the chip that frees up earliest.
 * ``pipeline-affinity`` — prefer a chip already configured for the
   batch's pipeline when waiting for it costs less than reconfiguring a
   cold one; fall back to least-loaded.
+* ``cost-aware`` — the cheapest chip (by provisioned cost rate) that
+  can still start the batch within its SLO deadline; ties break to the
+  earliest-free chip, and when no chip makes the deadline the policy
+  degrades to least-loaded to limit the damage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.core.config import AcceleratorConfig
 from repro.core.simulator import UniRenderAccelerator
@@ -32,6 +42,11 @@ class ChipState:
     free_at_s: float = 0.0
     configured_pipeline: str | None = None
 
+    # Elastic lifecycle: when the chip joined the fleet and (if the
+    # autoscaler retired it) when it stopped accruing provisioned cost.
+    added_at_s: float = 0.0
+    retired_at_s: float | None = None
+
     # Lifetime accounting.
     busy_s: float = 0.0
     requests_served: int = 0
@@ -46,16 +61,36 @@ class ChipState:
         return self.accelerator.config
 
     @property
+    def active(self) -> bool:
+        return self.retired_at_s is None
+
+    @property
     def switch_s(self) -> float:
         """Wall time of one pipeline switch on this chip."""
         return self.config.reconfigure_cycles / self.config.clock_hz
 
     def utilization(self, horizon_s: float) -> float:
-        return self.busy_s / horizon_s if horizon_s > 0 else 0.0
+        """Busy fraction of this chip's *provisioned* lifetime up to the
+        absolute time ``horizon_s`` — a chip added late or retired early
+        is scored over the span it was actually paid for."""
+        alive = self.alive_s(horizon_s)
+        return self.busy_s / alive if alive > 0 else 0.0
+
+    def alive_s(self, horizon_s: float) -> float:
+        """Provisioned wall time: join to retirement (or the horizon)."""
+        end = self.retired_at_s if self.retired_at_s is not None else horizon_s
+        return max(0.0, end - self.added_at_s)
+
+    def cost_units(self, horizon_s: float) -> float:
+        """Provisioned cost: chip-seconds weighted by the chip's rate."""
+        return self.alive_s(horizon_s) * self.config.chip_cost_rate
 
     def to_dict(self, horizon_s: float) -> dict:
+        """JSON summary; ``horizon_s`` is the absolute end time both
+        utilization and provisioned cost are scored against."""
         return {
             "chip_id": self.chip_id,
+            "config": self.config.label,
             "requests_served": self.requests_served,
             "busy_s": self.busy_s,
             "utilization": self.utilization(horizon_s),
@@ -64,29 +99,47 @@ class ChipState:
             "frame_reconfig_cycles": self.frame_reconfig_cycles,
             "energy_j": self.energy_j,
             "configured_pipeline": self.configured_pipeline,
+            "added_at_s": self.added_at_s,
+            "retired_at_s": self.retired_at_s,
+            "alive_s": self.alive_s(horizon_s),
+            "cost_units": self.cost_units(horizon_s),
         }
 
 
-#: A policy maps (chips, batch, now) -> the chip to run the batch on.
-ShardingPolicy = Callable[[list[ChipState], Batch, float], ChipState]
+#: A policy maps (active chips, batch, now, est_service_s) -> the chip
+#: to run the batch on. ``est_service_s`` is the dispatcher's current
+#: estimate of one frame's service time (0.0 while the service is cold);
+#: only deadline-aware policies use it.
+ShardingPolicy = Callable[[list[ChipState], Batch, float, float], ChipState]
 
 
 def _round_robin() -> ShardingPolicy:
     state = {"next": 0}
 
-    def pick(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
-        chip = chips[state["next"] % len(chips)]
-        state["next"] += 1
+    def pick(chips: list[ChipState], batch: Batch, now: float,
+             est_service_s: float = 0.0) -> ChipState:
+        # Rotate, but never queue behind a busy chip while another sits
+        # idle: scan forward from the pointer for an idle chip first.
+        n = len(chips)
+        for k in range(n):
+            chip = chips[(state["next"] + k) % n]
+            if chip.free_at_s <= now:
+                state["next"] = (state["next"] + k + 1) % n
+                return chip
+        chip = chips[state["next"] % n]
+        state["next"] = (state["next"] + 1) % n
         return chip
 
     return pick
 
 
-def _least_loaded(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
+def _least_loaded(chips: list[ChipState], batch: Batch, now: float,
+                  est_service_s: float = 0.0) -> ChipState:
     return min(chips, key=lambda c: (c.free_at_s, c.chip_id))
 
 
-def _pipeline_affinity(chips: list[ChipState], batch: Batch, now: float) -> ChipState:
+def _pipeline_affinity(chips: list[ChipState], batch: Batch, now: float,
+                       est_service_s: float = 0.0) -> ChipState:
     coldest = _least_loaded(chips, batch, now)
     warm = [c for c in chips if c.configured_pipeline == batch.pipeline]
     if not warm:
@@ -100,43 +153,184 @@ def _pipeline_affinity(chips: list[ChipState], batch: Batch, now: float) -> Chip
     return coldest
 
 
+def _cost_aware(chips: list[ChipState], batch: Batch, now: float,
+                est_service_s: float = 0.0) -> ChipState:
+    """Cheapest chip that can still finish the batch head within its SLO.
+
+    Feasibility projects the first frame's *completion*: queue wait,
+    plus a pipeline switch if the chip is cold, plus the dispatcher's
+    fleet-wide service-time estimate (an approximation — frames run
+    faster on scaled-up chips than the blended estimate says). Packs
+    work onto the cheapest feasible chips (letting pricier ones drain,
+    which is what allows the autoscaler to retire them); when no chip
+    makes the deadline, degrades to least-loaded.
+    """
+    deadline = min(
+        (r.arrival_s + r.slo_s for r in batch.requests), default=float("inf")
+    )
+    feasible = []
+    for chip in chips:
+        start = max(now, chip.free_at_s)
+        if chip.configured_pipeline != batch.pipeline:
+            start += chip.switch_s
+        if start + est_service_s <= deadline:
+            feasible.append(chip)
+    if not feasible:
+        return _least_loaded(chips, batch, now)
+    return min(
+        feasible,
+        key=lambda c: (c.config.chip_cost_rate, c.free_at_s, c.chip_id),
+    )
+
+
 #: Registry of policy factories (fresh state per cluster).
 SHARDING_POLICIES: dict[str, Callable[[], ShardingPolicy]] = {
     "round-robin": _round_robin,
     "least-loaded": lambda: _least_loaded,
     "pipeline-affinity": lambda: _pipeline_affinity,
+    "cost-aware": lambda: _cost_aware,
 }
 
 
+def parse_fleet_spec(
+    spec: str, base: AcceleratorConfig | None = None
+) -> list[AcceleratorConfig]:
+    """Parse a ``--fleet-spec`` string into per-chip configs.
+
+    Each comma-separated entry is ``[count*]PExSRAM`` where PE and SRAM
+    are power-of-two scale factors applied to ``base`` via
+    :meth:`AcceleratorConfig.scaled`. Examples::
+
+        "1x1,1x1,2x2"   -> two baseline chips and one 2x-PE/2x-SRAM chip
+        "3*1x1,1*4x2"   -> three baseline chips and one 4x-PE/2x-SRAM chip
+    """
+    base = base if base is not None else AcceleratorConfig()
+    configs: list[AcceleratorConfig] = []
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        count = 1
+        if "*" in entry:
+            head, _, entry = entry.partition("*")
+            try:
+                count = int(head)
+            except ValueError:
+                raise ConfigError(f"bad fleet-spec count in {raw!r}")
+            if count < 1:
+                raise ConfigError(f"fleet-spec count must be >= 1 in {raw!r}")
+        try:
+            pe_s, sram_s = (int(part) for part in entry.split("x"))
+        except ValueError:
+            raise ConfigError(
+                f"bad fleet-spec entry {raw!r}; expected [count*]PExSRAM"
+            )
+        configs.extend([base.scaled(pe_s, sram_s)] * count)
+    if not configs:
+        raise ConfigError(f"fleet spec {spec!r} describes no chips")
+    return configs
+
+
 class ServeCluster:
-    """N identical (by default) Uni-Render chips behind one dispatcher."""
+    """A fleet of Uni-Render chips behind one dispatcher.
+
+    ``n_chips`` identical chips by default; pass ``configs`` (a list of
+    per-chip :class:`AcceleratorConfig`) for a heterogeneous fleet. The
+    fleet is elastic: :meth:`add_chip` / :meth:`retire_chip` are the
+    autoscaler's actuators, and only :attr:`active_chips` receive new
+    batches.
+    """
 
     def __init__(
         self,
         n_chips: int = 4,
         config: AcceleratorConfig | None = None,
         policy: str = "pipeline-affinity",
+        configs: Sequence[AcceleratorConfig] | None = None,
     ) -> None:
-        if n_chips < 1:
-            raise ConfigError("cluster needs at least one chip")
+        if configs is not None and config is not None:
+            raise ConfigError("pass either config (homogeneous) or configs")
         if policy not in SHARDING_POLICIES:
             raise ConfigError(
                 f"unknown sharding policy {policy!r}; "
                 f"choose from {sorted(SHARDING_POLICIES)}"
             )
+        if configs is not None:
+            chip_configs = list(configs)
+        else:
+            if n_chips < 1:
+                raise ConfigError("cluster needs at least one chip")
+            chip_configs = [config] * n_chips
+        if not chip_configs:
+            raise ConfigError("cluster needs at least one chip")
         self.policy_name = policy
         self._policy = SHARDING_POLICIES[policy]()
         self.chips = [
-            ChipState(i, UniRenderAccelerator(config)) for i in range(n_chips)
+            ChipState(i, UniRenderAccelerator(cfg))
+            for i, cfg in enumerate(chip_configs)
         ]
 
     def __len__(self) -> int:
         return len(self.chips)
 
     # ------------------------------------------------------------------
-    def select_chip(self, batch: Batch, now: float) -> ChipState:
-        return self._policy(self.chips, batch, now)
+    @property
+    def active_chips(self) -> list[ChipState]:
+        return [chip for chip in self.chips if chip.active]
+
+    @property
+    def n_active(self) -> int:
+        return sum(1 for chip in self.chips if chip.active)
+
+    @property
+    def lifetime_dirty(self) -> bool:
+        """True once any chip has served work or the fleet has flexed —
+        the state that makes reuse across runs unsound."""
+        return any(
+            chip.requests_served > 0
+            or chip.busy_s > 0
+            or chip.retired_at_s is not None
+            or chip.added_at_s > 0
+            for chip in self.chips
+        )
+
+    # ------------------------------------------------------------------
+    def select_chip(self, batch: Batch, now: float,
+                    est_service_s: float = 0.0) -> ChipState:
+        return self._policy(self.active_chips, batch, now, est_service_s)
 
     @property
     def earliest_free_s(self) -> float:
-        return min(chip.free_at_s for chip in self.chips)
+        return min(chip.free_at_s for chip in self.active_chips)
+
+    # -- elastic actuators ---------------------------------------------
+    def add_chip(
+        self,
+        config: AcceleratorConfig | None = None,
+        now: float = 0.0,
+        warmup_s: float = 0.0,
+    ) -> ChipState:
+        """Provision one more chip; it accepts work after ``warmup_s``.
+
+        ``config=None`` clones the fleet's first chip's design point, so
+        a scaled homogeneous cluster grows with more of the same chips
+        rather than silently reverting to the paper's baseline.
+        """
+        if config is None:
+            config = self.chips[0].config
+        chip = ChipState(
+            chip_id=len(self.chips),
+            accelerator=UniRenderAccelerator(config),
+            free_at_s=now + warmup_s,
+            added_at_s=now,
+        )
+        self.chips.append(chip)
+        return chip
+
+    def retire_chip(self, chip: ChipState, now: float) -> None:
+        """Stop routing to ``chip``; it finishes in-flight work first."""
+        if not chip.active:
+            raise ConfigError(f"chip {chip.chip_id} is already retired")
+        if self.n_active <= 1:
+            raise ConfigError("cannot retire the last active chip")
+        chip.retired_at_s = max(now, chip.free_at_s)

@@ -4,6 +4,13 @@ The serving counterpart of :mod:`repro.metrics`: where the paper scores
 single frames (FPS, energy/frame), a service is scored on throughput,
 tail latency, SLO attainment, fleet utilization, and energy per request
 — the low-level + application view of RZBENCH-style benchmarking.
+
+With elastic serving the report also carries the economics: every chip
+accrues provisioned cost (chip-seconds weighted by its design point's
+:attr:`~repro.core.config.AcceleratorConfig.chip_cost_rate`) from the
+moment it joins the fleet to retirement, requests refused by admission
+control are listed in ``shed``, and the autoscaler's actions form a
+fleet-size timeline.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.serve.admission import ShedRecord
+from repro.serve.autoscaler import FleetEvent
 from repro.serve.cluster import ChipState
 from repro.serve.request import RenderResponse
 
@@ -33,6 +42,10 @@ class ServiceReport:
     chips: list[ChipState]
     cache_stats: dict
     batch_sizes: list[int] = field(default_factory=list)
+    shed: list[ShedRecord] = field(default_factory=list)
+    fleet_events: list[FleetEvent] = field(default_factory=list)
+    admission_policy: str | None = None
+    autoscaled: bool = False
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -44,9 +57,14 @@ class ServiceReport:
         return min(r.request.arrival_s for r in self.responses)
 
     @property
+    def end_s(self) -> float:
+        """Absolute time of the last completion (the cost horizon)."""
+        return max(r.finish_s for r in self.responses)
+
+    @property
     def makespan_s(self) -> float:
         """First arrival to last completion."""
-        return max(r.finish_s for r in self.responses) - self.first_arrival_s
+        return self.end_s - self.first_arrival_s
 
     # -- headline service metrics --------------------------------------
     @property
@@ -66,17 +84,42 @@ class ServiceReport:
 
     @property
     def slo_attainment(self) -> float:
-        """Fraction of requests finishing within their SLO."""
+        """Fraction of *completed* requests finishing within their SLO."""
         return sum(r.slo_met for r in self.responses) / self.n_requests
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_stats.get("hit_rate", 0.0)
 
+    # -- admission metrics ----------------------------------------------
+    @property
+    def n_shed(self) -> int:
+        return len(self.shed)
+
+    @property
+    def n_offered(self) -> int:
+        """Requests that arrived, whether or not they were admitted."""
+        return self.n_requests + self.n_shed
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_offered
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for r in self.responses if r.request.degraded)
+
+    @property
+    def goodput_slo_attainment(self) -> float:
+        """SLO attainment over *offered* traffic: sheds count as misses,
+        so an admission policy cannot look good by refusing everything."""
+        return sum(r.slo_met for r in self.responses) / self.n_offered
+
     # -- fleet metrics --------------------------------------------------
     @property
     def utilizations(self) -> dict[int, float]:
-        return {c.chip_id: c.utilization(self.makespan_s) for c in self.chips}
+        """Per-chip busy fraction of its provisioned lifetime."""
+        return {c.chip_id: c.utilization(self.end_s) for c in self.chips}
 
     @property
     def mean_utilization(self) -> float:
@@ -105,17 +148,70 @@ class ServiceReport:
             return 1.0
         return sum(self.batch_sizes) / len(self.batch_sizes)
 
+    # -- fleet economics -------------------------------------------------
+    @property
+    def total_chip_seconds(self) -> float:
+        """Provisioned chip-seconds: join-to-retirement per chip."""
+        return sum(c.alive_s(self.end_s) for c in self.chips)
+
+    @property
+    def total_cost_units(self) -> float:
+        """Provisioned cost: chip-seconds weighted by per-chip rates."""
+        return sum(c.cost_units(self.end_s) for c in self.chips)
+
+    @property
+    def cost_by_config(self) -> dict[str, dict]:
+        """Per-design-point breakdown of the heterogeneous fleet."""
+        horizon = self.end_s
+        out: dict[str, dict] = {}
+        for chip in self.chips:
+            entry = out.setdefault(chip.config.label, {
+                "chips": 0,
+                "requests_served": 0,
+                "chip_seconds": 0.0,
+                "cost_units": 0.0,
+                "energy_j": 0.0,
+            })
+            entry["chips"] += 1
+            entry["requests_served"] += chip.requests_served
+            entry["chip_seconds"] += chip.alive_s(horizon)
+            entry["cost_units"] += chip.cost_units(horizon)
+            entry["energy_j"] += chip.energy_j
+        return out
+
+    @property
+    def fleet_size_timeline(self) -> list[tuple[float, int]]:
+        """(time, active chips) steps, starting at the initial fleet."""
+        autoscaled_ids = {e.chip_id for e in self.fleet_events
+                          if e.action == "add"}
+        initial = sum(1 for c in self.chips if c.chip_id not in autoscaled_ids)
+        timeline = [(0.0, initial)]
+        for event in self.fleet_events:
+            timeline.append((event.t_s, event.n_active))
+        return timeline
+
+    @property
+    def peak_fleet_size(self) -> int:
+        return max(n for _, n in self.fleet_size_timeline)
+
     # -- export ---------------------------------------------------------
     def to_dict(self) -> dict:
         return {
             "policy": self.policy,
+            "admission_policy": self.admission_policy,
+            "autoscaled": self.autoscaled,
             "n_requests": self.n_requests,
+            "n_offered": self.n_offered,
+            "n_shed": self.n_shed,
+            "n_degraded": self.n_degraded,
+            "shed_rate": self.shed_rate,
             "makespan_s": self.makespan_s,
             "throughput_rps": self.throughput_rps,
             "latency_p50_ms": self.latency_p(50) * 1e3,
             "latency_p95_ms": self.latency_p(95) * 1e3,
             "latency_p99_ms": self.latency_p(99) * 1e3,
             "slo_attainment": self.slo_attainment,
+            "goodput_slo_attainment": self.goodput_slo_attainment,
             "cache": dict(self.cache_stats),
             "mean_batch_size": self.mean_batch_size,
             "mean_utilization": self.mean_utilization,
@@ -124,7 +220,14 @@ class ServiceReport:
             "total_frame_reconfig_cycles": self.total_frame_reconfig_cycles,
             "total_reconfig_cycles": self.total_reconfig_cycles,
             "energy_per_request_j": self.energy_per_request_j,
-            "chips": [c.to_dict(self.makespan_s) for c in self.chips],
+            "total_chip_seconds": self.total_chip_seconds,
+            "total_cost_units": self.total_cost_units,
+            "cost_by_config": self.cost_by_config,
+            "peak_fleet_size": self.peak_fleet_size,
+            "fleet_size_timeline": self.fleet_size_timeline,
+            "fleet_events": [e.to_dict() for e in self.fleet_events],
+            "shed": [s.to_dict() for s in self.shed],
+            "chips": [c.to_dict(self.end_s) for c in self.chips],
         }
 
 
@@ -132,18 +235,26 @@ def format_service_report(report: ServiceReport) -> str:
     """Human-readable serving summary (the `repro serve` output)."""
     from repro.analysis.tables import format_table
 
+    admission = report.admission_policy or "admit-all"
     lines = [
-        f"policy={report.policy}  chips={len(report.chips)}  "
-        f"requests={report.n_requests}  makespan={report.makespan_s * 1e3:.1f} ms",
+        f"policy={report.policy}  admission={admission}  "
+        f"chips={len(report.chips)}"
+        + (f" (peak {report.peak_fleet_size} active)" if report.autoscaled else "")
+        + f"  requests={report.n_requests}/{report.n_offered}"
+        f"  makespan={report.makespan_s * 1e3:.1f} ms",
         "",
         f"throughput        {report.throughput_rps:10.1f} req/s",
         f"latency p50       {report.latency_p(50) * 1e3:10.2f} ms",
         f"latency p95       {report.latency_p(95) * 1e3:10.2f} ms",
         f"latency p99       {report.latency_p(99) * 1e3:10.2f} ms",
         f"SLO attainment    {report.slo_attainment * 100:10.1f} %",
+        f"goodput (offered) {report.goodput_slo_attainment * 100:10.1f} %",
+        f"shed / degraded   {report.n_shed:10d} / {report.n_degraded} requests",
         f"cache hit rate    {report.cache_hit_rate * 100:10.1f} %",
         f"mean batch size   {report.mean_batch_size:10.2f}",
         f"energy/request    {report.energy_per_request_j * 1e3:10.2f} mJ",
+        f"chip-seconds      {report.total_chip_seconds:10.3f} s "
+        f"({report.total_cost_units:.3f} cost units)",
         f"reconfig cycles   {report.total_reconfig_cycles:10.0f} "
         f"(switch {report.total_switch_cycles:.0f} "
         f"+ in-frame {report.total_frame_reconfig_cycles:.0f})",
@@ -151,17 +262,30 @@ def format_service_report(report: ServiceReport) -> str:
     ]
     rows = []
     for chip in report.chips:
+        lifecycle = "active"
+        if chip.retired_at_s is not None:
+            lifecycle = f"retired @{chip.retired_at_s * 1e3:.0f}ms"
+        elif chip.added_at_s > 0:
+            lifecycle = f"added @{chip.added_at_s * 1e3:.0f}ms"
         rows.append([
             chip.chip_id,
+            chip.config.label,
             chip.requests_served,
-            f"{chip.utilization(report.makespan_s) * 100:.1f}%",
+            f"{chip.utilization(report.end_s) * 100:.1f}%",
             chip.pipeline_switches,
-            f"{chip.switch_cycles:.0f}",
+            f"{chip.cost_units(report.end_s):.3f}",
             f"{chip.energy_j:.3f}",
-            chip.configured_pipeline or "-",
+            lifecycle,
         ])
     lines.append(format_table(
-        ["chip", "served", "util", "switches", "switch cyc", "energy J", "last pipeline"],
+        ["chip", "config", "served", "util", "switches", "cost", "energy J",
+         "lifecycle"],
         rows,
     ))
+    if report.fleet_events:
+        steps = "  ".join(
+            f"{t * 1e3:.0f}ms:{n}" for t, n in report.fleet_size_timeline
+        )
+        lines.append("")
+        lines.append(f"fleet size timeline: {steps}")
     return "\n".join(lines)

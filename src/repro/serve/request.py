@@ -29,6 +29,7 @@ class RenderRequest:
     height: int
     arrival_s: float
     slo_s: float = 0.05  # latency SLO: arrival -> completion deadline
+    degraded: bool = False  # admission control moved it to a cheaper pipeline
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -91,6 +92,7 @@ class RenderResponse:
             "resolution": [self.request.width, self.request.height],
             "arrival_s": self.request.arrival_s,
             "slo_s": self.request.slo_s,
+            "degraded": self.request.degraded,
             "chip_id": self.chip_id,
             "batch_id": self.batch_id,
             "start_s": self.start_s,

@@ -99,3 +99,53 @@ class TestServeCommand:
                      "--width", "64", "--height", "64"])
         assert code == 2
         assert "unknown sharding policy" in capsys.readouterr().err
+
+
+class TestElasticServeFlags:
+    def test_elastic_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.autoscale is False
+        assert args.min_chips == 2
+        assert args.admission == "admit-all"
+        assert args.fleet_spec is None
+
+    def test_serve_autoscale_compares_fleets(self, capsys):
+        code = main(["serve", "--chips", "3", "--requests", "24",
+                     "--traffic", "bursty", "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid,gaussian",
+                     "--autoscale", "--min-chips", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "autoscaled vs static" in out
+        assert "chip-seconds" in out
+        assert "fleet size timeline" in out
+
+    def test_serve_fleet_spec_builds_heterogeneous_fleet(self, capsys):
+        code = main(["serve", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--fleet-spec", "1*1x1,1*2x2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "16x16pe" in out and "16x32pe" in out
+
+    def test_serve_admission_policy_runs(self, capsys):
+        code = main(["serve", "--chips", "2", "--requests", "20",
+                     "--traffic", "bursty", "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid,gaussian",
+                     "--admission", "slo-shed"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admission=slo-shed" in out
+
+    def test_serve_bad_fleet_spec_is_clean_error(self, capsys):
+        code = main(["serve", "--fleet-spec", "2y2", "--requests", "5"])
+        assert code == 2
+        assert "fleet-spec" in capsys.readouterr().err
+
+    def test_serve_unknown_admission_is_clean_error(self, capsys):
+        code = main(["serve", "--admission", "bouncer", "--requests", "5",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid"])
+        assert code == 2
+        assert "unknown admission policy" in capsys.readouterr().err

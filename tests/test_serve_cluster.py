@@ -8,6 +8,7 @@ from repro.core.microops import MicroOp, MicroOpProgram
 from repro.errors import ConfigError
 from repro.serve import (
     Batch,
+    RenderRequest,
     ServeCluster,
     SHARDING_POLICIES,
     TraceCache,
@@ -38,7 +39,7 @@ def batch_of(pipeline):
 class TestClusterConstruction:
     def test_policy_registry(self):
         assert set(SHARDING_POLICIES) == {
-            "round-robin", "least-loaded", "pipeline-affinity"
+            "round-robin", "least-loaded", "pipeline-affinity", "cost-aware"
         }
 
     def test_unknown_policy_rejected(self):
@@ -55,6 +56,72 @@ class TestClusterConstruction:
         assert len(cluster) == 3
         assert all(chip.config == config for chip in cluster.chips)
 
+    def test_heterogeneous_fleet_from_configs(self):
+        configs = [AcceleratorConfig(), AcceleratorConfig().scaled(2, 2)]
+        cluster = ServeCluster(configs=configs)
+        assert len(cluster) == 2
+        assert [c.config for c in cluster.chips] == configs
+        assert cluster.chips[0].config.chip_cost_rate < \
+            cluster.chips[1].config.chip_cost_rate
+
+    def test_config_and_configs_are_mutually_exclusive(self):
+        with pytest.raises(ConfigError):
+            ServeCluster(config=AcceleratorConfig(),
+                         configs=[AcceleratorConfig()])
+
+    def test_parse_fleet_spec(self):
+        from repro.serve import parse_fleet_spec
+
+        configs = parse_fleet_spec("2*1x1,1*2x2")
+        assert len(configs) == 3
+        assert configs[0] == configs[1] == AcceleratorConfig()
+        assert configs[2] == AcceleratorConfig().scaled(2, 2)
+        for bad in ("", "1y1", "0*1x1", "ax1x1"):
+            with pytest.raises(ConfigError):
+                parse_fleet_spec(bad)
+
+
+class TestElasticFleet:
+    def test_add_chip_warms_up_before_accepting_work(self):
+        cluster = ServeCluster(1)
+        chip = cluster.add_chip(now=1.0, warmup_s=0.5)
+        assert chip.chip_id == 1
+        assert chip.added_at_s == 1.0
+        assert chip.free_at_s == 1.5
+        assert cluster.n_active == 2
+
+    def test_add_chip_inherits_the_fleet_design_point(self):
+        scaled = AcceleratorConfig().scaled(4, 4)
+        cluster = ServeCluster(1, config=scaled)
+        assert cluster.add_chip(now=0.0).config == scaled
+        assert cluster.add_chip(AcceleratorConfig(), now=0.0).config == \
+            AcceleratorConfig()
+
+    def test_retire_excludes_chip_from_selection(self):
+        cluster = ServeCluster(2, policy="least-loaded")
+        cluster.retire_chip(cluster.chips[0], now=1.0)
+        assert not cluster.chips[0].active
+        assert cluster.select_chip(batch_of("mesh"), 2.0).chip_id == 1
+        assert cluster.chips[0].alive_s(horizon_s=5.0) == 1.0
+        assert cluster.chips[1].alive_s(horizon_s=5.0) == 5.0
+
+    def test_cannot_retire_last_active_chip(self):
+        cluster = ServeCluster(1)
+        with pytest.raises(ConfigError):
+            cluster.retire_chip(cluster.chips[0], now=0.0)
+
+    def test_cost_accounting_tracks_rate_and_lifetime(self):
+        big = AcceleratorConfig().scaled(2, 2)
+        cluster = ServeCluster(configs=[AcceleratorConfig(), big])
+        assert cluster.chips[0].cost_units(2.0) == pytest.approx(2.0)
+        assert cluster.chips[1].cost_units(2.0) == pytest.approx(
+            2.0 * big.chip_cost_rate)
+        expected = (0.5 * big.n_pes / AcceleratorConfig().n_pes
+                    + 0.5 * big.total_sram_bytes
+                    / AcceleratorConfig().total_sram_bytes)
+        assert big.chip_cost_rate == pytest.approx(expected)
+        assert AcceleratorConfig().chip_cost_rate == pytest.approx(1.0)
+
 
 class TestPolicies:
     def test_round_robin_rotates(self):
@@ -62,6 +129,21 @@ class TestPolicies:
         picks = [cluster.select_chip(batch_of("mesh"), 0.0).chip_id
                  for _ in range(6)]
         assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_busy_chip_when_idle_exists(self):
+        cluster = ServeCluster(3, policy="round-robin")
+        cluster.chips[0].free_at_s = 5.0
+        picks = [cluster.select_chip(batch_of("mesh"), 0.0).chip_id
+                 for _ in range(4)]
+        assert picks == [1, 2, 1, 2]
+
+    def test_round_robin_queues_when_all_chips_busy(self):
+        cluster = ServeCluster(2, policy="round-robin")
+        for chip in cluster.chips:
+            chip.free_at_s = 5.0
+        picks = [cluster.select_chip(batch_of("mesh"), 0.0).chip_id
+                 for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
 
     def test_least_loaded_picks_earliest_free(self):
         cluster = ServeCluster(3, policy="least-loaded")
@@ -86,6 +168,63 @@ class TestPolicies:
     def test_affinity_falls_back_when_no_chip_is_warm(self):
         cluster = ServeCluster(2, policy="pipeline-affinity")
         cluster.chips[0].free_at_s = 2.0
+        assert cluster.select_chip(batch_of("mesh"), 0.0).chip_id == 1
+
+
+def deadline_batch(pipeline="mesh", arrival=0.0, slo=0.05):
+    request = RenderRequest(
+        request_id=0, scene="lego", pipeline=pipeline,
+        width=64, height=64, arrival_s=arrival, slo_s=slo,
+    )
+    return Batch(batch_id=0, pipeline=pipeline, requests=(request,))
+
+
+class TestCostAwarePolicy:
+    def heterogeneous(self):
+        configs = [AcceleratorConfig().scaled(2, 2), AcceleratorConfig()]
+        return ServeCluster(configs=configs, policy="cost-aware")
+
+    def test_picks_cheapest_feasible_chip(self):
+        cluster = self.heterogeneous()
+        # Both idle and configured: chip 1 (baseline) is cheaper.
+        for chip in cluster.chips:
+            chip.configured_pipeline = "mesh"
+        assert cluster.select_chip(deadline_batch(slo=1.0), 0.0).chip_id == 1
+
+    def test_spills_to_expensive_chip_when_cheap_misses_deadline(self):
+        cluster = self.heterogeneous()
+        for chip in cluster.chips:
+            chip.configured_pipeline = "mesh"
+        cluster.chips[1].free_at_s = 0.1  # cheap chip busy past the SLO
+        assert cluster.select_chip(deadline_batch(slo=0.05), 0.0).chip_id == 0
+
+    def test_feasibility_projects_completion_not_just_start(self):
+        cluster = self.heterogeneous()
+        for chip in cluster.chips:
+            chip.configured_pipeline = "mesh"
+        # Cheap chip frees at 20 ms; with a 40 ms frame it finishes at
+        # 60 ms — past the 50 ms SLO even though it *starts* in time.
+        cluster.chips[1].free_at_s = 0.02
+        batch = deadline_batch(slo=0.05)
+        assert cluster.select_chip(batch, 0.0, est_service_s=0.04).chip_id == 0
+        # Without the estimate (cold service) start-feasibility wins.
+        assert cluster.select_chip(batch, 0.0).chip_id == 1
+
+    def test_accounts_for_pipeline_switch_in_feasibility(self):
+        cluster = self.heterogeneous()
+        cluster.chips[0].configured_pipeline = "mesh"
+        cluster.chips[1].configured_pipeline = "gaussian"  # must switch
+        slo = cluster.chips[1].switch_s / 2.0  # switch alone blows it
+        assert cluster.select_chip(deadline_batch(slo=slo), 0.0).chip_id == 0
+
+    def test_degrades_to_least_loaded_when_nothing_is_feasible(self):
+        cluster = self.heterogeneous()
+        cluster.chips[0].free_at_s = 3.0
+        cluster.chips[1].free_at_s = 7.0
+        assert cluster.select_chip(deadline_batch(slo=0.01), 0.0).chip_id == 0
+
+    def test_empty_batch_means_no_deadline(self):
+        cluster = self.heterogeneous()
         assert cluster.select_chip(batch_of("mesh"), 0.0).chip_id == 1
 
 

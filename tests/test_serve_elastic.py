@@ -1,0 +1,222 @@
+"""Unit tests of the elastic-serving pieces: autoscaler and admission.
+
+The integration behavior (invariants under randomized traffic, the
+cost-vs-static headline) lives in test_serve_invariants.py and
+benchmarks/test_elastic.py; here each controller decision and admission
+verdict is pinned in isolation against hand-built cluster state.
+"""
+
+import pytest
+
+from repro.core.config import AcceleratorConfig
+from repro.errors import ConfigError
+from repro.serve import (
+    ADMISSION_POLICIES,
+    Autoscaler,
+    Downgrade,
+    RenderRequest,
+    ServeCluster,
+    SloShed,
+    TailDrop,
+    make_admission_policy,
+)
+
+
+def request(i=0, pipeline="gaussian", arrival=0.0, slo=0.05):
+    return RenderRequest(
+        request_id=i, scene="lego", pipeline=pipeline,
+        width=64, height=64, arrival_s=arrival, slo_s=slo,
+    )
+
+
+class TestAutoscalerValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            Autoscaler(min_chips=0)
+        with pytest.raises(ConfigError):
+            Autoscaler(min_chips=4, max_chips=2)
+        with pytest.raises(ConfigError):
+            Autoscaler(target_queue_per_chip=0.0)
+        with pytest.raises(ConfigError):
+            Autoscaler(slo_target=1.5)
+        with pytest.raises(ConfigError):
+            Autoscaler(window_s=0.0)
+
+
+class TestScaleUp:
+    def test_queue_pressure_adds_a_chip(self):
+        cluster = ServeCluster(1)
+        scaler = Autoscaler(min_chips=1, max_chips=2,
+                            target_queue_per_chip=4.0, cooldown_s=0.0)
+        scaler.observe(0.0, cluster, queue_depth=10)
+        assert cluster.n_active == 2
+        assert [e.action for e in scaler.events] == ["add"]
+        assert scaler.events[0].n_active == 2
+
+    def test_ceiling_is_respected(self):
+        cluster = ServeCluster(2)
+        scaler = Autoscaler(min_chips=1, max_chips=2, cooldown_s=0.0)
+        scaler.observe(0.0, cluster, queue_depth=100)
+        assert cluster.n_active == 2
+        assert scaler.events == []
+
+    def test_warmup_delays_the_new_chip(self):
+        cluster = ServeCluster(1)
+        scaler = Autoscaler(max_chips=2, warmup_s=0.5, cooldown_s=0.0)
+        scaler.observe(1.0, cluster, queue_depth=50)
+        added = cluster.chips[-1]
+        assert added.added_at_s == 1.0
+        assert added.free_at_s == 1.5
+
+    def test_growth_configs_cycle(self):
+        big = AcceleratorConfig().scaled(2, 2)
+        cluster = ServeCluster(1)
+        scaler = Autoscaler(max_chips=4, cooldown_s=0.0,
+                            growth_configs=[big, None])
+        for t in (0.0, 0.1, 0.2):
+            scaler.observe(t, cluster, queue_depth=50)
+        assert [c.config.label for c in cluster.chips[1:]] == [
+            big.label, AcceleratorConfig().label, big.label
+        ]
+
+    def test_bad_windowed_slo_triggers_growth_without_queue(self):
+        cluster = ServeCluster(1)
+        scaler = Autoscaler(max_chips=2, slo_target=0.9, cooldown_s=0.0)
+        for k in range(10):
+            scaler.record_response(finish_s=0.01 * k, slo_met=(k % 2 == 0))
+        scaler.observe(0.1, cluster, queue_depth=0)
+        assert cluster.n_active == 2
+
+    def test_cooldown_rate_limits_actions(self):
+        cluster = ServeCluster(1)
+        scaler = Autoscaler(max_chips=4, cooldown_s=1.0)
+        scaler.observe(0.0, cluster, queue_depth=50)
+        scaler.observe(0.5, cluster, queue_depth=50)  # inside cooldown
+        assert cluster.n_active == 2
+        scaler.observe(1.0, cluster, queue_depth=50)
+        assert cluster.n_active == 3
+
+
+class TestScaleDown:
+    def calm_scaler(self, **kwargs):
+        return Autoscaler(min_chips=1, max_chips=4, cooldown_s=0.0, **kwargs)
+
+    def test_idle_fleet_retires_most_expensive_chip(self):
+        big = AcceleratorConfig().scaled(2, 2)
+        cluster = ServeCluster(configs=[AcceleratorConfig(), big])
+        scaler = self.calm_scaler()
+        scaler.observe(1.0, cluster, queue_depth=0)
+        assert cluster.n_active == 1
+        assert cluster.chips[1].retired_at_s == 1.0  # the pricey chip went
+        assert [e.action for e in scaler.events] == ["retire"]
+
+    def test_floor_is_respected(self):
+        cluster = ServeCluster(2)
+        scaler = Autoscaler(min_chips=2, max_chips=4, cooldown_s=0.0)
+        scaler.observe(1.0, cluster, queue_depth=0)
+        assert cluster.n_active == 2
+
+    def test_busy_chips_are_not_retired(self):
+        cluster = ServeCluster(2)
+        cluster.chips[1].free_at_s = 5.0  # still rendering
+        scaler = self.calm_scaler()
+        scaler.observe(1.0, cluster, queue_depth=0)
+        # Only one chip is idle right now; retiring it would leave the
+        # busy chip alone mid-batch, so the controller holds.
+        assert cluster.n_active == 2
+
+    def test_window_prunes_old_samples(self):
+        scaler = Autoscaler(window_s=0.1)
+        scaler.observe(0.0, ServeCluster(1), queue_depth=100)
+        scaler.observe(1.0, ServeCluster(1), queue_depth=0)
+        assert scaler.mean_queue_depth() == pytest.approx(0.0)
+
+
+class TestShedPressureFeedback:
+    def test_sustained_shedding_grows_the_fleet(self):
+        # Overload a single chip hard enough that slo-shed refuses most
+        # arrivals: shed requests must still register as SLO misses in
+        # the controller's window, or admission control would hide the
+        # very pressure that should trigger scale-up.
+        from repro.compile.workloads import gemm_workload
+        from repro.core.microops import MicroOp, MicroOpProgram
+        from repro.serve import (PipelineBatcher, TraceCache,
+                                 generate_traffic, simulate_service)
+
+        def program(pipeline):
+            p = MicroOpProgram(pipeline=pipeline, pixels=1024)
+            p.append(MicroOp.GEMM, "mlp",
+                     gemm_workload(macs=2e8, rows=1e3, in_width=32,
+                                   out_width=4, weight_bytes=1e4))
+            return p
+
+        trace = generate_traffic("steady", n_requests=60, rate_rps=20000.0,
+                                 seed=0, resolution=(64, 64), slo_s=0.0005)
+        report = simulate_service(
+            trace,
+            ServeCluster(1, policy="least-loaded"),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: program(key[1])),
+            batcher=PipelineBatcher(),
+            autoscaler=Autoscaler(min_chips=1, max_chips=4,
+                                  window_s=0.005, warmup_s=0.0005,
+                                  cooldown_s=0.001),
+            admission=make_admission_policy("slo-shed"),
+        )
+        assert report.n_shed > 0
+        assert report.peak_fleet_size > 1, \
+            "shedding suppressed the scale-up signal"
+
+
+class TestAdmissionPolicies:
+    def test_registry_and_factory(self):
+        assert set(ADMISSION_POLICIES) == {
+            "admit-all", "tail-drop", "slo-shed", "downgrade"
+        }
+        with pytest.raises(ConfigError):
+            make_admission_policy("bouncer")
+
+    def test_admit_all_never_sheds(self):
+        policy = make_admission_policy("admit-all")
+        r = request()
+        assert policy.admit(r, 0.0, 1e9, 1e9, 10_000) is r
+
+    def test_tail_drop_bounds_the_queue(self):
+        policy = TailDrop(max_queue=4)
+        assert policy.admit(request(), 0.0, 0.0, 0.0, 3) is not None
+        assert policy.admit(request(), 0.0, 0.0, 0.0, 4) is None
+        with pytest.raises(ConfigError):
+            TailDrop(max_queue=0)
+
+    def test_slo_shed_uses_projection_and_margin(self):
+        r = request(slo=0.05)
+        assert SloShed().admit(r, 0.0, 0.02, 0.02, 5) is r
+        assert SloShed().admit(r, 0.0, 0.04, 0.02, 5) is None
+        # A generous margin lets the borderline request through.
+        assert SloShed(margin=1.5).admit(r, 0.0, 0.04, 0.02, 5) is r
+        with pytest.raises(ConfigError):
+            SloShed(margin=0.0)
+
+    def test_downgrade_rewrites_to_cheapest_rung(self):
+        policy = Downgrade()
+        r = request(pipeline="gaussian", slo=0.05)
+        verdict = policy.admit(r, 0.0, 0.1, 0.02, 5)
+        assert verdict is not None
+        assert verdict.pipeline == "mesh"
+        assert verdict.degraded is True
+        assert verdict.request_id == r.request_id
+        assert verdict.slo_s == r.slo_s
+
+    def test_downgrade_sheds_at_the_bottom_of_the_ladder(self):
+        policy = Downgrade()
+        assert policy.admit(request(pipeline="mesh"), 0.0, 0.1, 0.02, 5) is None
+
+    def test_downgrade_admits_when_projection_fits(self):
+        policy = Downgrade()
+        r = request(pipeline="gaussian")
+        verdict = policy.admit(r, 0.0, 0.0, 0.001, 0)
+        assert verdict is r  # untouched
+
+    def test_downgrade_ladder_validation(self):
+        with pytest.raises(ConfigError):
+            Downgrade(ladder=("mesh",))

@@ -1,0 +1,120 @@
+"""Golden regression numbers for the service scheduler.
+
+Freezes the latency percentiles, SLO attainment, and switch-cycle
+totals of one steady and one bursty scenario per sharding policy, so a
+scheduler refactor cannot silently shift serving results. The trace
+cache is stubbed with synthetic per-pipeline programs, making the
+numbers a function of the *scheduler* alone — performance-model changes
+do not move them; an intentional scheduler change must update this
+table (regenerate by running the scenario below and copying the
+values).
+
+Scenario: 60 requests, seed 42, 12000 req/s offered at 64x64 with a
+0.5 ms SLO on a three-chip baseline fleet — hot enough that queues form
+and bursts blow SLOs, so the numbers actually exercise queueing,
+batching, and switch placement.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.compile.workloads import gemm_workload
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.serve import (
+    PipelineBatcher,
+    ServeCluster,
+    SHARDING_POLICIES,
+    TraceCache,
+    generate_traffic,
+    simulate_service,
+)
+
+#: Per-pipeline synthetic frame costs (matches test_serve_invariants).
+_PIPELINE_MACS = {"hashgrid": 2e7, "gaussian": 1.6e8, "mesh": 4e7}
+
+
+def stub_program(pipeline):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=_PIPELINE_MACS.get(pipeline, 5e7), rows=1e3,
+                      in_width=32, out_width=4, weight_bytes=1e4),
+    )
+    return program
+
+
+def run_scenario(pattern, policy):
+    trace = generate_traffic(pattern=pattern, n_requests=60, rate_rps=12000.0,
+                             seed=42, resolution=(64, 64), slo_s=0.0005)
+    return simulate_service(
+        trace,
+        ServeCluster(3, policy=policy),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+    )
+
+
+@dataclass(frozen=True)
+class Golden:
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    slo_attainment: float
+    switch_cycles: float
+
+
+GOLDEN = {
+    ("steady", "cost-aware"): Golden(
+        p50_ms=0.071270407, p95_ms=0.186053815,
+        p99_ms=0.262092448, slo_attainment=1.000000000,
+        switch_cycles=53248.0),
+    ("steady", "least-loaded"): Golden(
+        p50_ms=0.071270407, p95_ms=0.186053815,
+        p99_ms=0.262092448, slo_attainment=1.000000000,
+        switch_cycles=53248.0),
+    ("steady", "pipeline-affinity"): Golden(
+        p50_ms=0.069222407, p95_ms=0.185189157,
+        p99_ms=0.262092448, slo_attainment=1.000000000,
+        switch_cycles=43008.0),
+    ("steady", "round-robin"): Golden(
+        p50_ms=0.071270407, p95_ms=0.186053815,
+        p99_ms=0.262092448, slo_attainment=1.000000000,
+        switch_cycles=53248.0),
+    ("bursty", "cost-aware"): Golden(
+        p50_ms=0.185378649, p95_ms=1.009230573,
+        p99_ms=1.428536610, slo_attainment=0.800000000,
+        switch_cycles=36864.0),
+    ("bursty", "least-loaded"): Golden(
+        p50_ms=0.185378649, p95_ms=1.009230573,
+        p99_ms=1.428536610, slo_attainment=0.800000000,
+        switch_cycles=36864.0),
+    ("bursty", "pipeline-affinity"): Golden(
+        p50_ms=0.183233521, p95_ms=1.009230573,
+        p99_ms=1.428536610, slo_attainment=0.783333333,
+        switch_cycles=32768.0),
+    ("bursty", "round-robin"): Golden(
+        p50_ms=0.185378649, p95_ms=1.009230573,
+        p99_ms=1.428536610, slo_attainment=0.800000000,
+        switch_cycles=36864.0),
+}
+
+
+@pytest.mark.parametrize("pattern", ["steady", "bursty"])
+@pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+def test_scheduler_numbers_are_frozen(pattern, policy):
+    golden = GOLDEN[(pattern, policy)]
+    report = run_scenario(pattern, policy)
+    assert report.latency_p(50) * 1e3 == pytest.approx(golden.p50_ms, rel=1e-6)
+    assert report.latency_p(95) * 1e3 == pytest.approx(golden.p95_ms, rel=1e-6)
+    assert report.latency_p(99) * 1e3 == pytest.approx(golden.p99_ms, rel=1e-6)
+    assert report.slo_attainment == pytest.approx(
+        golden.slo_attainment, rel=1e-9)
+    assert report.total_switch_cycles == golden.switch_cycles
+
+
+def test_goldens_cover_every_policy():
+    # A new sharding policy must freeze its numbers here too.
+    assert {policy for _, policy in GOLDEN} == set(SHARDING_POLICIES)

@@ -1,0 +1,211 @@
+"""Scheduler invariants under randomized traffic.
+
+Example-based tests pin specific schedules; this suite instead asserts
+properties that must hold for *every* schedule the discrete-event loop
+can produce — seeded random traffic crossed with every sharding policy,
+several fleet shapes (single chip, homogeneous, heterogeneous), and the
+elastic features (autoscaler, each admission policy):
+
+* causality — no response finishes before it starts, starts before its
+  request arrives, or runs outside its chip's provisioned lifetime;
+* mutual exclusion — a chip never runs two batches at once;
+* completeness — every request is either shed or answered exactly once;
+* conservation — cycles, switches, energy, and busy time summed over
+  responses equal the per-chip lifetime accounting;
+* determinism — the same seed reproduces an identical ServiceReport.
+
+The trace cache is stubbed with per-pipeline synthetic programs so the
+suite exercises the scheduler, not the performance model.
+"""
+
+import pytest
+
+from repro.compile.workloads import gemm_workload
+from repro.core.config import AcceleratorConfig
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.serve import (
+    ADMISSION_POLICIES,
+    Autoscaler,
+    PipelineBatcher,
+    ServeCluster,
+    SHARDING_POLICIES,
+    TraceCache,
+    generate_traffic,
+    make_admission_policy,
+    simulate_service,
+)
+
+#: Deterministic per-pipeline cost skew: frame costs differ by ~8x so
+#: batching, affinity, and admission projections all have teeth.
+_PIPELINE_MACS = {"hashgrid": 2e7, "gaussian": 1.6e8, "mesh": 4e7}
+
+
+def stub_program(pipeline):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=_PIPELINE_MACS.get(pipeline, 5e7), rows=1e3,
+                      in_width=32, out_width=4, weight_bytes=1e4),
+    )
+    return program
+
+
+def stub_cache():
+    return TraceCache(capacity=64, compile_fn=lambda key: stub_program(key[1]))
+
+
+FLEET_SHAPES = {
+    "single": dict(n_chips=1),
+    "homogeneous": dict(n_chips=4),
+    "heterogeneous": dict(configs=[
+        AcceleratorConfig(),
+        AcceleratorConfig(),
+        AcceleratorConfig().scaled(2, 2),
+    ]),
+}
+
+#: High enough to build real queues against the stub frame costs.
+TRAFFIC = dict(n_requests=70, rate_rps=4000.0, resolution=(64, 64),
+               slo_s=0.002)
+
+
+def run_service(policy, fleet, pattern="mixed", seed=0, autoscale=False,
+                admission=None):
+    trace = generate_traffic(pattern=pattern, seed=seed, **TRAFFIC)
+    autoscaler = None
+    if autoscale:
+        autoscaler = Autoscaler(
+            min_chips=1, max_chips=6, target_queue_per_chip=2.0,
+            window_s=0.005, warmup_s=0.0005, cooldown_s=0.001,
+            growth_configs=[AcceleratorConfig().scaled(2, 2), None],
+        )
+    return simulate_service(
+        trace,
+        ServeCluster(policy=policy, **FLEET_SHAPES[fleet]),
+        cache=stub_cache(),
+        batcher=PipelineBatcher(),
+        autoscaler=autoscaler,
+        admission=make_admission_policy(admission) if admission else None,
+    ), trace
+
+
+def assert_invariants(report, trace):
+    eps = 1e-12
+
+    # -- causality ------------------------------------------------------
+    by_chip = {}
+    for r in report.responses:
+        assert r.finish_s > r.start_s, "response finished before it started"
+        assert r.start_s >= r.request.arrival_s - eps, \
+            "response started before its request arrived"
+        by_chip.setdefault(r.chip_id, []).append(r)
+
+    chips = {c.chip_id: c for c in report.chips}
+    for chip_id, chip_responses in by_chip.items():
+        chip = chips[chip_id]
+        for r in chip_responses:
+            assert r.start_s >= chip.added_at_s - eps, \
+                "chip served work before it was provisioned"
+            if chip.retired_at_s is not None:
+                assert r.finish_s <= chip.retired_at_s + eps, \
+                    "retired chip kept serving"
+
+        # -- mutual exclusion ------------------------------------------
+        ordered = sorted(chip_responses, key=lambda r: r.start_s)
+        for before, after in zip(ordered, ordered[1:]):
+            assert after.start_s >= before.finish_s - eps, \
+                f"chip {chip_id} ran two batches at once"
+
+    # -- completeness ---------------------------------------------------
+    served_ids = sorted(r.request.request_id for r in report.responses)
+    assert len(set(served_ids)) == len(served_ids), "request served twice"
+    shed_ids = sorted(s.request.request_id for s in report.shed)
+    assert len(set(shed_ids)) == len(shed_ids), "request shed twice"
+    assert not set(served_ids) & set(shed_ids), "request both shed and served"
+    assert sorted(served_ids + shed_ids) == [r.request_id for r in trace], \
+        "requests lost or invented"
+
+    # -- conservation ---------------------------------------------------
+    for chip_id, chip in chips.items():
+        rs = by_chip.get(chip_id, [])
+        assert chip.requests_served == len(rs)
+        assert chip.frame_cycles == pytest.approx(sum(r.cycles for r in rs))
+        assert chip.switch_cycles == pytest.approx(
+            sum(r.switch_cycles for r in rs))
+        assert chip.frame_reconfig_cycles == pytest.approx(
+            sum(r.frame_reconfig_cycles for r in rs))
+        assert chip.energy_j == pytest.approx(sum(r.energy_j for r in rs))
+        assert chip.busy_s == pytest.approx(
+            sum(r.service_s for r in rs), abs=1e-12)
+    assert report.total_switch_cycles == pytest.approx(
+        sum(r.switch_cycles for r in report.responses))
+    assert report.total_chip_seconds >= sum(
+        c.busy_s for c in report.chips) - eps
+
+
+class TestPolicyFleetMatrix:
+    @pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+    @pytest.mark.parametrize("fleet", sorted(FLEET_SHAPES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_invariants(self, policy, fleet, seed):
+        report, trace = run_service(policy, fleet, seed=seed)
+        assert_invariants(report, trace)
+
+    @pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+    @pytest.mark.parametrize("pattern", ["steady", "bursty", "diurnal"])
+    def test_invariants_across_patterns(self, policy, pattern):
+        report, trace = run_service(policy, "heterogeneous", pattern=pattern)
+        assert_invariants(report, trace)
+
+
+class TestElasticMatrix:
+    @pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_autoscaled_invariants(self, policy, seed):
+        report, trace = run_service(policy, "single", pattern="bursty",
+                                    seed=seed, autoscale=True)
+        assert_invariants(report, trace)
+        assert report.peak_fleet_size >= 1
+
+    @pytest.mark.parametrize("admission", sorted(ADMISSION_POLICIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_admission_invariants(self, admission, seed):
+        report, trace = run_service("cost-aware", "homogeneous",
+                                    pattern="bursty", seed=seed,
+                                    autoscale=True, admission=admission)
+        assert_invariants(report, trace)
+
+    def test_slo_shed_actually_sheds_under_overload(self):
+        report, trace = run_service("least-loaded", "single",
+                                    pattern="bursty", admission="slo-shed")
+        assert_invariants(report, trace)
+        assert report.n_shed > 0
+        assert report.n_requests + report.n_shed == len(trace)
+
+    def test_downgrade_rewrites_instead_of_shedding(self):
+        report, trace = run_service("least-loaded", "single",
+                                    pattern="bursty", admission="downgrade")
+        assert_invariants(report, trace)
+        assert report.n_degraded > 0
+        # Degraded requests land on the ladder's cheapest pipeline.
+        degraded = [r for r in report.responses if r.request.degraded]
+        assert all(r.request.pipeline == "mesh" for r in degraded)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+    def test_same_seed_same_report(self, policy):
+        a, _ = run_service(policy, "heterogeneous", pattern="bursty",
+                           seed=3, autoscale=True, admission="slo-shed")
+        b, _ = run_service(policy, "heterogeneous", pattern="bursty",
+                           seed=3, autoscale=True, admission="slo-shed")
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("cache"), db.pop("cache")  # compile wall time is host noise
+        assert da == db
+
+    def test_different_seed_different_schedule(self):
+        a, _ = run_service("least-loaded", "homogeneous", seed=0)
+        b, _ = run_service("least-loaded", "homogeneous", seed=1)
+        assert [r.finish_s for r in a.responses] != \
+            [r.finish_s for r in b.responses]

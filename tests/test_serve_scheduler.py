@@ -50,6 +50,15 @@ class TestValidation:
         with pytest.raises(ConfigError):
             RenderRequest(0, "lego", "hashgrid", 0, 64, 0.0)
 
+    def test_cluster_reuse_rejected(self):
+        # Chips carry lifetime accounting; reusing a cluster would fold
+        # one run's busy time and served counts into the next report.
+        cluster = ServeCluster(1)
+        trace = [request(0, "mesh", 0.0)]
+        simulate_service(trace, cluster, cache=stub_cache())
+        with pytest.raises(SimulationError, match="lifetime accounting"):
+            simulate_service(trace, cluster, cache=stub_cache())
+
 
 class TestBatchingAmortization:
     def test_only_first_of_batch_pays_the_switch(self):
