@@ -1,0 +1,116 @@
+"""Compile/render overlap walkthrough: the event engine's compilation
+model on one cold-cache bursty trace.
+
+Run:  python examples/compile_overlap.py [n_requests]
+
+Four runs of the same deterministic bursty miss storm (twelve scenes,
+three pipelines — every burst opens trace keys the cache has never
+seen), using the synthetic per-pipeline programs so the script stays
+instant:
+
+1. **sync-compile** — compile-on-miss is synchronously visible: the
+   dispatching chip stalls for the simulated compile latency
+   (program-size-derived, deterministic) before rendering the frame;
+2. **1 worker** — compilation becomes a first-class resource: misses
+   enqueue compile jobs on a single worker that overlaps chip
+   execution, but a burst of cold keys serializes behind it;
+3. **4 workers** — the same storm fans out across the pool, and queue
+   waits collapse;
+4. **4 workers + prefetch** — a recency predictor crosses recently seen
+   scenes x pipelines and warms the cache during idle compile capacity,
+   so some misses never happen at all.
+
+The punchline printed at the end: overlapping compilation with chip
+execution cuts the storm's mean queue wait by an order of magnitude
+versus stalling the chip, and prefetch accuracy shows how often the
+predictor warmed the right trace.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.compile.workloads import gemm_workload
+from repro.core.config import CompileLatencyModel
+from repro.core.microops import MicroOp, MicroOpProgram
+from repro.serve import (
+    PipelineBatcher,
+    ServeCluster,
+    TraceCache,
+    TracePrefetcher,
+    format_service_report,
+    generate_traffic,
+    simulate_service,
+)
+
+#: Synthetic per-pipeline frame costs (an ~8x spread, as in the tests).
+PIPELINE_MACS = {"hashgrid": 2e7, "gaussian": 1.6e8, "mesh": 4e7}
+SCENES = tuple(f"scene{i}" for i in range(12))
+
+
+def stub_program(pipeline: str) -> MicroOpProgram:
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=PIPELINE_MACS.get(pipeline, 5e7), rows=1e3,
+                      in_width=32, out_width=4, weight_bytes=1e4),
+    )
+    return program
+
+
+def main(n_requests: int = 240) -> None:
+    trace = generate_traffic(
+        pattern="bursty", n_requests=n_requests, rate_rps=4000.0, seed=7,
+        scenes=SCENES, resolution=(64, 64), slo_s=0.02,
+    )
+    distinct = len({r.trace_key for r in trace})
+    model = CompileLatencyModel()
+    print(f"trace: {n_requests} bursty requests over {distinct} cold trace "
+          f"keys, two-chip fleet, ~{model.base_s * 1e3:.0f}+ ms per compile\n")
+
+    runs = {
+        "sync-compile": dict(compile_workers=0, compile_latency=model),
+        "1 worker": dict(compile_workers=1, compile_latency=model),
+        "4 workers": dict(compile_workers=4, compile_latency=model),
+        "4 workers+prefetch": dict(
+            compile_workers=4, compile_latency=model,
+            # Cover the whole scene x pipeline key space when predicting.
+            prefetch=TracePrefetcher(history=48, max_candidates=36),
+        ),
+    }
+    reports = {}
+    for name, kwargs in runs.items():
+        reports[name] = simulate_service(
+            trace,
+            ServeCluster(2),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+            **kwargs,
+        )
+        print(f"=== {name} ===")
+        print(format_service_report(reports[name]))
+        print()
+
+    sync = reports["sync-compile"]
+    pooled = reports["4 workers"]
+    warmed = reports["4 workers+prefetch"]
+    print(
+        f"async vs sync compile: mean queue wait "
+        f"{pooled.mean_queue_s * 1e3:.2f} ms vs "
+        f"{sync.mean_queue_s * 1e3:.2f} ms, p99 "
+        f"{pooled.latency_p(99) * 1e3:.1f} ms vs "
+        f"{sync.latency_p(99) * 1e3:.1f} ms"
+    )
+    prefetch = warmed.prefetch_stats
+    print(
+        f"prefetch: {prefetch['hits']} of {prefetch['issued']} warmed traces "
+        f"used ({prefetch['accuracy'] * 100:.0f}% accuracy), cache hit rate "
+        f"{warmed.cache_hit_rate * 100:.1f}% vs "
+        f"{pooled.cache_hit_rate * 100:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 240)

@@ -14,7 +14,8 @@ from repro.analysis.figures import (
     figure17_hybrid,
 )
 from repro.analysis.scaling_scenes import scene_scaling_study
-from repro.analysis.serving import elastic_summary, serving_summary
+from repro.analysis.serving import (elastic_summary, engine_summary,
+                                    serving_summary)
 from repro.analysis.tables import (
     table1_overview,
     table2_microops,
@@ -50,6 +51,8 @@ ALL_EXPERIMENTS = {
                     serving_summary),
     "ext_elastic": ("Extension — elastic fleets: autoscaling, admission, "
                     "heterogeneous chips", elastic_summary),
+    "ext_engine": ("Extension — event engine: compile workers and trace "
+                   "prefetch", engine_summary),
 }
 
 

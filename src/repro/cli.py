@@ -52,7 +52,8 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.core.config import AcceleratorConfig
+    from repro.core.config import AcceleratorConfig, CompileLatencyModel
+    from repro.errors import ConfigError
     from repro.serve import (
         PipelineBatcher,
         make_elastic_autoscaler,
@@ -66,6 +67,11 @@ def _cmd_serve(args) -> int:
         simulate_service,
     )
 
+    if args.prefetch and args.compile_workers < 1:
+        raise ConfigError("--prefetch needs --compile-workers >= 1")
+    compile_latency = (
+        CompileLatencyModel() if args.compile_workers > 0 else None
+    )
     config = AcceleratorConfig().scaled(args.pe_scale, args.sram_scale)
     fleet_configs = (
         parse_fleet_spec(args.fleet_spec, base=config) if args.fleet_spec else None
@@ -100,6 +106,9 @@ def _cmd_serve(args) -> int:
             cache=TraceCache(capacity=args.cache_size),
             batcher=PipelineBatcher(max_batch=args.max_batch),
             admission=admission(),
+            compile_workers=args.compile_workers,
+            compile_latency=compile_latency,
+            prefetch=args.prefetch,
         )
         print(format_service_report(static))
         if args.autoscale:
@@ -119,6 +128,9 @@ def _cmd_serve(args) -> int:
                     growth_configs=growth,
                 ),
                 admission=admission(),
+                compile_workers=args.compile_workers,
+                compile_latency=compile_latency,
+                prefetch=args.prefetch,
             )
             print()
             print(format_service_report(autoscaled))
@@ -219,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heterogeneous fleet as [count*]PExSRAM entries, "
                             "e.g. '3*1x1,1*2x2' (static fleet composition "
                             "and the autoscaler's growth pool)")
+    serve.add_argument("--compile-workers", type=int, default=0,
+                       help="compile worker pool size: 0 keeps compilation "
+                            "invisible to simulated time (the synchronous "
+                            "baseline); N>=1 overlaps compile-on-miss with "
+                            "chip execution")
+    serve.add_argument("--prefetch", action="store_true",
+                       help="warm the trace cache with predicted keys "
+                            "during idle compile capacity (needs "
+                            "--compile-workers >= 1)")
     serve.set_defaults(fn=_cmd_serve)
 
     report = sub.add_parser("report", help="regenerate paper experiments")

@@ -155,3 +155,39 @@ class AcceleratorConfig:
             ff_scratchpad_bytes=ff,
             ps_scratchpad_bytes=ps,
         )
+
+
+@dataclass(frozen=True)
+class CompileLatencyModel:
+    """Deterministic, program-size-derived trace-compile latency.
+
+    Compiling a frame trace renders probe frames to measure scene
+    coefficients — host-side work the serving simulator must price in
+    *simulated* time (wall-clock compile time varies run to run and
+    would make reports nondeterministic). The model charges a fixed
+    setup cost plus terms proportional to the compiled program's size:
+    its invocation count, its total arithmetic work, and the probe
+    resolution. All inputs are deterministic functions of the trace
+    key, so the same workload always prices the same.
+    """
+
+    base_s: float = 1e-3           # fixed lowering/setup cost
+    per_invocation_s: float = 2.5e-4  # per micro-op invocation emitted
+    per_gop_s: float = 8e-3        # per 1e9 arithmetic ops in the program
+    per_mpixel_s: float = 2e-4     # per 1e6 output pixels (probe frames)
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ConfigError("compile base latency must be positive")
+        for name in ("per_invocation_s", "per_gop_s", "per_mpixel_s"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"compile latency term {name} is negative")
+
+    def latency_s(self, program) -> float:
+        """Simulated seconds to compile ``program`` (a MicroOpProgram)."""
+        ops = (program.total("int_ops") + program.total("bf16_ops")
+               + program.total("sfu_ops"))
+        return (self.base_s
+                + self.per_invocation_s * len(program.invocations)
+                + self.per_gop_s * ops / 1e9
+                + self.per_mpixel_s * program.pixels / 1e6)

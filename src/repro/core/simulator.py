@@ -74,13 +74,27 @@ class FrameResult:
             f"{'real-time' if self.real_time else 'below real-time'})"
         )
 
-    def timeline(self, width: int = 60) -> str:
+    def timeline(self, width: int = 60, compile_cycles: float = 0.0,
+                 compile_label: str = "compile") -> str:
         """ASCII timeline of the frame's phases (one bar per invocation),
-        annotated with the binding resource."""
+        annotated with the binding resource.
+
+        ``compile_cycles`` prepends a labelled compile/prefetch phase —
+        the serving path uses it to show the trace-compile latency a
+        request paid (or avoided) ahead of its frame's execution.
+        """
+        # A hand-built FrameResult may carry zero total cycles; bars are
+        # then drawn at minimum length instead of dividing by zero.
+        span = self.cycles + compile_cycles
+        denom = span if span > 0 else 1.0
         lines = []
+        if compile_cycles > 0:
+            bar = max(1, int(round(width * compile_cycles / denom)))
+            label = f"{compile_label} [compile]"
+            lines.append(f"{label:32s} |{'=' * bar}")
         for phase in self.schedule.phases:
             total = phase.phase_cycles + phase.reconfig_cycles
-            bar = max(1, int(round(width * total / self.cycles)))
+            bar = max(1, int(round(width * total / denom)))
             label = f"{phase.invocation.name} [{phase.bound}]"
             lines.append(f"{label:32s} |{'#' * bar}")
         return "\n".join(lines)

@@ -10,10 +10,13 @@ of one pipeline are coalesced to amortize PE-array reconfiguration
 heterogeneous (mixed PE/SRAM scales) and elastic — executes them under
 a pluggable sharding policy (:mod:`~repro.serve.cluster`), an
 autoscaler grows and shrinks that fleet against queue depth and SLO
-attainment (:mod:`~repro.serve.autoscaler`), a discrete-event loop
-drives the whole thing (:mod:`~repro.serve.scheduler`), and the outcome
-is scored on throughput, tail latency, SLO attainment, utilization,
-energy, and provisioned cost (:mod:`~repro.serve.metrics`).
+attainment (:mod:`~repro.serve.autoscaler`), a unified discrete-event
+engine drives the whole thing (:mod:`~repro.serve.engine`, entered via
+:func:`~repro.serve.scheduler.simulate_service`) — modelling trace
+compilation as a pool of compile workers that overlap chip execution
+and optionally prefetching predicted traces into the cache — and the
+outcome is scored on throughput, tail latency, SLO attainment,
+utilization, energy, and provisioned cost (:mod:`~repro.serve.metrics`).
 
 Quickstart::
 
@@ -58,12 +61,20 @@ from repro.serve.admission import (
     make_admission_policy,
 )
 from repro.serve.autoscaler import Autoscaler, FleetEvent, make_elastic_autoscaler
+from repro.serve.engine import (
+    CompileWorkerPool,
+    CostTable,
+    EventEngine,
+    TracePrefetcher,
+    response_timeline,
+)
 from repro.serve.metrics import (
     ServiceReport,
     format_service_report,
     latency_percentile,
 )
 from repro.serve.scheduler import simulate_service
+from repro.core.config import CompileLatencyModel
 from repro.serve.traffic import (
     DEFAULT_PIPELINES,
     DEFAULT_RESOLUTION,
@@ -95,6 +106,12 @@ __all__ = [
     "Autoscaler",
     "FleetEvent",
     "make_elastic_autoscaler",
+    "CompileLatencyModel",
+    "CompileWorkerPool",
+    "CostTable",
+    "EventEngine",
+    "TracePrefetcher",
+    "response_timeline",
     "ServiceReport",
     "format_service_report",
     "latency_percentile",

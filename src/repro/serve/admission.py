@@ -2,10 +2,12 @@
 
 Under overload a queue-everything service answers *every* request late;
 an admission policy instead decides, the moment a request arrives,
-whether serving it is still worth anything. The scheduler hands each
-policy its live projection of the request's queue wait (time until a
+whether serving it is still worth anything. The event engine hands each
+policy its live projection of the request's queue wait — time until a
 chip frees plus the backlog ahead of it, scaled by the observed mean
-service time) and the policy returns one of three outcomes:
+service time, and (when compilation is modelled asynchronously) at
+least the remaining compile latency of the request's own trace if it is
+still being compiled — and the policy returns one of three outcomes:
 
 * **admit** — enqueue the request unchanged;
 * **shed** — reject it now (the client sees a fast failure instead of a

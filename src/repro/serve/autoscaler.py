@@ -2,7 +2,9 @@
 
 The autoscaler watches two signals over a sliding window — pending
 queue depth per active chip and SLO attainment of recently finished
-requests — and actuates the cluster at the scheduler's decision points:
+requests — and actuates the cluster at the event engine's decision
+points (arrival, chip-free, and the dedicated *scale-tick* event the
+engine schedules when the service goes idle):
 
 * **scale up** when the windowed queue depth per chip exceeds
   ``target_queue_per_chip`` or windowed SLO attainment drops below
@@ -88,43 +90,54 @@ class Autoscaler:
         self.growth_configs = list(growth_configs) if growth_configs else [None]
         self._next_growth = 0
         self._last_action_s = float("-inf")
+        # Sliding windows with running sums: the event engine observes
+        # the controller at every decision point, so window maintenance
+        # must be O(1) amortized, not a per-tick rebuild.
         self._queue_samples: deque[tuple[float, int]] = deque()
+        self._queue_sum = 0
         self._slo_samples: deque[tuple[float, bool]] = deque()
+        self._slo_met = 0
         self.events: list[FleetEvent] = []
 
     # -- signal intake --------------------------------------------------
     def record_response(self, finish_s: float, slo_met: bool) -> None:
         """Feed one completed request into the SLO window."""
         self._slo_samples.append((finish_s, slo_met))
+        self._slo_met += slo_met
 
     def _prune(self, now: float) -> None:
         # Samples are only approximately time-ordered (shed events carry
-        # arrival stamps that can interleave with completion stamps), so
-        # filter rather than pop from the left.
+        # arrival stamps that can interleave with completion stamps); a
+        # stale sample that landed behind a fresher one simply survives
+        # until it reaches the head — at most one window late, an
+        # acceptable smear for a sliding-window controller.
         horizon = now - self.window_s
-        self._queue_samples = deque(
-            (t, d) for t, d in self._queue_samples if t >= horizon
-        )
-        self._slo_samples = deque(
-            (t, met) for t, met in self._slo_samples if t >= horizon
-        )
+        queue = self._queue_samples
+        while queue and queue[0][0] < horizon:
+            _, depth = queue.popleft()
+            self._queue_sum -= depth
+        slo = self._slo_samples
+        while slo and slo[0][0] < horizon:
+            _, met = slo.popleft()
+            self._slo_met -= met
 
     def mean_queue_depth(self) -> float:
         if not self._queue_samples:
             return 0.0
-        return sum(d for _, d in self._queue_samples) / len(self._queue_samples)
+        return self._queue_sum / len(self._queue_samples)
 
     def window_slo_attainment(self) -> float:
         """SLO attainment over the window; 1.0 when nothing finished."""
         if not self._slo_samples:
             return 1.0
-        return sum(met for _, met in self._slo_samples) / len(self._slo_samples)
+        return self._slo_met / len(self._slo_samples)
 
     # -- control loop ---------------------------------------------------
     def observe(self, now: float, cluster: ServeCluster, queue_depth: int) -> None:
-        """One control-loop tick at a scheduler decision point."""
+        """One control-loop tick at an event-engine decision point."""
         self._prune(now)
         self._queue_samples.append((now, queue_depth))
+        self._queue_sum += queue_depth
         if now - self._last_action_s < self.cooldown_s:
             return
 

@@ -77,7 +77,20 @@ class PipelineBatcher:
             else:
                 kept.append(request)
         pending.extend(kept)
+        return self.make_batch(pipeline, taken)
 
+    def make_batch(self, pipeline: str,
+                   taken: list[RenderRequest]) -> Batch:
+        """Stamp an id onto already-selected requests and count them.
+
+        The event engine selects batch members through its indexed
+        pending lanes (same selection rule as :meth:`next_batch`:
+        oldest-ready anchor plus queued same-pipeline followers, up to
+        ``max_batch``) and hands them here so batch ids and statistics
+        stay in one place.
+        """
+        if not taken:
+            raise ConfigError("cannot form an empty batch")
         batch = Batch(self._next_batch_id, pipeline, tuple(taken))
         self._next_batch_id += 1
         self.stats.batches += 1

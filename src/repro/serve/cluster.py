@@ -303,6 +303,14 @@ class ServeCluster:
     def earliest_free_s(self) -> float:
         return min(chip.free_at_s for chip in self.active_chips)
 
+    def has_idle_chip(self, now: float) -> bool:
+        """True when some active chip could start a batch right now —
+        the event engine's dispatch gate (dispatch never queues work
+        while every chip is busy; the queue builds so batches coalesce)."""
+        return any(
+            chip.free_at_s <= now for chip in self.chips if chip.active
+        )
+
     # -- elastic actuators ---------------------------------------------
     def add_chip(
         self,

@@ -1,0 +1,851 @@
+"""The unified discrete-event engine of the rendering service.
+
+One event queue drives the whole serving stack — *arrival*,
+*compile-done*, *chip-free*, and *scale-tick* events — replacing the
+seed's ad-hoc two-clock loop. :class:`ServeCluster`,
+:class:`Autoscaler`, :class:`AdmissionPolicy`, and
+:class:`PipelineBatcher` all plug into the same loop:
+
+* **arrival** — the admission policy rules on the request at its
+  arrival instant (projections now include any compile backlog its
+  trace would wait on); admitted requests join an indexed pending
+  structure (per-pipeline lanes plus an arrival-ordered anchor queue,
+  so batch formation is O(batch), not O(queue)).
+* **compile-done** — compilation is a first-class resource: a cache
+  miss enqueues work on a pool of compile workers whose deterministic,
+  program-size-derived latency (:class:`CompileLatencyModel`) overlaps
+  chip execution in simulated time. Requests whose trace is still
+  compiling simply aren't dispatchable yet; everything else flows
+  around them.
+* **chip-free** — a chip finishing its batch wakes the dispatcher,
+  which coalesces queued same-pipeline *ready* requests and places the
+  batch through the cluster's sharding policy.
+* **scale-tick** — the autoscaler observes queue depth and windowed SLO
+  attainment at event boundaries and when the service goes idle, and
+  may flex the fleet (new chips schedule their own warm-up-complete
+  chip-free event).
+
+Cross-request **trace prefetch** rides the same machinery: a recency
+predictor crosses recently seen scenes, pipelines, and resolutions into
+candidate trace keys, and idle compile workers warm the cache with them
+so a future miss becomes a hit. Accuracy counters (issued / hits /
+waste) land in the serving report.
+
+The pricing hot path is vectorized: every distinct (trace, chip config)
+pair is simulated exactly once into a :class:`CostTable` — plain-float
+rows for the scalar event loop, NumPy columns for analysis — so a
+100k-request fleet simulation prices frames in O(distinct traces).
+
+With ``compile_workers=0`` and no latency model the engine reproduces
+the synchronous baseline event-for-event and bit-for-bit: the golden
+percentile tables in ``tests/test_serve_golden.py`` pin that
+equivalence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AcceleratorConfig, CompileLatencyModel
+from repro.core.simulator import FrameResult, UniRenderAccelerator
+from repro.errors import ConfigError, SimulationError
+from repro.serve.admission import AdmissionPolicy, ShedRecord
+from repro.serve.autoscaler import Autoscaler
+from repro.serve.batcher import Batch, PipelineBatcher
+from repro.serve.cluster import ChipState, ServeCluster
+from repro.serve.metrics import ServiceReport
+from repro.serve.request import RenderRequest, RenderResponse, TraceKey
+from repro.serve.trace_cache import TraceCache
+
+#: EWMA smoothing for the observed mean service time (admission input).
+_SERVICE_EWMA_ALPHA = 0.2
+
+#: Event kinds, in same-timestamp processing order: arrivals ingest
+#: before compile completions land, before freed chips trigger dispatch,
+#: before the autoscaler's idle tick.
+_ARRIVAL = 0
+_COMPILE_DONE = 1
+_CHIP_FREE = 2
+_SCALE_TICK = 3
+
+
+# ----------------------------------------------------------------------
+# Compile workers
+# ----------------------------------------------------------------------
+@dataclass
+class CompileWorkerStats:
+    """Lifetime counters of one worker pool."""
+
+    demand_jobs: int = 0
+    prefetch_jobs: int = 0
+    busy_s: float = 0.0          # simulated worker-seconds spent compiling
+    demand_wait_s: float = 0.0   # simulated queueing before a demand compile
+
+    @property
+    def jobs(self) -> int:
+        return self.demand_jobs + self.prefetch_jobs
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "demand_jobs": self.demand_jobs,
+            "prefetch_jobs": self.prefetch_jobs,
+            "busy_s": self.busy_s,
+            "demand_wait_s": self.demand_wait_s,
+        }
+
+
+class CompileWorkerPool:
+    """A fixed pool of compile workers with deterministic placement.
+
+    Jobs go to the worker that frees earliest (ties to the lowest
+    index); each occupies its worker for the model's simulated latency.
+    Prefetch jobs are only submitted when a worker is idle *right now*
+    (see :meth:`idle_worker`), so warming the cache never delays demand
+    compiles that are already queued.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ConfigError("compile pool needs at least one worker")
+        self.n_workers = n_workers
+        self._free_at = [0.0] * n_workers
+        self.stats = CompileWorkerStats()
+
+    def submit(self, now: float, latency_s: float, demand: bool) -> float:
+        """Assign a compile job; returns its completion time."""
+        worker = min(range(self.n_workers), key=lambda w: (self._free_at[w], w))
+        start = max(now, self._free_at[worker])
+        done = start + latency_s
+        self._free_at[worker] = done
+        self.stats.busy_s += latency_s
+        if demand:
+            self.stats.demand_jobs += 1
+            self.stats.demand_wait_s += start - now
+        else:
+            self.stats.prefetch_jobs += 1
+        return done
+
+    def idle_worker(self, now: float) -> bool:
+        """True when at least one worker could start a job immediately."""
+        return any(free <= now for free in self._free_at)
+
+    def idle_count(self, now: float) -> int:
+        return sum(1 for free in self._free_at if free <= now)
+
+    def utilization(self, horizon_s: float) -> float:
+        total = self.n_workers * horizon_s
+        return self.stats.busy_s / total if total > 0 else 0.0
+
+
+# ----------------------------------------------------------------------
+# Cross-request trace prefetch
+# ----------------------------------------------------------------------
+class TracePrefetcher:
+    """Predicts upcoming trace keys from recent traffic.
+
+    The predictor keeps the last ``history`` demanded keys and crosses
+    the distinct scenes, pipelines, and resolutions seen there —
+    most-recent first — into candidate keys: a client that just
+    switched its session from *hashgrid* to *gaussian* will shortly
+    want its other scenes' gaussian traces too. Candidates already
+    resident or in flight are skipped by the engine; everything issued,
+    later used, or never used is counted (accuracy = hits / issued).
+    """
+
+    def __init__(self, history: int = 32, max_candidates: int = 8) -> None:
+        if history < 1 or max_candidates < 1:
+            raise ConfigError("prefetcher history/candidates must be >= 1")
+        self.history = history
+        self.max_candidates = max_candidates
+        self._recent: deque[TraceKey] = deque(maxlen=history)
+        self.issued = 0
+        self.hits = 0            # issued keys later demanded at least once
+        self._unused: set[TraceKey] = set()
+
+    # -- signal intake --------------------------------------------------
+    def observe(self, key: TraceKey) -> None:
+        """Record one demanded trace key."""
+        self._recent.append(key)
+
+    def is_unused(self, key: TraceKey) -> bool:
+        """True while a prefetched ``key`` has not served a demand yet."""
+        return key in self._unused
+
+    def note_use(self, key: TraceKey) -> None:
+        """A demand request reached a prefetched trace (first use only)."""
+        if key in self._unused:
+            self._unused.discard(key)
+            self.hits += 1
+
+    def note_issue(self, key: TraceKey) -> None:
+        self.issued += 1
+        self._unused.add(key)
+
+    def note_demand_compile(self, key: TraceKey) -> None:
+        """A demand miss had to compile ``key`` from scratch: any
+        prefetched copy was evicted unused, so a later hit on the
+        demand-compiled entry must not be credited to the prefetcher."""
+        self._unused.discard(key)
+
+    # -- prediction -----------------------------------------------------
+    def candidates(self) -> list[TraceKey]:
+        """Predicted keys, most promising first (deterministic)."""
+        scenes: list[str] = []
+        pipelines: list[str] = []
+        resolutions: list[tuple[int, int]] = []
+        for scene, pipeline, width, height in reversed(self._recent):
+            if scene not in scenes:
+                scenes.append(scene)
+            if pipeline not in pipelines:
+                pipelines.append(pipeline)
+            if (width, height) not in resolutions:
+                resolutions.append((width, height))
+        out: list[TraceKey] = []
+        for pipeline in pipelines:
+            for scene in scenes:
+                for width, height in resolutions:
+                    out.append((scene, pipeline, width, height))
+                    if len(out) >= self.max_candidates:
+                        return out
+        return out
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def waste(self) -> int:
+        """Prefetches that never served a demand request."""
+        return self.issued - self.hits
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.issued if self.issued else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "issued": self.issued,
+            "hits": self.hits,
+            "waste": self.waste,
+            "accuracy": self.accuracy,
+        }
+
+
+# ----------------------------------------------------------------------
+# Vectorized frame pricing
+# ----------------------------------------------------------------------
+class CostTable:
+    """Per-(trace, chip config) frame costs, priced exactly once.
+
+    Chips at the same design point render identical frames in identical
+    cycles, so the fleet pays the performance model once per distinct
+    (trace key, config) pair — O(distinct traces), however many requests
+    replay them. Rows are plain float tuples for the scalar event loop;
+    :meth:`as_arrays` exposes the same table as NumPy columns for
+    analysis and bulk pricing.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[tuple[TraceKey, AcceleratorConfig], int] = {}
+        self._rows: list[tuple[float, float, float]] = []
+        self._results: list[FrameResult] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def has(self, key: TraceKey, config: AcceleratorConfig) -> bool:
+        return (key, config) in self._index
+
+    def price(
+        self,
+        key: TraceKey,
+        accelerator: UniRenderAccelerator,
+        program,
+    ) -> tuple[float, float, float]:
+        """``(cycles, frame_reconfig_cycles, energy_j)`` for this pair."""
+        memo_key = (key, accelerator.config)
+        idx = self._index.get(memo_key)
+        if idx is None:
+            result = accelerator.simulate(program)
+            idx = len(self._rows)
+            self._index[memo_key] = idx
+            self._rows.append(
+                (result.cycles, result.reconfig_cycles, result.energy_per_frame_j)
+            )
+            self._results.append(result)
+        return self._rows[idx]
+
+    def result_for(
+        self, key: TraceKey, config: AcceleratorConfig
+    ) -> Optional[FrameResult]:
+        """The full FrameResult behind a priced row (timeline rendering)."""
+        idx = self._index.get((key, config))
+        return self._results[idx] if idx is not None else None
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The table as NumPy columns: cycles, reconfig, energy."""
+        rows = np.asarray(self._rows, dtype=float).reshape(-1, 3)
+        return {
+            "cycles": rows[:, 0],
+            "reconfig_cycles": rows[:, 1],
+            "energy_j": rows[:, 2],
+        }
+
+
+def response_timeline(
+    response: RenderResponse,
+    result: FrameResult,
+    width: int = 60,
+) -> str:
+    """Per-phase timeline of one served frame, compile phase included.
+
+    Wraps :meth:`FrameResult.timeline` with the serving-side context:
+    when the request triggered (or waited on) a compile, that phase
+    appears as its own labelled bar ahead of the frame's phases — tagged
+    ``sync``, ``worker``, or ``prefetch`` by where the compile ran.
+    """
+    clock_hz = result.fps * result.cycles  # fps == clock / cycles
+    if not (clock_hz > 0.0 and math.isfinite(clock_hz)):
+        clock_hz = 1e9  # zero-cycle hand-built frame: assume 1 GHz
+    compile_cycles = response.compile_s * clock_hz
+    return result.timeline(
+        width=width,
+        compile_cycles=compile_cycles,
+        compile_label=response.compile_origin or "compile",
+    )
+
+
+# ----------------------------------------------------------------------
+# Pending-queue index
+# ----------------------------------------------------------------------
+class _PendingIndex:
+    """Arrival-ordered queue with per-pipeline lanes and O(1) counters.
+
+    ``master`` preserves the global head-of-line anchor; per-pipeline
+    lanes give batch formation its same-pipeline followers without
+    scanning the whole queue; the pipeline counters give admission its
+    backlog projection without iterating pending requests. Dispatched
+    requests are removed lazily — each structure consumes its own
+    tombstone set, so a request dropped from one is still recognized by
+    the other.
+    """
+
+    def __init__(self) -> None:
+        self.master: deque[RenderRequest] = deque()
+        self.lanes: dict[str, deque[RenderRequest]] = {}
+        self.counts: dict[str, int] = {}
+        self.n_pending = 0
+        self._gone_master: set[int] = set()
+        self._gone_lane: set[int] = set()
+
+    def push(self, request: RenderRequest) -> None:
+        self.master.append(request)
+        lane = self.lanes.get(request.pipeline)
+        if lane is None:
+            lane = self.lanes[request.pipeline] = deque()
+        lane.append(request)
+        self.counts[request.pipeline] = self.counts.get(request.pipeline, 0) + 1
+        self.n_pending += 1
+
+    def anchor(self, is_ready) -> Optional[RenderRequest]:
+        """Oldest pending *ready* request (the batch anchor)."""
+        master = self.master
+        gone = self._gone_master
+        while master and master[0].request_id in gone:
+            gone.discard(master.popleft().request_id)
+        for request in master:
+            if request.request_id in gone:
+                continue
+            if is_ready(request):
+                return request
+        return None
+
+    def take(self, pipeline: str, limit: int, is_ready) -> list[RenderRequest]:
+        """Up to ``limit`` ready requests of ``pipeline``, in queue order.
+
+        Unready requests keep their place in the lane (skipped, never
+        reordered); previously dispatched ones are lazily dropped.
+        """
+        lane = self.lanes[pipeline]
+        gone = self._gone_lane
+        while lane and lane[0].request_id in gone:
+            gone.discard(lane.popleft().request_id)
+        taken: list[RenderRequest] = []
+        contiguous = True
+        for request in lane:
+            if request.request_id in gone:
+                contiguous = False
+                continue
+            if not is_ready(request):
+                contiguous = False
+                continue
+            taken.append(request)
+            if len(taken) >= limit:
+                break
+        if taken:
+            n = len(taken)
+            self.counts[pipeline] -= n
+            self.n_pending -= n
+            if contiguous:
+                for _ in range(n):  # fast path: drop the prefix outright
+                    lane.popleft()
+            else:
+                for request in taken:
+                    gone.add(request.request_id)
+            for request in taken:
+                self._gone_master.add(request.request_id)
+        return taken
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class EventEngine:
+    """One service simulation, driven end to end by an event queue."""
+
+    def __init__(
+        self,
+        requests: Iterable[RenderRequest] | Sequence[RenderRequest],
+        cluster: Optional[ServeCluster] = None,
+        cache: Optional[TraceCache] = None,
+        batcher: Optional[PipelineBatcher] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        compile_workers: int = 0,
+        compile_latency: Optional[CompileLatencyModel] = None,
+        prefetcher: Optional[TracePrefetcher] = None,
+    ) -> None:
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        if not ordered:
+            raise SimulationError("cannot simulate a service with no requests")
+        if compile_workers < 0:
+            raise ConfigError("compile_workers cannot be negative")
+        if prefetcher is not None and compile_workers < 1:
+            raise ConfigError(
+                "trace prefetch needs at least one compile worker "
+                "(pass compile_workers >= 1)"
+            )
+        cluster = cluster if cluster is not None else ServeCluster()
+        if cluster.lifetime_dirty:
+            raise SimulationError(
+                "ServeCluster has nonzero lifetime accounting; build a fresh "
+                "cluster per simulate_service run (chips carry busy time, "
+                "served counts, and autoscaling history)"
+            )
+        self.cluster = cluster
+        self.cache = cache if cache is not None else TraceCache()
+        self.batcher = batcher if batcher is not None else PipelineBatcher()
+        self.autoscaler = autoscaler
+        self.admission = admission
+        self.async_compile = compile_workers >= 1
+        if self.async_compile and compile_latency is None:
+            compile_latency = self.cache.latency_model or CompileLatencyModel()
+        self.latency_model = compile_latency
+        if compile_latency is not None:
+            # The synchronous path charges compile latency inside the
+            # cache, so the two views must be one model — a warm cache
+            # priced under a different model would silently misprice
+            # recompiles.
+            if self.cache.latency_model is None:
+                self.cache.latency_model = compile_latency
+            elif self.cache.latency_model != compile_latency:
+                raise ConfigError(
+                    "cache.latency_model differs from compile_latency; "
+                    "a shared warm cache must keep one compile-latency "
+                    "model across runs"
+                )
+        self.pool = (
+            CompileWorkerPool(compile_workers) if self.async_compile else None
+        )
+        self.prefetcher = prefetcher
+
+        self._pending = _PendingIndex()
+        self._cost = CostTable()
+        self._responses: list[RenderResponse] = []
+        self._shed: list[ShedRecord] = []
+        self._est_by_pipeline: dict[str, float] = {}
+        # Async-compile state: keys in flight, their completion instants,
+        # how many pending requests wait on each, and programs pinned
+        # for the duration of their compile (the cache owns them after).
+        self._waiting_done_s: dict[TraceKey, float] = {}
+        self._waiting_requests: dict[TraceKey, int] = {}
+        self._n_waiting = 0
+        self._programs: dict[TraceKey, object] = {}
+        self._ingest_hit: dict[int, bool] = {}
+        self._ingest_prefetched: dict[int, bool] = {}
+        self._compile_charge: dict[int, float] = {}
+        # Completions not yet visible to the autoscaler's SLO window
+        # (no clairvoyance): a finish-ordered heap.
+        self._inflight: list[tuple[float, int, bool]] = []
+        self._inflight_seq = 0
+        self._known_chips = len(cluster.chips)
+        self._tick_pushed_at = -1.0
+
+        self._events: list[tuple[float, int, int, object]] = [
+            (request.arrival_s, _ARRIVAL, seq, request)
+            for seq, request in enumerate(ordered)
+        ]
+        heapq.heapify(self._events)
+        self._event_seq = len(ordered)
+
+    # -- service-time estimation ---------------------------------------
+    def _estimate(self, pipeline: str) -> float:
+        """EWMA service time of one request; 0 until anything finished
+        (optimistic: admit freely while the service is cold)."""
+        est = self._est_by_pipeline
+        if pipeline in est:
+            return est[pipeline]
+        if est:
+            return sum(est.values()) / len(est)
+        return 0.0
+
+    # -- event plumbing -------------------------------------------------
+    def _push(self, t: float, kind: int, payload: object = None) -> None:
+        heapq.heappush(self._events, (t, kind, self._event_seq, payload))
+        self._event_seq += 1
+
+    def _watch_new_chips(self) -> None:
+        """Autoscaled chips wake the dispatcher when their warm-up ends."""
+        chips = self.cluster.chips
+        while self._known_chips < len(chips):
+            chip = chips[self._known_chips]
+            self._push(chip.free_at_s, _CHIP_FREE, chip.chip_id)
+            self._known_chips += 1
+
+    def _controller_tick(self, now: float, queue_depth: int) -> None:
+        scaler = self.autoscaler
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= now:
+            finish_s, _seq, slo_met = heapq.heappop(inflight)
+            scaler.record_response(finish_s, slo_met)
+        scaler.observe(now, self.cluster, queue_depth)
+        self._watch_new_chips()
+
+    # -- readiness ------------------------------------------------------
+    def _is_ready(self, request: RenderRequest) -> bool:
+        return request.trace_key not in self._waiting_done_s
+
+    @property
+    def _n_ready(self) -> int:
+        return self._pending.n_pending - self._n_waiting
+
+    # -- compile submission ---------------------------------------------
+    def _submit_compile(self, key: TraceKey, now: float, demand: bool) -> float:
+        """Compile ``key`` on the worker pool; returns its sim latency."""
+        began = time.perf_counter()
+        program = self.cache.compile_fn(key)
+        wall = time.perf_counter() - began
+        self._programs[key] = program
+        latency = self.latency_model.latency_s(program)
+        done = self.pool.submit(now, latency, demand=demand)
+        self._waiting_done_s[key] = done
+        self._push(done, _COMPILE_DONE, (key, latency, wall))
+        return latency
+
+    def _issue_prefetches(self, now: float) -> None:
+        prefetcher = self.prefetcher
+        if prefetcher is None:
+            return
+        # Keep one worker free for the next demand miss whenever the
+        # pool has more than one: prefetch must never be the reason a
+        # cold request waits a full compile latency extra. A singleton
+        # pool has no worker to reserve, so it may prefetch when idle.
+        reserve = 1 if self.pool.n_workers > 1 else 0
+        while self.pool.idle_count(now) > reserve:
+            issued = False
+            for key in prefetcher.candidates():
+                if key in self.cache or key in self._waiting_done_s:
+                    continue
+                self._submit_compile(key, now, demand=False)
+                prefetcher.note_issue(key)
+                issued = True
+                break
+            if not issued:
+                return
+
+    # -- arrival ingestion ----------------------------------------------
+    def _project_wait(self, request: RenderRequest, at: float) -> float:
+        """Projected queue wait at the arrival instant: time until a chip
+        frees, plus the backlog ahead (queued same-pipeline requests
+        serialize into this request's batch; the rest spreads over the
+        fleet), plus any compile backlog the trace itself would wait on."""
+        cluster = self.cluster
+        wait = max(0.0, cluster.earliest_free_s - at)
+        counts = self._pending.counts
+        pipeline = request.pipeline
+        same = counts.get(pipeline, 0) * self._estimate(pipeline)
+        other = 0.0
+        for queued_pipeline, count in counts.items():
+            if queued_pipeline != pipeline and count:
+                other += count * self._estimate(queued_pipeline)
+        wait = wait + same + other / max(1, cluster.n_active)
+        if self.async_compile:
+            done = self._waiting_done_s.get(request.trace_key)
+            if done is not None:
+                wait = max(wait, done - at)
+            elif request.trace_key not in self.cache:
+                wait = max(wait, self.latency_model.base_s)
+        return wait
+
+    def _ingest(self, request: RenderRequest, now: float) -> None:
+        """Admission decision, made at the request's arrival instant."""
+        admission = self.admission
+        if admission is None:
+            verdict = request
+        else:
+            at = request.arrival_s
+            projected = self._project_wait(request, at)
+            verdict = admission.admit(
+                request, at, projected, self._estimate(request.pipeline),
+                self._pending.n_pending,
+            )
+            if verdict is None:
+                self._shed.append(
+                    ShedRecord(request, at, admission.name, projected)
+                )
+                if self.autoscaler is not None:
+                    # A shed is an SLO failure the queue never sees; feed
+                    # it to the controller's window or admission control
+                    # would suppress exactly the pressure that should
+                    # grow the fleet.
+                    self.autoscaler.record_response(at, slo_met=False)
+                return
+
+        if self.async_compile:
+            self._ingest_async(verdict, now)
+        self._pending.push(verdict)
+
+    def _ingest_async(self, verdict: RenderRequest, now: float) -> None:
+        """Demand-side cache traffic: hit, join an in-flight compile, or
+        trigger a new compile job on the worker pool."""
+        key = verdict.trace_key
+        prefetcher = self.prefetcher
+        if prefetcher is not None:
+            prefetcher.observe(key)
+        program = self.cache.lookup(key)
+        if program is not None:
+            self._ingest_hit[verdict.request_id] = True
+            if prefetcher is not None and prefetcher.is_unused(key):
+                prefetcher.note_use(key)
+                self._ingest_prefetched[verdict.request_id] = True
+            return
+        self._ingest_hit[verdict.request_id] = False
+        if key in self._waiting_done_s:
+            # Join the in-flight compile (demand- or prefetch-triggered).
+            if prefetcher is not None and prefetcher.is_unused(key):
+                prefetcher.note_use(key)
+                self._ingest_prefetched[verdict.request_id] = True
+        else:
+            if prefetcher is not None:
+                prefetcher.note_demand_compile(key)
+            latency = self._submit_compile(key, now, demand=True)
+            self._compile_charge[verdict.request_id] = latency
+        self._waiting_requests[key] = self._waiting_requests.get(key, 0) + 1
+        self._n_waiting += 1
+
+    # -- batch execution -------------------------------------------------
+    def _execute_batch(self, chip: ChipState, batch: Batch,
+                       start_s: float) -> None:
+        """Run a batch back to back on one chip (the pricing hot path)."""
+        cache = self.cache
+        cost = self._cost
+        accelerator = chip.accelerator
+        clock = chip.config.clock_hz
+        async_mode = self.async_compile
+        responses = self._responses
+        feed = self.autoscaler is not None
+        est = self._est_by_pipeline
+        t = start_s
+        for request in batch.requests:
+            key = request.trace_key
+            compile_wait = 0.0
+            compile_s = 0.0
+            origin = None
+            prefetched = False
+            if async_mode:
+                cache_hit = self._ingest_hit.pop(request.request_id, False)
+                prefetched = self._ingest_prefetched.pop(
+                    request.request_id, False)
+                charge = self._compile_charge.pop(request.request_id, None)
+                if charge is not None:
+                    compile_s = charge
+                    origin = "worker"
+                elif prefetched:
+                    origin = "prefetch"
+                cache.touch(key)
+                program = self._programs.get(key) or cache.peek(key)
+                if program is None and not cost.has(key, accelerator.config):
+                    # Evicted before this design point priced it (the
+                    # program is in neither the cache nor the pin set):
+                    # recompile just for pricing, without re-pinning.
+                    began = time.perf_counter()
+                    program = cache.compile_fn(key)
+                    cache.stats.compile_wall_s += time.perf_counter() - began
+            else:
+                program, cache_hit = cache.get(key)
+                if not cache_hit and self.latency_model is not None:
+                    # Synchronous visible compile: the dispatch path
+                    # stalls on the chip for the simulated compile time.
+                    compile_wait = cache.compile_cost_s(key)
+                    compile_s = compile_wait
+                    origin = "sync"
+            cycles, reconfig_cycles, energy_j = cost.price(
+                key, accelerator, program)
+
+            switch = 0.0
+            if chip.configured_pipeline != request.pipeline:
+                switch = float(chip.config.reconfigure_cycles)
+                chip.pipeline_switches += 1
+                chip.configured_pipeline = request.pipeline
+            finish = t + compile_wait + (cycles + switch) / clock
+
+            response = RenderResponse(
+                request=request,
+                chip_id=chip.chip_id,
+                batch_id=batch.batch_id,
+                start_s=t,
+                finish_s=finish,
+                cycles=cycles,
+                switch_cycles=switch,
+                frame_reconfig_cycles=reconfig_cycles,
+                energy_j=energy_j,
+                cache_hit=cache_hit,
+                compile_s=compile_s,
+                compile_origin=origin,
+                prefetched=prefetched,
+            )
+            responses.append(response)
+            chip.requests_served += 1
+            chip.frame_cycles += cycles
+            chip.switch_cycles += switch
+            chip.frame_reconfig_cycles += reconfig_cycles
+            chip.energy_j += energy_j
+            t = finish
+
+            pipeline = request.pipeline
+            prior = est.get(pipeline)
+            if prior is None:
+                est[pipeline] = response.service_s
+            else:
+                est[pipeline] = prior + _SERVICE_EWMA_ALPHA * (
+                    response.service_s - prior
+                )
+            if feed:
+                heapq.heappush(
+                    self._inflight,
+                    (finish, self._inflight_seq, response.slo_met),
+                )
+                self._inflight_seq += 1
+
+        chip.busy_s += t - start_s
+        chip.free_at_s = t
+        self._push(t, _CHIP_FREE, chip.chip_id)
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch_all(self, now: float) -> None:
+        """Place batches while ready work and an idle chip coexist."""
+        pending = self._pending
+        cluster = self.cluster
+        batcher = self.batcher
+        while self._n_ready > 0 and cluster.has_idle_chip(now):
+            if self.autoscaler is not None:
+                self._controller_tick(now, pending.n_pending)
+            anchor = pending.anchor(self._is_ready)
+            if anchor is None:
+                return
+            taken = pending.take(
+                anchor.pipeline, batcher.max_batch, self._is_ready)
+            batch = batcher.make_batch(anchor.pipeline, taken)
+            chip = cluster.select_chip(
+                batch, now, self._estimate(batch.pipeline))
+            start = max(now, chip.free_at_s)
+            self._execute_batch(chip, batch, start)
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> ServiceReport:
+        events = self._events
+        pending = self._pending
+        now = 0.0
+        while events:
+            now = events[0][0]
+            # Drain every event at this instant before dispatching:
+            # arrivals ingest, compiles land, chips free, ticks tick.
+            ingested = False
+            while events and events[0][0] == now:
+                _t, kind, _seq, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    self._ingest(payload, now)
+                    ingested = True
+                elif kind == _COMPILE_DONE:
+                    self._finish_compile(now, payload)
+                elif kind == _SCALE_TICK:
+                    if self.autoscaler is not None and pending.n_pending == 0:
+                        self._controller_tick(now, 0)
+                # _CHIP_FREE carries no state change — the chip already
+                # knows its free_at_s; the pop just wakes the dispatcher.
+            if ingested:
+                if self.autoscaler is not None and (
+                        self._n_ready == 0
+                        or not self.cluster.has_idle_chip(now)):
+                    # Arrival decision point with nothing dispatchable:
+                    # the controller still observes the queue building.
+                    self._controller_tick(now, pending.n_pending)
+                self._issue_prefetches(now)
+            self._dispatch_all(now)
+            if (self.autoscaler is not None and pending.n_pending == 0
+                    and events and events[0][0] > now
+                    and self._tick_pushed_at != now):
+                # Idle service: one scale tick at the start of the gap,
+                # where the controller can drain surplus chips.
+                self._tick_pushed_at = now
+                self._push(now, _SCALE_TICK)
+
+        if pending.n_pending > 0:
+            raise SimulationError(
+                f"event queue drained with {pending.n_pending} requests "
+                "still pending (engine bug)"
+            )
+        if not self._responses:
+            raise SimulationError(
+                f"admission policy {self.admission.name!r} shed all "
+                f"{len(self._shed)} requests"
+            )
+        return ServiceReport(
+            policy=self.cluster.policy_name,
+            responses=self._responses,
+            chips=self.cluster.chips,
+            cache_stats=self.cache.stats.to_dict(),
+            batch_sizes=list(self.batcher.stats.sizes),
+            shed=self._shed,
+            fleet_events=(list(self.autoscaler.events)
+                          if self.autoscaler is not None else []),
+            admission_policy=(self.admission.name
+                              if self.admission is not None else None),
+            autoscaled=self.autoscaler is not None,
+            compile_stats=(self._compile_stats_dict()
+                           if self.pool is not None else {}),
+            prefetch_stats=(self.prefetcher.to_dict()
+                            if self.prefetcher is not None else {}),
+        )
+
+    def _finish_compile(self, now: float, payload) -> None:
+        key, latency, wall = payload
+        # The pin exists so pricing survives the compile window; once
+        # the program lands in the cache, the cache's LRU bound owns it
+        # (memory stays O(capacity), not O(distinct traces)).
+        program = self._programs.pop(key)
+        self.cache.insert(key, program, sim_cost_s=latency, wall_cost_s=wall)
+        self._waiting_done_s.pop(key, None)
+        waiting = self._waiting_requests.pop(key, 0)
+        self._n_waiting -= waiting
+        self._issue_prefetches(now)
+
+    def _compile_stats_dict(self) -> dict:
+        out = self.pool.stats.to_dict()
+        out["workers"] = self.pool.n_workers
+        return out

@@ -46,6 +46,8 @@ class ServiceReport:
     fleet_events: list[FleetEvent] = field(default_factory=list)
     admission_policy: str | None = None
     autoscaled: bool = False
+    compile_stats: dict = field(default_factory=dict)
+    prefetch_stats: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -78,6 +80,16 @@ class ServiceReport:
     @property
     def latencies_s(self) -> np.ndarray:
         return np.array([r.latency_s for r in self.responses])
+
+    @property
+    def queue_waits_s(self) -> np.ndarray:
+        """Arrival-to-chip-start wait of every completed request."""
+        return np.array([r.queue_s for r in self.responses])
+
+    @property
+    def mean_queue_s(self) -> float:
+        """Mean queue wait — the headline compile-overlap metric."""
+        return float(np.mean(self.queue_waits_s))
 
     def latency_p(self, q: float) -> float:
         return latency_percentile(self.latencies_s, q)
@@ -207,6 +219,7 @@ class ServiceReport:
             "shed_rate": self.shed_rate,
             "makespan_s": self.makespan_s,
             "throughput_rps": self.throughput_rps,
+            "mean_queue_ms": self.mean_queue_s * 1e3,
             "latency_p50_ms": self.latency_p(50) * 1e3,
             "latency_p95_ms": self.latency_p(95) * 1e3,
             "latency_p99_ms": self.latency_p(99) * 1e3,
@@ -228,6 +241,8 @@ class ServiceReport:
             "fleet_events": [e.to_dict() for e in self.fleet_events],
             "shed": [s.to_dict() for s in self.shed],
             "chips": [c.to_dict(self.end_s) for c in self.chips],
+            "compile": dict(self.compile_stats),
+            "prefetch": dict(self.prefetch_stats),
         }
 
 
@@ -251,6 +266,7 @@ def format_service_report(report: ServiceReport) -> str:
         f"goodput (offered) {report.goodput_slo_attainment * 100:10.1f} %",
         f"shed / degraded   {report.n_shed:10d} / {report.n_degraded} requests",
         f"cache hit rate    {report.cache_hit_rate * 100:10.1f} %",
+        f"mean queue wait   {report.mean_queue_s * 1e3:10.2f} ms",
         f"mean batch size   {report.mean_batch_size:10.2f}",
         f"energy/request    {report.energy_per_request_j * 1e3:10.2f} mJ",
         f"chip-seconds      {report.total_chip_seconds:10.3f} s "
@@ -258,8 +274,23 @@ def format_service_report(report: ServiceReport) -> str:
         f"reconfig cycles   {report.total_reconfig_cycles:10.0f} "
         f"(switch {report.total_switch_cycles:.0f} "
         f"+ in-frame {report.total_frame_reconfig_cycles:.0f})",
-        "",
     ]
+    if report.compile_stats:
+        c = report.compile_stats
+        lines.append(
+            f"compile workers   {c.get('workers', 0):10d} "
+            f"({c.get('demand_jobs', 0)} demand + "
+            f"{c.get('prefetch_jobs', 0)} prefetch jobs, "
+            f"{c.get('busy_s', 0.0) * 1e3:.1f} ms busy)"
+        )
+    if report.prefetch_stats:
+        p = report.prefetch_stats
+        lines.append(
+            f"prefetch accuracy {p.get('accuracy', 0.0) * 100:10.1f} % "
+            f"({p.get('hits', 0)} of {p.get('issued', 0)} issued, "
+            f"{p.get('waste', 0)} wasted)"
+        )
+    lines.append("")
     rows = []
     for chip in report.chips:
         lifecycle = "active"

@@ -63,6 +63,11 @@ class RenderResponse:
     frame_reconfig_cycles: float  # intra-frame reconfigurations (model)
     energy_j: float
     cache_hit: bool
+    # Compile attribution (event engine): simulated compile latency this
+    # request triggered, where it ran, and whether a prefetch warmed it.
+    compile_s: float = 0.0
+    compile_origin: str | None = None  # None | "sync" | "worker" | "prefetch"
+    prefetched: bool = False
 
     @property
     def service_s(self) -> float:
@@ -104,5 +109,8 @@ class RenderResponse:
             "frame_reconfig_cycles": self.frame_reconfig_cycles,
             "energy_j": self.energy_j,
             "cache_hit": self.cache_hit,
+            "compile_s": self.compile_s,
+            "compile_origin": self.compile_origin,
+            "prefetched": self.prefetched,
             "slo_met": self.slo_met,
         }

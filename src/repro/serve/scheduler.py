@@ -1,96 +1,43 @@
-"""Discrete-event loop of the rendering service.
+"""Entry point of the service simulation: :func:`simulate_service`.
 
-Drives arrivals -> admission -> pending queue -> batch formation ->
-chip dispatch -> completion, with an optional autoscaler flexing the
-fleet between events. Time advances to the next decision point (a
-request arrives or a chip frees up); at each point the admission policy
-rules on new arrivals, the autoscaler observes queue depth and SLO
-attainment and may add or retire chips, the batcher coalesces queued
-same-pipeline requests, and the cluster's sharding policy places the
-batch. A frame's service time is its simulated ``FrameResult.cycles``
-at the chip's clock, plus one ``reconfigure_cycles`` pipeline switch
-whenever the chip's PE array was configured for a different pipeline.
+The discrete-event loop itself lives in :mod:`repro.serve.engine` — one
+event queue (arrival / compile-done / chip-free / scale-tick) that the
+cluster, autoscaler, admission policy, and batcher all plug into. This
+module keeps the stable public API and maps its arguments onto the
+engine:
 
-Admission projections use live per-pipeline estimates of the mean
-service time (exponentially weighted moving averages over completed
-requests — frame cost differs by an order of magnitude between
-pipelines): a new arrival's projected queue wait is the time until the
-earliest chip frees plus the estimated backlog already queued ahead of
-it, spread over the active fleet.
+* ``compile_workers=0`` and no ``compile_latency`` (the default) is the
+  synchronous baseline: compilation is invisible to simulated time,
+  reproducing the original scheduler event-for-event and bit-for-bit.
+* ``compile_workers=0`` with a :class:`CompileLatencyModel` makes
+  compile-on-miss *synchronously visible*: the dispatch path stalls on
+  the chip for the simulated compile latency.
+* ``compile_workers >= 1`` makes compilation a first-class resource: a
+  miss enqueues compile work on a deterministic worker pool that
+  overlaps chip execution in simulated time, and ``prefetch=True``
+  additionally warms the trace cache with predicted keys during idle
+  compile capacity.
 
-Simulation results are memoized per (trace key, chip config): chips at
-the same design point render identical frames in identical cycles, so
-the fleet only pays the performance model once per distinct frame.
+A frame's service time is its simulated ``FrameResult.cycles`` at the
+chip's clock, plus one ``reconfigure_cycles`` pipeline switch whenever
+the chip's PE array was configured for a different pipeline; every
+distinct (trace, chip config) pair is priced exactly once through the
+engine's :class:`~repro.serve.engine.CostTable`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Iterable, Sequence
 
-from repro.core.config import AcceleratorConfig
-from repro.core.simulator import FrameResult
-from repro.errors import SimulationError
-from repro.serve.admission import AdmissionPolicy, ShedRecord
+from repro.core.config import CompileLatencyModel
+from repro.serve.admission import AdmissionPolicy
 from repro.serve.autoscaler import Autoscaler
-from repro.serve.batcher import Batch, PipelineBatcher
-from repro.serve.cluster import ChipState, ServeCluster
+from repro.serve.batcher import PipelineBatcher
+from repro.serve.cluster import ServeCluster
+from repro.serve.engine import EventEngine, TracePrefetcher
 from repro.serve.metrics import ServiceReport
-from repro.serve.request import RenderRequest, RenderResponse, TraceKey
+from repro.serve.request import RenderRequest
 from repro.serve.trace_cache import TraceCache
-
-#: EWMA smoothing for the observed mean service time (admission input).
-_SERVICE_EWMA_ALPHA = 0.2
-
-
-def _execute_batch(
-    chip: ChipState,
-    batch: Batch,
-    start_s: float,
-    cache: TraceCache,
-    result_memo: dict[tuple[TraceKey, AcceleratorConfig], FrameResult],
-) -> list[RenderResponse]:
-    """Run a batch back to back on one chip; returns its responses."""
-    clock = chip.config.clock_hz
-    responses = []
-    t = start_s
-    for request in batch.requests:
-        program, cache_hit = cache.get(request.trace_key)
-        memo_key = (request.trace_key, chip.config)
-        result = result_memo.get(memo_key)
-        if result is None:
-            result = chip.accelerator.simulate(program)
-            result_memo[memo_key] = result
-
-        switch = 0.0
-        if chip.configured_pipeline != request.pipeline:
-            switch = float(chip.config.reconfigure_cycles)
-            chip.pipeline_switches += 1
-            chip.configured_pipeline = request.pipeline
-        finish = t + (result.cycles + switch) / clock
-
-        responses.append(RenderResponse(
-            request=request,
-            chip_id=chip.chip_id,
-            batch_id=batch.batch_id,
-            start_s=t,
-            finish_s=finish,
-            cycles=result.cycles,
-            switch_cycles=switch,
-            frame_reconfig_cycles=result.reconfig_cycles,
-            energy_j=result.energy_per_frame_j,
-            cache_hit=cache_hit,
-        ))
-        chip.requests_served += 1
-        chip.frame_cycles += result.cycles
-        chip.switch_cycles += switch
-        chip.frame_reconfig_cycles += result.reconfig_cycles
-        chip.energy_j += result.energy_per_frame_j
-        t = finish
-
-    chip.busy_s += t - start_s
-    chip.free_at_s = t
-    return responses
 
 
 def simulate_service(
@@ -100,147 +47,39 @@ def simulate_service(
     batcher: PipelineBatcher | None = None,
     autoscaler: Autoscaler | None = None,
     admission: AdmissionPolicy | None = None,
+    *,
+    compile_workers: int = 0,
+    compile_latency: CompileLatencyModel | None = None,
+    prefetch: bool | TracePrefetcher = False,
 ) -> ServiceReport:
     """Serve every admitted request on the fleet; returns the report.
 
-    Deterministic: identical inputs produce identical schedules. The
-    same ``cluster`` must not be reused across runs — its chips carry
-    lifetime accounting, so a dirty cluster raises
-    :class:`SimulationError` (``cache`` may be shared to model a warm
-    service). ``autoscaler`` flexes the fleet between events;
-    ``admission`` may shed or degrade arrivals, in which case the
-    report's ``shed`` list records every refused request.
+    Deterministic: identical inputs produce identical schedules *and*
+    identical reports (compile costs are simulated, never wall time).
+    The same ``cluster`` must not be reused across runs — its chips
+    carry lifetime accounting, so a dirty cluster raises
+    :class:`~repro.errors.SimulationError` (``cache`` may be shared to
+    model a warm service). ``autoscaler`` flexes the fleet between
+    events; ``admission`` may shed or degrade arrivals, in which case
+    the report's ``shed`` list records every refused request.
+
+    ``compile_workers``/``compile_latency``/``prefetch`` select the
+    compilation model (see the module docstring); ``prefetch`` accepts
+    ``True`` for a default :class:`TracePrefetcher` or a configured one.
     """
-    ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
-    if not ordered:
-        raise SimulationError("cannot simulate a service with no requests")
-    cluster = cluster if cluster is not None else ServeCluster()
-    if cluster.lifetime_dirty:
-        raise SimulationError(
-            "ServeCluster has nonzero lifetime accounting; build a fresh "
-            "cluster per simulate_service run (chips carry busy time, "
-            "served counts, and autoscaling history)"
-        )
-    cache = cache if cache is not None else TraceCache()
-    batcher = batcher if batcher is not None else PipelineBatcher()
-
-    result_memo: dict[tuple[TraceKey, AcceleratorConfig], FrameResult] = {}
-    responses: list[RenderResponse] = []
-    shed: list[ShedRecord] = []
-    pending: deque[RenderRequest] = deque()
-    est_by_pipeline: dict[str, float] = {}
-    # Completions scheduled but not yet visible to the controller: the
-    # autoscaler's SLO window may only see responses once simulated time
-    # has passed their finish instant (no clairvoyance).
-    inflight: list[RenderResponse] = []
-
-    def feed_autoscaler(now: float) -> None:
-        due = [r for r in inflight if r.finish_s <= now]
-        if not due:
-            return
-        inflight[:] = [r for r in inflight if r.finish_s > now]
-        for response in sorted(due, key=lambda r: r.finish_s):
-            autoscaler.record_response(response.finish_s, response.slo_met)
-
-    def estimate(pipeline: str) -> float:
-        """EWMA service time of one request; 0 until anything finished
-        (optimistic: admit freely while the service is cold)."""
-        if pipeline in est_by_pipeline:
-            return est_by_pipeline[pipeline]
-        if est_by_pipeline:
-            return sum(est_by_pipeline.values()) / len(est_by_pipeline)
-        return 0.0
-
-    def ingest(request: RenderRequest) -> None:
-        """Admission decision, made at the request's arrival instant."""
-        if admission is None:
-            pending.append(request)
-            return
-        at = request.arrival_s
-        wait_for_chip = max(0.0, cluster.earliest_free_s - at)
-        # Queued same-pipeline requests serialize on one chip (they will
-        # coalesce into this request's batch); the rest of the backlog
-        # spreads over the active fleet.
-        same = other = 0.0
-        for queued in pending:
-            if queued.pipeline == request.pipeline:
-                same += estimate(queued.pipeline)
-            else:
-                other += estimate(queued.pipeline)
-        projected_wait = wait_for_chip + same + other / max(1, cluster.n_active)
-        verdict = admission.admit(
-            request, at, projected_wait, estimate(request.pipeline),
-            len(pending),
-        )
-        if verdict is None:
-            shed.append(ShedRecord(request, at, admission.name, projected_wait))
-            if autoscaler is not None:
-                # A shed is an SLO failure the queue never sees; feed it
-                # to the controller's window or admission control would
-                # suppress exactly the pressure that should grow the
-                # fleet (admitted requests mostly meet their SLO, and
-                # shed ones never inflate the queue depth).
-                autoscaler.record_response(at, slo_met=False)
-        else:
-            pending.append(verdict)
-
-    now = 0.0
-    i = 0
-    n = len(ordered)
-    while i < n or pending:
-        if not pending:
-            # Idle service: tick the controller once at the start of the
-            # gap (the one point it observes an empty queue, where it
-            # can drain surplus chips), then jump to the next arrival.
-            if autoscaler is not None and ordered[i].arrival_s > now:
-                feed_autoscaler(now)
-                autoscaler.observe(now, cluster, 0)
-            now = max(now, ordered[i].arrival_s)
-            while i < n and ordered[i].arrival_s <= now:
-                ingest(ordered[i])
-                i += 1
-        if pending and cluster.earliest_free_s > now:
-            # Whole fleet busy: let the queue build until a chip frees,
-            # so batches can coalesce more same-pipeline requests.
-            now = cluster.earliest_free_s
-            while i < n and ordered[i].arrival_s <= now:
-                ingest(ordered[i])
-                i += 1
-        if autoscaler is not None:
-            feed_autoscaler(now)
-            autoscaler.observe(now, cluster, len(pending))
-        if not pending:
-            continue  # everything at this decision point was shed
-
-        batch = batcher.next_batch(pending)
-        chip = cluster.select_chip(batch, now, estimate(batch.pipeline))
-        start = max(now, chip.free_at_s)
-        new = _execute_batch(chip, batch, start, cache, result_memo)
-        responses.extend(new)
-        for response in new:
-            pipeline = response.request.pipeline
-            prior = est_by_pipeline.get(pipeline)
-            if prior is None:
-                est_by_pipeline[pipeline] = response.service_s
-            else:
-                est_by_pipeline[pipeline] = prior + _SERVICE_EWMA_ALPHA * (
-                    response.service_s - prior
-                )
-            if autoscaler is not None:
-                inflight.append(response)
-
-    if not responses:
-        raise SimulationError(
-            f"admission policy {admission.name!r} shed all {len(shed)} requests"
-        )
-    return ServiceReport(
-        policy=cluster.policy_name,
-        responses=responses,
-        chips=cluster.chips,
-        cache_stats=cache.stats.to_dict(),
-        batch_sizes=list(batcher.stats.sizes),
-        shed=shed,
-        fleet_events=list(autoscaler.events) if autoscaler is not None else [],
-        admission_policy=admission.name if admission is not None else None,
-        autoscaled=autoscaler is not None,
+    prefetcher = None
+    if prefetch:
+        prefetcher = (prefetch if isinstance(prefetch, TracePrefetcher)
+                      else TracePrefetcher())
+    engine = EventEngine(
+        requests,
+        cluster=cluster,
+        cache=cache,
+        batcher=batcher,
+        autoscaler=autoscaler,
+        admission=admission,
+        compile_workers=compile_workers,
+        compile_latency=compile_latency,
+        prefetcher=prefetcher,
     )
+    return engine.run()

@@ -6,6 +6,22 @@ compiled :class:`~repro.core.microops.MicroOpProgram` for a given
 (scene, pipeline, width, height) never changes. The service therefore
 keeps traces in an LRU cache so repeated requests skip compilation
 entirely; the hit/miss/eviction counters feed the serving report.
+
+Compile *cost* is two numbers with different jobs:
+
+* ``compile_s`` — **simulated** compile latency, charged by a
+  deterministic :class:`~repro.core.config.CompileLatencyModel` from
+  the compiled program's size. This is the report-facing figure: the
+  same seed always prices the same, so ServiceReports are
+  byte-identical across runs.
+* ``compile_wall_s`` — host wall-clock time actually spent inside
+  ``compile_fn``. Pure diagnostic (how expensive was this run to
+  simulate); deliberately excluded from :meth:`CacheStats.to_dict`.
+
+The synchronous serving path compiles inside :meth:`TraceCache.get`;
+the event engine (:mod:`repro.serve.engine`) instead compiles through
+a worker pool and lands finished programs with :meth:`TraceCache.insert`,
+using :meth:`TraceCache.lookup` for demand lookups.
 """
 
 from __future__ import annotations
@@ -13,8 +29,9 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.core.config import CompileLatencyModel
 from repro.core.microops import MicroOpProgram
 from repro.errors import ConfigError
 from repro.serve.request import TraceKey
@@ -28,13 +45,19 @@ def _default_compile(key: TraceKey) -> MicroOpProgram:
 
 @dataclass
 class CacheStats:
-    """Counters of one cache's lifetime."""
+    """Counters of one cache's lifetime.
+
+    All fields in :meth:`to_dict` are deterministic (simulated-time)
+    quantities; ``compile_wall_s`` is the wall-clock diagnostic and is
+    kept out of the report payload on purpose.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
-    compile_s: float = 0.0        # wall time spent compiling on misses
-    compile_s_saved: float = 0.0  # compile time avoided by hits
+    compile_s: float = 0.0        # simulated compile latency charged
+    compile_s_saved: float = 0.0  # simulated compile latency avoided by hits
+    compile_wall_s: float = 0.0   # host wall time spent compiling (diagnostic)
 
     @property
     def lookups(self) -> int:
@@ -61,17 +84,22 @@ class TraceCache:
     ``capacity`` is the number of resident programs; 0 disables caching
     (every lookup compiles), which the policy-comparison experiments use
     as a baseline. ``compile_fn`` is injectable for tests.
+    ``latency_model`` prices each compile in simulated time; ``None``
+    keeps compilation invisible to the simulation clock (the legacy
+    synchronous baseline) while still compiling on demand.
     """
 
     def __init__(
         self,
         capacity: int = 64,
         compile_fn: Callable[[TraceKey], MicroOpProgram] = _default_compile,
+        latency_model: Optional[CompileLatencyModel] = None,
     ) -> None:
         if capacity < 0:
             raise ConfigError("cache capacity cannot be negative")
         self.capacity = capacity
         self.compile_fn = compile_fn
+        self.latency_model = latency_model
         self.stats = CacheStats()
         self._entries: "OrderedDict[TraceKey, MicroOpProgram]" = OrderedDict()
         self._compile_cost_s: dict[TraceKey, float] = {}
@@ -87,9 +115,17 @@ class TraceCache:
         """Resident keys, least recently used first."""
         return tuple(self._entries)
 
+    def compile_cost_s(self, key: TraceKey) -> float:
+        """Simulated compile latency last charged for ``key`` (0 unknown)."""
+        return self._compile_cost_s.get(key, 0.0)
+
     # ------------------------------------------------------------------
     def get(self, key: TraceKey) -> tuple[MicroOpProgram, bool]:
-        """Return ``(program, cache_hit)``, compiling on a miss."""
+        """Return ``(program, cache_hit)``, compiling on a miss.
+
+        The synchronous path: a miss compiles inline (wall time now,
+        simulated cost per the latency model) and inserts the program.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
@@ -98,17 +134,60 @@ class TraceCache:
 
         began = time.perf_counter()
         program = self.compile_fn(key)
-        cost = time.perf_counter() - began
+        wall = time.perf_counter() - began
+        sim = (self.latency_model.latency_s(program)
+               if self.latency_model is not None else 0.0)
         self.stats.misses += 1
-        self.stats.compile_s += cost
-        self._compile_cost_s[key] = cost
+        self._account_compile(key, sim, wall)
+        self._admit(key, program)
+        return program, False
+
+    # -- event-engine path ---------------------------------------------
+    def lookup(self, key: TraceKey) -> Optional[MicroOpProgram]:
+        """Demand lookup without compiling: hit returns the program and
+        refreshes LRU order; a miss only counts (the caller decides how
+        the program gets compiled — worker pool, prefetch, or join)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def insert(
+        self,
+        key: TraceKey,
+        program: MicroOpProgram,
+        sim_cost_s: float = 0.0,
+        wall_cost_s: float = 0.0,
+    ) -> None:
+        """Land a program compiled elsewhere (worker pool or prefetch)."""
+        self._account_compile(key, sim_cost_s, wall_cost_s)
+        self._admit(key, program)
+
+    def touch(self, key: TraceKey) -> None:
+        """Refresh LRU order without stats (execution-time access)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def peek(self, key: TraceKey) -> Optional[MicroOpProgram]:
+        """Read a resident program without stats or LRU effects."""
+        return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def _account_compile(self, key: TraceKey, sim: float, wall: float) -> None:
+        self.stats.compile_s += sim
+        self.stats.compile_wall_s += wall
+        self._compile_cost_s[key] = sim
+
+    def _admit(self, key: TraceKey, program: MicroOpProgram) -> None:
         if self.capacity > 0:
             self._entries[key] = program
             while len(self._entries) > self.capacity:
                 evicted, _ = self._entries.popitem(last=False)
                 self._compile_cost_s.pop(evicted, None)
                 self.stats.evictions += 1
-        return program, False
 
     def clear(self) -> None:
         """Drop entries and cost records; counters are kept."""

@@ -149,3 +149,27 @@ class TestElasticServeFlags:
                      "--scenes", "lego", "--pipelines", "hashgrid"])
         assert code == 2
         assert "unknown admission policy" in capsys.readouterr().err
+
+
+class TestEngineServeFlags:
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.compile_workers == 0
+        assert args.prefetch is False
+
+    def test_serve_compile_workers_reports_pool_and_prefetch(self, capsys):
+        code = main(["serve", "--chips", "2", "--requests", "20",
+                     "--traffic", "bursty", "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid,gaussian",
+                     "--compile-workers", "2", "--prefetch"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compile workers" in out
+        assert "prefetch accuracy" in out
+
+    def test_serve_prefetch_without_workers_is_clean_error(self, capsys):
+        code = main(["serve", "--requests", "5", "--prefetch",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid"])
+        assert code == 2
+        assert "--compile-workers" in capsys.readouterr().err
