@@ -23,8 +23,11 @@ import time
 from repro.serve import (
     PipelineBatcher,
     ServeCluster,
+    TenantClass,
     TraceCache,
+    generate_tenant_traffic,
     generate_traffic,
+    make_admission_policy,
     simulate_service,
 )
 # The canonical synthetic per-pipeline frame costs shared by the
@@ -71,4 +74,55 @@ def test_engine_simulation_rate_floor(benchmark, save_text):
     assert rate >= FLOOR_RPS, (
         f"engine simulated only {rate:,.0f} req/s "
         f"(floor {FLOOR_RPS:,.0f}) — the hot path has regressed"
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant QoS path: the full machinery (tier-aware dispatch,
+# weighted admission, dispatch-ahead staging, preemption) must not tax
+# the hot path by more than 10% of the single-tenant floor.
+# ----------------------------------------------------------------------
+PREEMPT_FLOOR_RPS = FLOOR_RPS * 0.9
+
+
+def run_tenant_overload():
+    premium = TenantClass("premium", slo_multiplier=1.0, weight=4.0, tier=0)
+    economy = TenantClass("economy", slo_multiplier=2.0, weight=1.0, tier=1)
+    trace = generate_tenant_traffic(
+        [(premium, 0.25), (economy, 0.75)],
+        pattern="bursty", n_requests=N_REQUESTS, rate_rps=60_000.0, seed=42,
+        resolution=(64, 64), slo_s=0.0005,
+    )
+    began = time.perf_counter()
+    report = simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        admission=make_admission_policy("weighted"),
+        preempt=True,
+    )
+    elapsed = time.perf_counter() - began
+    return report, N_REQUESTS / elapsed
+
+
+def test_preemption_path_rate_floor(benchmark, save_text):
+    report, rate = benchmark.pedantic(run_tenant_overload, rounds=1,
+                                      iterations=1)
+    save_text(
+        "engine_perf_tenants",
+        f"simulated {N_REQUESTS} two-tenant requests at {rate:,.0f} req/s "
+        f"(floor {PREEMPT_FLOOR_RPS:,.0f}); "
+        f"{report.n_preemption_events} preemption events, "
+        f"shed rate {report.shed_rate:.3f}",
+    )
+    # The QoS machinery really engaged on this run.
+    assert report.preempt_enabled
+    assert len(report.tenant_report()) == 2
+    # No more than 10% below the single-tenant floor.
+    assert rate >= PREEMPT_FLOOR_RPS, (
+        f"QoS path simulated only {rate:,.0f} req/s "
+        f"(floor {PREEMPT_FLOOR_RPS:,.0f}) — tier dispatch, weighted "
+        f"admission, or staging has regressed the hot path"
     )

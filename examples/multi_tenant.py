@@ -1,0 +1,108 @@
+"""Multi-tenant QoS walkthrough: SLO classes, weighted admission, and
+batch preemption on one overloaded two-tenant trace.
+
+Run:  python examples/multi_tenant.py [n_requests]
+
+Two tenant classes share one fleet:
+
+* **premium** — tier 0, weight 4, 25% of the traffic, held to the base
+  50 ms SLO. The tier makes the dispatcher serve its queued work first;
+  the weight entitles it to 4/5 of the fleet under weighted admission.
+* **economy** — tier 1, weight 1, 75% of the traffic, tolerating 2x the
+  latency (SLO multiplier 2).
+
+Three runs of the same deterministic bursty trace:
+
+1. **single-class** — tenant tags stripped: one FIFO queue, admit
+   everything. Premium and economy sink together under the burst.
+2. **weighted + preempt** — weighted admission budgets each arrival's
+   projected wait against its tenant's share of the fleet (economy
+   floods shed economy, not premium), and dispatch-ahead batches staged
+   on busy chips stay preemptible: a premium arrival displaces a staged
+   economy batch back into its pipeline lane.
+3. **weighted + preempt + autoscale** — the fleet grows under the
+   burst; displaced economy work migrates to the newly warmed chips
+   (the ``migrated`` column) instead of waiting behind premium.
+
+The punchline printed at the end: QoS machinery holds premium's SLO
+attainment near 100% under an overload that sinks the single-class
+service, while economy absorbs the shedding and preemption.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.analysis.serving import TENANT_CHIPS, TENANT_MIX, TENANT_WORKLOAD
+from repro.serve import (
+    DEFAULT_TENANT,
+    PipelineBatcher,
+    ServeCluster,
+    TraceCache,
+    format_service_report,
+    generate_tenant_traffic,
+    make_admission_policy,
+    make_elastic_autoscaler,
+    simulate_service,
+)
+
+
+def main(n_requests: int = 160) -> None:
+    workload = dict(TENANT_WORKLOAD, n_requests=n_requests)
+    trace = generate_tenant_traffic(list(TENANT_MIX), **workload)
+    span = trace[-1].arrival_s - trace[0].arrival_s
+    shares = ", ".join(
+        f"{tenant.name} (tier {tenant.tier}, weight {tenant.weight:g}, "
+        f"SLO x{tenant.slo_multiplier:g}, {share * 100:.0f}%)"
+        for tenant, share in TENANT_MIX
+    )
+    print(f"trace: {n_requests} bursty requests over {span:.2f} s — {shares}\n")
+
+    runs = {
+        "single-class": dict(
+            requests=[replace(r, tenant=DEFAULT_TENANT) for r in trace],
+        ),
+        "weighted+preempt": dict(
+            requests=trace,
+            admission=make_admission_policy("weighted"),
+            preempt=True,
+        ),
+        "weighted+preempt+autoscale": dict(
+            requests=trace,
+            admission=make_admission_policy("weighted"),
+            preempt=True,
+            autoscaler=make_elastic_autoscaler(
+                min_chips=TENANT_CHIPS, max_chips=TENANT_CHIPS + 3),
+        ),
+    }
+
+    reports = {}
+    for name, kwargs in runs.items():
+        requests = kwargs.pop("requests")
+        report = simulate_service(
+            requests,
+            ServeCluster(TENANT_CHIPS, policy="pipeline-affinity"),
+            cache=TraceCache(),
+            batcher=PipelineBatcher(),
+            **kwargs,
+        )
+        reports[name] = report
+        print(f"=== {name} ===")
+        print(format_service_report(report))
+        print()
+
+    premium = reports["weighted+preempt"].tenant_report()["premium"]
+    qos = reports["weighted+preempt+autoscale"]
+    print(
+        f"punchline: weighted admission + preemption holds premium at "
+        f"{premium['slo_attainment'] * 100:.1f}% SLO attainment on a fixed "
+        f"fleet ({qos.tenant_report()['premium']['slo_attainment'] * 100:.1f}% "
+        f"autoscaled, {qos.n_migrated} displaced requests migrated to other "
+        f"chips), fairness index "
+        f"{reports['weighted+preempt'].fairness_index:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 160)

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # One-command verify: clean stale bytecode, run the tier-1 suite (with
-# the scheduler invariant suite called out explicitly, so it still runs
-# if testpaths ever change), pin the event-engine perf-smoke floor, then
-# smoke-run the serving CLI end to end — static fleet, autoscaled
-# heterogeneous fleet with admission, and async compile with prefetch.
+# the scheduler invariant suites called out explicitly, so they still
+# run if testpaths ever change), pin the event-engine perf-smoke floors
+# (single-tenant and the multi-tenant QoS path), then smoke-run the
+# serving CLI end to end — static fleet, autoscaled heterogeneous fleet
+# with admission, async compile with prefetch, and a two-tenant QoS run
+# with weighted admission and preemption.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +14,7 @@ find . -type f -name '*.pyc' -delete
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
-python -m pytest -q tests/test_serve_invariants.py
+python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py
 python -m pytest -q benchmarks/test_engine_perf.py
 python -m repro serve --requests 50 --chips 2 --width 320 --height 180
 python -m repro serve --requests 40 --chips 3 --min-chips 1 \
@@ -20,3 +22,7 @@ python -m repro serve --requests 40 --chips 3 --min-chips 1 \
   --autoscale --admission slo-shed --fleet-spec '2*1x1,1*2x2'
 python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
   --traffic bursty --compile-workers 2 --prefetch
+python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
+  --traffic bursty --rate 300 \
+  --tenants 'premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2' \
+  --admission weighted --preempt

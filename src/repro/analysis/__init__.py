@@ -40,7 +40,12 @@ from repro.analysis.sensitivity import (
     efficiency_sensitivity,
 )
 from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
-from repro.analysis.serving import elastic_summary, engine_summary, serving_summary
+from repro.analysis.serving import (
+    elastic_summary,
+    engine_summary,
+    serving_summary,
+    tenant_summary,
+)
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
 __all__ = [
@@ -73,6 +78,7 @@ __all__ = [
     "serving_summary",
     "elastic_summary",
     "engine_summary",
+    "tenant_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

@@ -15,7 +15,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.scaling_scenes import scene_scaling_study
 from repro.analysis.serving import (elastic_summary, engine_summary,
-                                    serving_summary)
+                                    serving_summary, tenant_summary)
 from repro.analysis.tables import (
     table1_overview,
     table2_microops,
@@ -53,6 +53,8 @@ ALL_EXPERIMENTS = {
                     "heterogeneous chips", elastic_summary),
     "ext_engine": ("Extension — event engine: compile workers and trace "
                    "prefetch", engine_summary),
+    "ext_tenants": ("Extension — multi-tenant QoS: SLO classes, weighted "
+                    "admission, batch preemption", tenant_summary),
 }
 
 

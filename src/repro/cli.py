@@ -61,6 +61,7 @@ def _cmd_serve(args) -> int:
         SHARDING_POLICIES,
         TraceCache,
         format_service_report,
+        generate_tenant_traffic,
         generate_traffic,
         make_admission_policy,
         parse_fleet_spec,
@@ -76,7 +77,7 @@ def _cmd_serve(args) -> int:
     fleet_configs = (
         parse_fleet_spec(args.fleet_spec, base=config) if args.fleet_spec else None
     )
-    trace = generate_traffic(
+    traffic_kwargs = dict(
         pattern=args.traffic,
         n_requests=args.requests,
         rate_rps=args.rate,
@@ -86,6 +87,10 @@ def _cmd_serve(args) -> int:
         resolution=(args.width, args.height),
         slo_s=args.slo_ms / 1e3,
     )
+    if args.tenants:
+        trace = generate_tenant_traffic(args.tenants, **traffic_kwargs)
+    else:
+        trace = generate_traffic(**traffic_kwargs)
 
     def admission():
         if args.admission == "admit-all":
@@ -109,6 +114,7 @@ def _cmd_serve(args) -> int:
             compile_workers=args.compile_workers,
             compile_latency=compile_latency,
             prefetch=args.prefetch,
+            preempt=args.preempt,
         )
         print(format_service_report(static))
         if args.autoscale:
@@ -131,6 +137,7 @@ def _cmd_serve(args) -> int:
                 compile_workers=args.compile_workers,
                 compile_latency=compile_latency,
                 prefetch=args.prefetch,
+                preempt=args.preempt,
             )
             print()
             print(format_service_report(autoscaled))
@@ -226,7 +233,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warmup-ms", type=float, default=5.0,
                        help="delay before an added chip accepts work")
     serve.add_argument("--admission", default="admit-all",
-                       help="admit-all | tail-drop | slo-shed | downgrade")
+                       help="admit-all | tail-drop | slo-shed | downgrade "
+                            "| weighted (weighted budgets the queue per "
+                            "tenant share; pair it with --tenants)")
+    serve.add_argument("--tenants", default=None,
+                       help="multi-tenant traffic spec: ';'-separated "
+                            "name:key=value,... entries with keys tier= "
+                            "(dispatch priority, lower = more premium), "
+                            "weight= (fleet share under weighted "
+                            "admission), slo= (SLO multiplier), share= "
+                            "(traffic fraction), e.g. "
+                            "'premium:tier=0,weight=4,share=0.25;"
+                            "economy:tier=1,slo=2'")
+    serve.add_argument("--preempt", action="store_true",
+                       help="arm batch preemption: dispatch-ahead batches "
+                            "stay queued (staged) on busy chips and a "
+                            "premium arrival may displace a staged batch "
+                            "of a more economical tier")
     serve.add_argument("--fleet-spec", default=None,
                        help="heterogeneous fleet as [count*]PExSRAM entries, "
                             "e.g. '3*1x1,1*2x2' (static fleet composition "

@@ -41,7 +41,13 @@ Elastic serving::
     print(report.total_cost_units, report.shed_rate, report.fleet_size_timeline)
 """
 
-from repro.serve.request import RenderRequest, RenderResponse, TraceKey
+from repro.serve.request import (
+    DEFAULT_TENANT,
+    RenderRequest,
+    RenderResponse,
+    TenantClass,
+    TraceKey,
+)
 from repro.serve.trace_cache import CacheStats, TraceCache
 from repro.serve.batcher import Batch, PipelineBatcher
 from repro.serve.cluster import (
@@ -58,6 +64,7 @@ from repro.serve.admission import (
     ShedRecord,
     SloShed,
     TailDrop,
+    WeightedAdmission,
     make_admission_policy,
 )
 from repro.serve.autoscaler import Autoscaler, FleetEvent, make_elastic_autoscaler
@@ -80,12 +87,16 @@ from repro.serve.traffic import (
     DEFAULT_RESOLUTION,
     DEFAULT_SCENES,
     TRAFFIC_PATTERNS,
+    generate_tenant_traffic,
     generate_traffic,
+    parse_tenant_spec,
 )
 
 __all__ = [
     "RenderRequest",
     "RenderResponse",
+    "TenantClass",
+    "DEFAULT_TENANT",
     "TraceKey",
     "TraceCache",
     "CacheStats",
@@ -101,6 +112,7 @@ __all__ = [
     "SloShed",
     "Downgrade",
     "DOWNGRADE_LADDER",
+    "WeightedAdmission",
     "ShedRecord",
     "make_admission_policy",
     "Autoscaler",
@@ -117,6 +129,8 @@ __all__ = [
     "latency_percentile",
     "simulate_service",
     "generate_traffic",
+    "generate_tenant_traffic",
+    "parse_tenant_spec",
     "TRAFFIC_PATTERNS",
     "DEFAULT_SCENES",
     "DEFAULT_PIPELINES",

@@ -24,6 +24,12 @@ Policies:
 * ``downgrade``  — same trigger as ``slo-shed``, but first try moving
   the request to the cheapest pipeline of a configurable ladder; shed
   only when it is already at the bottom.
+* ``weighted``   — multi-tenant weighted admission: the engine budgets
+  the projected queue wait *per tenant share* instead of globally. A
+  tenant of weight ``w`` is entitled to ``w / total_active_weight`` of
+  the fleet; only the tenant's own backlog counts against that share,
+  so an economy flood cannot starve a premium tenant's budget, and the
+  request is held to its *effective* (tenant-scaled) SLO.
 """
 
 from __future__ import annotations
@@ -60,6 +66,10 @@ class AdmissionPolicy:
     """Admit every request (the no-op baseline)."""
 
     name = "admit-all"
+    #: Tenant-aware policies receive a *share-normalized* projected wait:
+    #: the engine budgets the queue against the tenant's weighted share
+    #: of the fleet instead of the global backlog.
+    tenant_aware = False
 
     def admit(
         self,
@@ -106,8 +116,10 @@ class SloShed(AdmissionPolicy):
 
     def admit(self, request, now, projected_wait_s, est_service_s, queue_depth):
         # Decisions are made at the request's arrival instant (the
-        # scheduler passes now == arrival_s), so the budget is the SLO.
-        if projected_wait_s + est_service_s > request.slo_s * self.margin:
+        # scheduler passes now == arrival_s), so the budget is the SLO
+        # (tenant-scaled; identity for the default tenant).
+        if projected_wait_s + est_service_s > \
+                request.effective_slo_s * self.margin:
             return None
         return request
 
@@ -147,12 +159,34 @@ class Downgrade(SloShed):
         return replace(request, pipeline=cheapest, degraded=True)
 
 
+class WeightedAdmission(SloShed):
+    """Per-tenant-share SLO shedding (the multi-tenant QoS policy).
+
+    The decision rule is :class:`SloShed`'s — shed when the projected
+    wait plus one mean service time blows the (effective, tenant-scaled)
+    SLO budget — but because ``tenant_aware`` is set, the event engine
+    hands this policy a *share-normalized* projection: time until a chip
+    frees, plus the tenant's **own** queued backlog divided by the slice
+    of the fleet its weight entitles it to
+    (``n_active_chips * weight / total_active_weight``, where the total
+    runs over tenants with work pending plus the arrival's own class).
+    A premium tenant with most of the weight therefore keeps admitting
+    through an economy flood — the flood inflates only economy's
+    projection — while each tenant still sheds once *its own* queue
+    outgrows its share.
+    """
+
+    name = "weighted"
+    tenant_aware = True
+
+
 #: Registry of admission-policy factories (fresh state per run).
 ADMISSION_POLICIES: dict[str, Callable[[], AdmissionPolicy]] = {
     "admit-all": AdmissionPolicy,
     "tail-drop": TailDrop,
     "slo-shed": SloShed,
     "downgrade": Downgrade,
+    "weighted": WeightedAdmission,
 }
 
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Container, Sequence
 
 from repro.core.config import AcceleratorConfig
 from repro.errors import ConfigError
@@ -133,8 +133,14 @@ class Autoscaler:
         return self._slo_met / len(self._slo_samples)
 
     # -- control loop ---------------------------------------------------
-    def observe(self, now: float, cluster: ServeCluster, queue_depth: int) -> None:
-        """One control-loop tick at an event-engine decision point."""
+    def observe(self, now: float, cluster: ServeCluster, queue_depth: int,
+                reserved: Container[int] = ()) -> None:
+        """One control-loop tick at an event-engine decision point.
+
+        ``reserved`` masks chip ids that look idle but already own a
+        staged (dispatch-ahead) batch — retiring one would strand queued
+        work on a chip that no longer serves.
+        """
         self._prune(now)
         self._queue_samples.append((now, queue_depth))
         self._queue_sum += queue_depth
@@ -156,7 +162,8 @@ class Autoscaler:
             ))
             return
 
-        idle = [c for c in cluster.active_chips if c.free_at_s <= now]
+        idle = [c for c in cluster.active_chips
+                if c.free_at_s <= now and c.chip_id not in reserved]
         calm = (
             queue_depth == 0
             and self.mean_queue_depth() < 1.0

@@ -97,3 +97,15 @@ class PipelineBatcher:
         self.stats.requests += len(taken)
         self.stats.sizes.append(len(taken))
         return batch
+
+    def retract(self, batch: Batch) -> None:
+        """Un-count a staged batch that preemption displaced.
+
+        The members go back to the pending queue and will form a new
+        batch (with a new id) later, so leaving the displaced batch in
+        the statistics would double-count its requests.
+        """
+        self.stats.batches -= 1
+        self.stats.requests -= len(batch)
+        # Any equal-sized entry is interchangeable in the size histogram.
+        self.stats.sizes.remove(len(batch))

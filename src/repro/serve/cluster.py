@@ -25,7 +25,7 @@ A sharding policy picks the chip a batch runs on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Container, Sequence
 
 from repro.core.config import AcceleratorConfig
 from repro.core.simulator import UniRenderAccelerator
@@ -166,7 +166,8 @@ def _cost_aware(chips: list[ChipState], batch: Batch, now: float,
     makes the deadline, degrades to least-loaded.
     """
     deadline = min(
-        (r.arrival_s + r.slo_s for r in batch.requests), default=float("inf")
+        (r.arrival_s + r.effective_slo_s for r in batch.requests),
+        default=float("inf")
     )
     feasible = []
     for chip in chips:
@@ -296,8 +297,14 @@ class ServeCluster:
 
     # ------------------------------------------------------------------
     def select_chip(self, batch: Batch, now: float,
-                    est_service_s: float = 0.0) -> ChipState:
-        return self._policy(self.active_chips, batch, now, est_service_s)
+                    est_service_s: float = 0.0,
+                    exclude: "Container[int] | None" = None) -> ChipState:
+        """Policy pick over active chips; ``exclude`` masks chip ids the
+        engine has reserved (a staged, not-yet-started batch owns them)."""
+        chips = self.active_chips
+        if exclude:
+            chips = [chip for chip in chips if chip.chip_id not in exclude]
+        return self._policy(chips, batch, now, est_service_s)
 
     @property
     def earliest_free_s(self) -> float:

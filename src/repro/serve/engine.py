@@ -36,10 +36,21 @@ pair is simulated exactly once into a :class:`CostTable` — plain-float
 rows for the scalar event loop, NumPy columns for analysis — so a
 100k-request fleet simulation prices frames in O(distinct traces).
 
+Multi-tenant QoS rides the same loop: the pending index keeps one
+master queue *per priority tier* (queued premium work always anchors
+before economy; batches never mix tiers), weighted admission budgets
+each arrival's projected wait against its tenant's share of the fleet,
+and ``preempt=True`` adds dispatch-ahead staging — the next batch is
+pre-assigned to each busy chip but stays *queued* until the chip frees,
+so a premium arrival can displace a staged economy batch back into its
+pipeline lane (and displaced work may migrate to a chip the autoscaler
+warmed in the meantime).
+
 With ``compile_workers=0`` and no latency model the engine reproduces
 the synchronous baseline event-for-event and bit-for-bit: the golden
 percentile tables in ``tests/test_serve_golden.py`` pin that
-equivalence.
+equivalence — and with a single (default) tenant class the QoS
+structures degenerate to the old global FIFO, event for event.
 """
 
 from __future__ import annotations
@@ -326,17 +337,24 @@ def response_timeline(
 class _PendingIndex:
     """Arrival-ordered queue with per-pipeline lanes and O(1) counters.
 
-    ``master`` preserves the global head-of-line anchor; per-pipeline
-    lanes give batch formation its same-pipeline followers without
-    scanning the whole queue; the pipeline counters give admission its
-    backlog projection without iterating pending requests. Dispatched
-    requests are removed lazily — each structure consumes its own
-    tombstone set, so a request dropped from one is still recognized by
-    the other.
+    Per-tier ``masters`` preserve the head-of-line anchor *within each
+    priority tier* — the anchor scan walks tiers most-premium first, so
+    queued premium work always dispatches ahead of queued economy work
+    (with a single tenant class every request lands in one tier and the
+    structure degenerates to the old global FIFO, event for event).
+    Per-pipeline lanes give batch formation its same-pipeline followers
+    without scanning the whole queue; the pipeline counters give
+    admission its backlog projection without iterating pending requests.
+    Dispatched requests are removed lazily — each structure consumes its
+    own tombstone set, so a request dropped from one is still recognized
+    by the other. :meth:`restore` is the preemption path's inverse of
+    :meth:`take`: displaced (never-started) batch members re-enter every
+    structure in original arrival order.
     """
 
     def __init__(self) -> None:
-        self.master: deque[RenderRequest] = deque()
+        self.masters: dict[int, deque[RenderRequest]] = {}
+        self._tiers: list[int] = []       # sorted keys of ``masters``
         self.lanes: dict[str, deque[RenderRequest]] = {}
         self.counts: dict[str, int] = {}
         self.n_pending = 0
@@ -344,7 +362,12 @@ class _PendingIndex:
         self._gone_lane: set[int] = set()
 
     def push(self, request: RenderRequest) -> None:
-        self.master.append(request)
+        tier = request.tenant.tier
+        master = self.masters.get(tier)
+        if master is None:
+            master = self.masters[tier] = deque()
+            self._tiers = sorted(self.masters)
+        master.append(request)
         lane = self.lanes.get(request.pipeline)
         if lane is None:
             lane = self.lanes[request.pipeline] = deque()
@@ -353,23 +376,29 @@ class _PendingIndex:
         self.n_pending += 1
 
     def anchor(self, is_ready) -> Optional[RenderRequest]:
-        """Oldest pending *ready* request (the batch anchor)."""
-        master = self.master
+        """Oldest pending *ready* request of the most premium tier that
+        has one (the batch anchor)."""
         gone = self._gone_master
-        while master and master[0].request_id in gone:
-            gone.discard(master.popleft().request_id)
-        for request in master:
-            if request.request_id in gone:
-                continue
-            if is_ready(request):
-                return request
+        for tier in self._tiers:
+            master = self.masters[tier]
+            while master and master[0].request_id in gone:
+                gone.discard(master.popleft().request_id)
+            for request in master:
+                if request.request_id in gone:
+                    continue
+                if is_ready(request):
+                    return request
         return None
 
-    def take(self, pipeline: str, limit: int, is_ready) -> list[RenderRequest]:
+    def take(self, pipeline: str, limit: int, is_ready,
+             tier: Optional[int] = None) -> list[RenderRequest]:
         """Up to ``limit`` ready requests of ``pipeline``, in queue order.
 
         Unready requests keep their place in the lane (skipped, never
-        reordered); previously dispatched ones are lazily dropped.
+        reordered); previously dispatched ones are lazily dropped. With
+        ``tier`` set, only requests of that priority tier are taken —
+        QoS batches never carry economy passengers ahead of queued
+        premium work of another pipeline.
         """
         lane = self.lanes[pipeline]
         gone = self._gone_lane
@@ -379,6 +408,9 @@ class _PendingIndex:
         contiguous = True
         for request in lane:
             if request.request_id in gone:
+                contiguous = False
+                continue
+            if tier is not None and request.tenant.tier != tier:
                 contiguous = False
                 continue
             if not is_ready(request):
@@ -401,6 +433,72 @@ class _PendingIndex:
                 self._gone_master.add(request.request_id)
         return taken
 
+    def restore(self, requests: Sequence[RenderRequest]) -> None:
+        """Re-queue displaced (never-started) batch members.
+
+        Inverse of :meth:`take` for the preemption path. Members that
+        are still physically resident (they were only tombstoned) just
+        lose their tombstones and keep their original slots; members the
+        fast paths removed outright are merged back in
+        ``(arrival_s, request_id)`` order, so queue fairness survives a
+        displacement bit for bit.
+        """
+        if not requests:
+            return
+        for request in requests:
+            self._gone_master.discard(request.request_id)
+            self._gone_lane.discard(request.request_id)
+
+        pipeline = requests[0].pipeline
+        lane = self.lanes[pipeline]
+        self._merge_missing(lane, requests)
+        for tier in {r.tenant.tier for r in requests}:
+            master = self.masters.get(tier)
+            if master is None:
+                master = self.masters[tier] = deque()
+                self._tiers = sorted(self.masters)
+            self._merge_missing(
+                master, [r for r in requests if r.tenant.tier == tier])
+        self.counts[pipeline] += len(requests)
+        self.n_pending += len(requests)
+
+    @staticmethod
+    def _merge_missing(queue: deque, requests: Sequence[RenderRequest]) -> None:
+        resident = {r.request_id for r in queue}
+        missing = [r for r in requests if r.request_id not in resident]
+        if not missing:
+            return
+        merged = sorted(
+            list(queue) + missing, key=lambda r: (r.arrival_s, r.request_id))
+        queue.clear()
+        queue.extend(merged)
+
+
+# ----------------------------------------------------------------------
+# Batch staging (the preemption unit)
+# ----------------------------------------------------------------------
+@dataclass
+class _StagedBatch:
+    """A batch placed on a busy chip but not yet started.
+
+    Only staged batches are preemptible: once a chip begins executing,
+    its work is in flight and runs to completion. Staging happens only
+    in preempt mode, when the sharding policy places a batch on a chip
+    that frees in the future (e.g. a warm pipeline-affinity pick);
+    otherwise placement executes immediately, exactly as before.
+    """
+
+    batch: Batch
+    chip: ChipState
+    start_s: float
+    dispatched_s: float   # when the batch was formed (priority records)
+
+    @property
+    def tier(self) -> int:
+        # QoS batches are single-tier (tier-filtered take), so the
+        # first member speaks for the batch.
+        return self.batch.requests[0].tenant.tier
+
 
 # ----------------------------------------------------------------------
 # The engine
@@ -419,6 +517,7 @@ class EventEngine:
         compile_workers: int = 0,
         compile_latency: Optional[CompileLatencyModel] = None,
         prefetcher: Optional[TracePrefetcher] = None,
+        preempt: bool = False,
     ) -> None:
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         if not ordered:
@@ -463,6 +562,24 @@ class EventEngine:
             CompileWorkerPool(compile_workers) if self.async_compile else None
         )
         self.prefetcher = prefetcher
+
+        # -- multi-tenant QoS state -------------------------------------
+        # Tier-filtered batching switches on when the trace actually
+        # carries more than one priority tier (or preemption is armed);
+        # a single-class trace takes the exact pre-tenant code paths.
+        self.preempt = preempt
+        self._qos = preempt or len({r.tenant.tier for r in ordered}) > 1
+        self._staged: dict[int, _StagedBatch] = {}   # chip_id -> batch
+        self._preempt_count: dict[int, int] = {}     # request_id -> times
+        self._displaced_from: dict[int, int] = {}    # request_id -> chip_id
+        self.n_preemptions = 0                       # displacement events
+        # Weighted admission budgets the queue per tenant share, which
+        # needs per-tenant backlog counters the single-tenant hot path
+        # should not pay for.
+        self._tenant_aware = admission is not None and getattr(
+            admission, "tenant_aware", False)
+        self._tenant_pending: dict[str, dict[str, int]] = {}
+        self._tenant_weight: dict[str, float] = {}
 
         self._pending = _PendingIndex()
         self._cost = CostTable()
@@ -523,7 +640,7 @@ class EventEngine:
         while inflight and inflight[0][0] <= now:
             finish_s, _seq, slo_met = heapq.heappop(inflight)
             scaler.record_response(finish_s, slo_met)
-        scaler.observe(now, self.cluster, queue_depth)
+        scaler.observe(now, self.cluster, queue_depth, reserved=self._staged)
         self._watch_new_chips()
 
     # -- readiness ------------------------------------------------------
@@ -592,6 +709,53 @@ class EventEngine:
                 wait = max(wait, self.latency_model.base_s)
         return wait
 
+    def _project_wait_weighted(self, request: RenderRequest,
+                               at: float) -> float:
+        """Tenant-share projection for weighted admission: time until a
+        chip frees, plus the tenant's **own** queued backlog spread over
+        the slice of the fleet its weight entitles it to. Another
+        tenant's flood inflates only that tenant's projection."""
+        cluster = self.cluster
+        wait = max(0.0, cluster.earliest_free_s - at)
+        tenant = request.tenant
+        est = self._estimate
+        own_backlog = 0.0
+        own_pending = False
+        per = self._tenant_pending.get(tenant.name)
+        if per:
+            for pipeline, count in per.items():
+                if count:
+                    own_backlog += count * est(pipeline)
+                    own_pending = True
+        total_weight = 0.0 if own_pending else tenant.weight
+        for name, weight in self._tenant_weight.items():
+            counts = self._tenant_pending.get(name)
+            if counts and any(counts.values()):
+                total_weight += weight
+        share = tenant.weight / total_weight
+        capacity = max(1, cluster.n_active) * share
+        wait = wait + own_backlog / capacity
+        if self.async_compile:
+            done = self._waiting_done_s.get(request.trace_key)
+            if done is not None:
+                wait = max(wait, done - at)
+            elif request.trace_key not in self.cache:
+                wait = max(wait, self.latency_model.base_s)
+        return wait
+
+    # -- tenant backlog counters (weighted admission's signal) ----------
+    def _tenant_add(self, request: RenderRequest) -> None:
+        tenant = request.tenant
+        per = self._tenant_pending.get(tenant.name)
+        if per is None:
+            per = self._tenant_pending[tenant.name] = {}
+            self._tenant_weight[tenant.name] = tenant.weight
+        per[request.pipeline] = per.get(request.pipeline, 0) + 1
+
+    def _tenant_remove(self, taken: Sequence[RenderRequest]) -> None:
+        for request in taken:
+            self._tenant_pending[request.tenant.name][request.pipeline] -= 1
+
     def _ingest(self, request: RenderRequest, now: float) -> None:
         """Admission decision, made at the request's arrival instant."""
         admission = self.admission
@@ -599,7 +763,10 @@ class EventEngine:
             verdict = request
         else:
             at = request.arrival_s
-            projected = self._project_wait(request, at)
+            if self._tenant_aware:
+                projected = self._project_wait_weighted(request, at)
+            else:
+                projected = self._project_wait(request, at)
             verdict = admission.admit(
                 request, at, projected, self._estimate(request.pipeline),
                 self._pending.n_pending,
@@ -619,6 +786,48 @@ class EventEngine:
         if self.async_compile:
             self._ingest_async(verdict, now)
         self._pending.push(verdict)
+        if self._tenant_aware:
+            self._tenant_add(verdict)
+        if self.preempt and self._staged:
+            self._maybe_preempt(verdict, now)
+
+    def _maybe_preempt(self, request: RenderRequest, now: float) -> None:
+        """A premium arrival may displace one queued — not in-flight —
+        batch of a more economical tier back into its pipeline lane.
+
+        Displacement only helps when the arrival cannot dispatch right
+        now, and only staged batches that have not reached their start
+        instant are eligible. The victim is the most economical staged
+        batch, latest planned start first (it has waited the least);
+        its members re-enter the pending index in arrival order and its
+        chip reservation is cancelled, so the freed slot goes to the
+        most premium queued work when the chip frees.
+        """
+        if self.cluster.has_idle_chip(now):
+            return
+        tier = request.tenant.tier
+        victim: Optional[_StagedBatch] = None
+        for staged in self._staged.values():
+            if staged.tier <= tier or staged.start_s <= now:
+                continue
+            if victim is None or (staged.tier, staged.start_s,
+                                  staged.chip.chip_id) > (
+                    victim.tier, victim.start_s, victim.chip.chip_id):
+                victim = staged
+        if victim is None:
+            return
+        del self._staged[victim.chip.chip_id]
+        members = victim.batch.requests
+        self.batcher.retract(victim.batch)
+        self._pending.restore(members)
+        if self._tenant_aware:
+            for member in members:
+                self._tenant_add(member)
+        for member in members:
+            rid = member.request_id
+            self._preempt_count[rid] = self._preempt_count.get(rid, 0) + 1
+            self._displaced_from[rid] = victim.chip.chip_id
+        self.n_preemptions += 1
 
     def _ingest_async(self, verdict: RenderRequest, now: float) -> None:
         """Demand-side cache traffic: hit, join an in-flight compile, or
@@ -650,13 +859,14 @@ class EventEngine:
 
     # -- batch execution -------------------------------------------------
     def _execute_batch(self, chip: ChipState, batch: Batch,
-                       start_s: float) -> None:
+                       start_s: float, dispatched_s: float) -> None:
         """Run a batch back to back on one chip (the pricing hot path)."""
         cache = self.cache
         cost = self._cost
         accelerator = chip.accelerator
         clock = chip.config.clock_hz
         async_mode = self.async_compile
+        preempt_mode = self.preempt
         responses = self._responses
         feed = self.autoscaler is not None
         est = self._est_by_pipeline
@@ -704,6 +914,17 @@ class EventEngine:
                 chip.configured_pipeline = request.pipeline
             finish = t + compile_wait + (cycles + switch) / clock
 
+            preemptions = 0
+            migrated = False
+            if preempt_mode:
+                rid = request.request_id
+                preemptions = self._preempt_count.pop(rid, 0)
+                displaced_from = self._displaced_from.pop(rid, None)
+                # Displaced work that completes on a different chip than
+                # the one it was displaced from has migrated — under an
+                # autoscaler this is how it reaches newly warmed chips.
+                migrated = (displaced_from is not None
+                            and chip.chip_id != displaced_from)
             response = RenderResponse(
                 request=request,
                 chip_id=chip.chip_id,
@@ -718,6 +939,9 @@ class EventEngine:
                 compile_s=compile_s,
                 compile_origin=origin,
                 prefetched=prefetched,
+                dispatched_s=dispatched_s,
+                preemptions=preemptions,
+                migrated=migrated,
             )
             responses.append(response)
             chip.requests_served += 1
@@ -747,24 +971,92 @@ class EventEngine:
         self._push(t, _CHIP_FREE, chip.chip_id)
 
     # -- dispatch --------------------------------------------------------
+    def _flush_staged(self, now: float) -> None:
+        """Start every staged batch whose planned instant has come.
+
+        The chip's own chip-free event (pushed when its previous batch
+        finished, or at an autoscaled chip's warm-up end) wakes the
+        dispatcher at exactly the staged start, so no extra event kind
+        is needed; a displaced batch simply is not here any more.
+        """
+        due = [s for s in self._staged.values() if s.start_s <= now]
+        due.sort(key=lambda s: (s.start_s, s.chip.chip_id))
+        for staged in due:
+            del self._staged[staged.chip.chip_id]
+            chip = staged.chip
+            self._execute_batch(chip, staged.batch,
+                                max(now, chip.free_at_s),
+                                staged.dispatched_s)
+
     def _dispatch_all(self, now: float) -> None:
         """Place batches while ready work and an idle chip coexist."""
         pending = self._pending
         cluster = self.cluster
         batcher = self.batcher
+        preempt = self.preempt
+        if self._staged:
+            self._flush_staged(now)
+        qos_tier = self._qos
+        tenant_aware = self._tenant_aware
         while self._n_ready > 0 and cluster.has_idle_chip(now):
             if self.autoscaler is not None:
                 self._controller_tick(now, pending.n_pending)
             anchor = pending.anchor(self._is_ready)
             if anchor is None:
-                return
+                break
             taken = pending.take(
-                anchor.pipeline, batcher.max_batch, self._is_ready)
+                anchor.pipeline, batcher.max_batch, self._is_ready,
+                tier=anchor.tenant.tier if qos_tier else None)
+            if tenant_aware:
+                self._tenant_remove(taken)
             batch = batcher.make_batch(anchor.pipeline, taken)
             chip = cluster.select_chip(
-                batch, now, self._estimate(batch.pipeline))
+                batch, now, self._estimate(batch.pipeline),
+                exclude=self._staged if preempt else None)
             start = max(now, chip.free_at_s)
-            self._execute_batch(chip, batch, start)
+            if preempt and start > now:
+                # The policy picked a busy chip (e.g. a warm
+                # pipeline-affinity hit): park the batch as *queued*
+                # work — preemptible until the chip actually starts it.
+                self._staged[chip.chip_id] = _StagedBatch(
+                    batch, chip, start, now)
+                continue
+            self._execute_batch(chip, batch, start, now)
+        if preempt:
+            self._stage_ahead(now)
+
+    def _stage_ahead(self, now: float) -> None:
+        """Dispatch-ahead (preempt mode): pre-assign the next batch to
+        each busy chip, one batch deep.
+
+        A chip with a staged batch hands off with zero dispatch gap when
+        it frees — and because staged work has not started, it remains
+        *queued*: a premium arrival can still displace an economy batch
+        from its slot (see :meth:`_maybe_preempt`). Chips still warming
+        up after an autoscale-up count as busy, which is exactly how
+        displaced work migrates onto a newly grown chip.
+        """
+        pending = self._pending
+        cluster = self.cluster
+        batcher = self.batcher
+        staged = self._staged
+        while self._n_ready > 0:
+            if not any(chip.chip_id not in staged and chip.free_at_s > now
+                       for chip in cluster.active_chips):
+                return
+            anchor = pending.anchor(self._is_ready)
+            if anchor is None:
+                return
+            taken = pending.take(
+                anchor.pipeline, batcher.max_batch, self._is_ready,
+                tier=anchor.tenant.tier)
+            if self._tenant_aware:
+                self._tenant_remove(taken)
+            batch = batcher.make_batch(anchor.pipeline, taken)
+            chip = cluster.select_chip(
+                batch, now, self._estimate(batch.pipeline), exclude=staged)
+            staged[chip.chip_id] = _StagedBatch(
+                batch, chip, max(now, chip.free_at_s), now)
 
     # -- main loop -------------------------------------------------------
     def run(self) -> ServiceReport:
@@ -810,6 +1102,11 @@ class EventEngine:
                 f"event queue drained with {pending.n_pending} requests "
                 "still pending (engine bug)"
             )
+        if self._staged:
+            raise SimulationError(
+                f"event queue drained with {len(self._staged)} staged "
+                "batches never started (engine bug)"
+            )
         if not self._responses:
             raise SimulationError(
                 f"admission policy {self.admission.name!r} shed all "
@@ -831,6 +1128,8 @@ class EventEngine:
                            if self.pool is not None else {}),
             prefetch_stats=(self.prefetcher.to_dict()
                             if self.prefetcher is not None else {}),
+            preempt_enabled=self.preempt,
+            n_preemption_events=self.n_preemptions,
         )
 
     def _finish_compile(self, now: float, payload) -> None:

@@ -48,6 +48,8 @@ class ServiceReport:
     autoscaled: bool = False
     compile_stats: dict = field(default_factory=dict)
     prefetch_stats: dict = field(default_factory=dict)
+    preempt_enabled: bool = False
+    n_preemption_events: int = 0  # displacement events (batches, not requests)
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -126,6 +128,110 @@ class ServiceReport:
         """SLO attainment over *offered* traffic: sheds count as misses,
         so an admission policy cannot look good by refusing everything."""
         return sum(r.slo_met for r in self.responses) / self.n_offered
+
+    # -- multi-tenant QoS metrics ---------------------------------------
+    @property
+    def n_preempted(self) -> int:
+        """Completed requests that were displaced at least once."""
+        return sum(1 for r in self.responses if r.preemptions > 0)
+
+    @property
+    def total_preemptions(self) -> int:
+        """Displacements summed over requests (one request may be
+        displaced more than once)."""
+        return sum(r.preemptions for r in self.responses)
+
+    @property
+    def n_migrated(self) -> int:
+        """Displaced requests that completed on a different chip than
+        the one they were displaced from — under an autoscaler that
+        includes chips warmed after the displacement."""
+        return sum(1 for r in self.responses if r.migrated)
+
+    def tenant_report(self) -> dict[str, dict]:
+        """Per-tenant-class service metrics (the QoS scoreboard)."""
+        by_tenant: dict[str, dict] = {}
+
+        def entry(tenant) -> dict:
+            e = by_tenant.get(tenant.name)
+            if e is None:
+                e = by_tenant[tenant.name] = {
+                    "tier": tenant.tier,
+                    "weight": tenant.weight,
+                    "slo_multiplier": tenant.slo_multiplier,
+                    "n_requests": 0,
+                    "n_shed": 0,
+                    "n_degraded": 0,
+                    "n_preempted": 0,
+                    "preemptions": 0,
+                    "n_migrated": 0,
+                    "slo_met": 0,
+                    "service_s": 0.0,
+                    "_latencies": [],
+                }
+            return e
+
+        for r in self.responses:
+            e = entry(r.request.tenant)
+            e["n_requests"] += 1
+            e["n_degraded"] += r.request.degraded
+            e["n_preempted"] += r.preemptions > 0
+            e["preemptions"] += r.preemptions
+            e["n_migrated"] += r.migrated
+            e["slo_met"] += r.slo_met
+            e["service_s"] += r.service_s
+            e["_latencies"].append(r.latency_s)
+        for s in self.shed:
+            entry(s.request.tenant)["n_shed"] += 1
+
+        for e in by_tenant.values():
+            latencies = e.pop("_latencies")
+            n = e["n_requests"]
+            e["n_offered"] = n + e["n_shed"]
+            e["shed_rate"] = e["n_shed"] / e["n_offered"]
+            if latencies:
+                e["latency_p50_ms"] = latency_percentile(latencies, 50) * 1e3
+                e["latency_p95_ms"] = latency_percentile(latencies, 95) * 1e3
+                e["latency_p99_ms"] = latency_percentile(latencies, 99) * 1e3
+                e["slo_attainment"] = e["slo_met"] / n
+            else:
+                e["latency_p50_ms"] = e["latency_p95_ms"] = \
+                    e["latency_p99_ms"] = float("nan")
+                e["slo_attainment"] = 0.0
+            e["goodput_slo_attainment"] = e["slo_met"] / e["n_offered"]
+        # Present most premium tier first, deterministic within a tier.
+        return dict(sorted(by_tenant.items(),
+                           key=lambda kv: (kv[1]["tier"], kv[0])))
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over weight-normalized delivered service.
+
+        Each tenant's allocation is the chip-seconds of service it
+        actually received divided by its weight; Jain's index
+        ``(sum x)^2 / (n * sum x^2)`` is 1.0 when every tenant got
+        service exactly proportional to its weight and approaches
+        ``1/n`` as one tenant monopolizes the fleet. Shed traffic shows
+        up as the shed tenant's allocation shrinking.
+        """
+        allocations: dict[str, float] = {}
+        weights: dict[str, float] = {}
+        for r in self.responses:
+            t = r.request.tenant
+            allocations[t.name] = allocations.get(t.name, 0.0) + r.service_s
+            weights[t.name] = t.weight
+        for s in self.shed:
+            t = s.request.tenant
+            allocations.setdefault(t.name, 0.0)
+            weights.setdefault(t.name, t.weight)
+        shares = [allocations[name] / weights[name] for name in allocations]
+        if len(shares) <= 1:
+            return 1.0
+        total = sum(shares)
+        square_sum = sum(x * x for x in shares)
+        if square_sum == 0.0:
+            return 1.0
+        return total * total / (len(shares) * square_sum)
 
     # -- fleet metrics --------------------------------------------------
     @property
@@ -225,6 +331,13 @@ class ServiceReport:
             "latency_p99_ms": self.latency_p(99) * 1e3,
             "slo_attainment": self.slo_attainment,
             "goodput_slo_attainment": self.goodput_slo_attainment,
+            "preempt_enabled": self.preempt_enabled,
+            "n_preemption_events": self.n_preemption_events,
+            "n_preempted": self.n_preempted,
+            "total_preemptions": self.total_preemptions,
+            "n_migrated": self.n_migrated,
+            "fairness_index": self.fairness_index,
+            "tenants": self.tenant_report(),
             "cache": dict(self.cache_stats),
             "mean_batch_size": self.mean_batch_size,
             "mean_utilization": self.mean_utilization,
@@ -289,6 +402,40 @@ def format_service_report(report: ServiceReport) -> str:
             f"prefetch accuracy {p.get('accuracy', 0.0) * 100:10.1f} % "
             f"({p.get('hits', 0)} of {p.get('issued', 0)} issued, "
             f"{p.get('waste', 0)} wasted)"
+        )
+    if report.preempt_enabled:
+        lines.append(
+            f"preemption        {report.n_preemption_events:10d} events "
+            f"({report.n_preempted} requests displaced, "
+            f"{report.n_migrated} migrated to another chip)"
+        )
+    tenant_rows = report.tenant_report()
+    if len(tenant_rows) > 1:
+        lines.append("")
+        rows = [
+            [
+                name,
+                e["tier"],
+                f"{e['weight']:g}",
+                f"{e['n_requests']}/{e['n_offered']}",
+                f"{e['latency_p50_ms']:.2f}",
+                f"{e['latency_p99_ms']:.2f}",
+                f"{e['slo_attainment'] * 100:.1f}%",
+                f"{e['goodput_slo_attainment'] * 100:.1f}%",
+                e["n_shed"],
+                e["n_preempted"],
+                e["n_migrated"],
+            ]
+            for name, e in tenant_rows.items()
+        ]
+        lines.append(format_table(
+            ["tenant", "tier", "weight", "served/offered", "p50 ms",
+             "p99 ms", "SLO", "goodput", "shed", "preempted", "migrated"],
+            rows,
+        ))
+        lines.append(
+            f"fairness index (Jain, weight-normalized service) "
+            f"{report.fairness_index:.3f}"
         )
     lines.append("")
     rows = []

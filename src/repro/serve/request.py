@@ -2,10 +2,17 @@
 
 A :class:`RenderRequest` is one user-facing frame: which scene, which
 pipeline, at what resolution, when it arrived, and how quickly it must
-complete (its latency SLO). A :class:`RenderResponse` records what the
-fleet actually did with it — where it ran, how long it queued, whether
-its compiled trace came from the cache, and how many cycles the chip
-spent reconfiguring for it.
+complete (its latency SLO). Each request belongs to a
+:class:`TenantClass` — the latency contract its user bought: a name, an
+SLO multiplier over the request's base SLO, a weight (its share of the
+fleet under weighted admission), and a priority tier (lower is more
+premium; the dispatcher serves queued tiers strictly in order and
+preemption may displace queued work of a higher tier number). A
+:class:`RenderResponse` records what the fleet actually did with the
+request — where it ran, how long it queued, whether its compiled trace
+came from the cache, how many cycles the chip spent reconfiguring for
+it, and its QoS history (when its batch was formed, how often it was
+preempted, whether it migrated to an autoscaled chip).
 """
 
 from __future__ import annotations
@@ -16,6 +23,49 @@ from repro.errors import ConfigError
 
 #: Cache/memo key of a compiled frame trace.
 TraceKey = tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class TenantClass:
+    """One tenant's latency contract with the service.
+
+    ``slo_multiplier`` scales a request's base SLO (an economy tenant
+    with multiplier 2 tolerates twice the latency); ``weight`` is the
+    tenant's share of fleet capacity under
+    :class:`~repro.serve.admission.WeightedAdmission`; ``tier`` is the
+    dispatch priority (lower = more premium): queued work is served in
+    strict tier order and a premium arrival may preempt a queued — not
+    in-flight — batch of a higher tier number.
+    """
+
+    name: str
+    slo_multiplier: float = 1.0
+    weight: float = 1.0
+    tier: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant class needs a name")
+        if self.slo_multiplier <= 0:
+            raise ConfigError("tenant SLO multiplier must be positive")
+        if self.weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+        if self.tier < 0:
+            raise ConfigError("tenant tier cannot be negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "slo_multiplier": self.slo_multiplier,
+            "weight": self.weight,
+            "tier": self.tier,
+        }
+
+
+#: The single-tenant default: neutral SLO, unit weight, top tier — all
+#: pre-tenant behavior (scheduling, admission, goldens) is unchanged
+#: when every request carries this class.
+DEFAULT_TENANT = TenantClass("default")
 
 
 @dataclass(frozen=True)
@@ -30,6 +80,7 @@ class RenderRequest:
     arrival_s: float
     slo_s: float = 0.05  # latency SLO: arrival -> completion deadline
     degraded: bool = False  # admission control moved it to a cheaper pipeline
+    tenant: TenantClass = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -47,6 +98,16 @@ class RenderRequest:
     @property
     def pixels(self) -> int:
         return self.width * self.height
+
+    @property
+    def effective_slo_s(self) -> float:
+        """The deadline this request is actually held to: the base SLO
+        scaled by its tenant's multiplier (identity for the default)."""
+        return self.slo_s * self.tenant.slo_multiplier
+
+    @property
+    def tier(self) -> int:
+        return self.tenant.tier
 
 
 @dataclass(frozen=True)
@@ -68,6 +129,12 @@ class RenderResponse:
     compile_s: float = 0.0
     compile_origin: str | None = None  # None | "sync" | "worker" | "prefetch"
     prefetched: bool = False
+    # QoS history: when the request's (final) batch was formed, how many
+    # times preemption displaced it back into the queue, and whether it
+    # ultimately ran on a chip the autoscaler added after a displacement.
+    dispatched_s: float = 0.0
+    preemptions: int = 0
+    migrated: bool = False
 
     @property
     def service_s(self) -> float:
@@ -86,7 +153,7 @@ class RenderResponse:
 
     @property
     def slo_met(self) -> bool:
-        return self.latency_s <= self.request.slo_s
+        return self.latency_s <= self.request.effective_slo_s
 
     def to_dict(self) -> dict:
         """JSON-ready summary (for logs and programmatic consumers)."""
@@ -97,6 +164,9 @@ class RenderResponse:
             "resolution": [self.request.width, self.request.height],
             "arrival_s": self.request.arrival_s,
             "slo_s": self.request.slo_s,
+            "effective_slo_s": self.request.effective_slo_s,
+            "tenant": self.request.tenant.name,
+            "tier": self.request.tenant.tier,
             "degraded": self.request.degraded,
             "chip_id": self.chip_id,
             "batch_id": self.batch_id,
@@ -112,5 +182,8 @@ class RenderResponse:
             "compile_s": self.compile_s,
             "compile_origin": self.compile_origin,
             "prefetched": self.prefetched,
+            "dispatched_s": self.dispatched_s,
+            "preemptions": self.preemptions,
+            "migrated": self.migrated,
             "slo_met": self.slo_met,
         }

@@ -51,6 +51,7 @@ def simulate_service(
     compile_workers: int = 0,
     compile_latency: CompileLatencyModel | None = None,
     prefetch: bool | TracePrefetcher = False,
+    preempt: bool = False,
 ) -> ServiceReport:
     """Serve every admitted request on the fleet; returns the report.
 
@@ -66,6 +67,15 @@ def simulate_service(
     ``compile_workers``/``compile_latency``/``prefetch`` select the
     compilation model (see the module docstring); ``prefetch`` accepts
     ``True`` for a default :class:`TracePrefetcher` or a configured one.
+
+    ``preempt=True`` arms multi-tenant batch preemption: batches the
+    sharding policy places on a busy chip stay *queued* (staged) until
+    the chip frees, and a premium arrival may displace a staged batch of
+    a more economical tier back into the queue (it later re-dispatches,
+    possibly migrating to a chip the autoscaler warmed in the
+    meantime). At the default ``preempt=False`` none of this machinery
+    runs: requests tagged with the default tenant class produce reports
+    byte-identical to the pre-tenant engine's.
     """
     prefetcher = None
     if prefetch:
@@ -81,5 +91,6 @@ def simulate_service(
         compile_workers=compile_workers,
         compile_latency=compile_latency,
         prefetcher=prefetcher,
+        preempt=preempt,
     )
     return engine.run()

@@ -17,10 +17,13 @@ Patterns (RZBENCH-style scenario diversity):
 
 from __future__ import annotations
 
+from dataclasses import replace
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.serve.request import RenderRequest
+from repro.serve.request import RenderRequest, TenantClass
 
 #: Default request mix: two scenes, three pipelines with distinct
 #: PE-array configurations (so pipeline switches actually occur).
@@ -134,3 +137,148 @@ def generate_traffic(
             slo_s=slo_s,
         ))
     return requests
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant traffic
+# ----------------------------------------------------------------------
+def parse_tenant_spec(spec: str) -> list[tuple[TenantClass, float]]:
+    """Parse a ``--tenants`` string into ``(TenantClass, share)`` pairs.
+
+    Entries are separated by ``;``; each is ``name`` optionally followed
+    by ``:key=value,...`` with keys ``tier`` (dispatch priority, lower =
+    more premium; defaults to the entry's position), ``weight`` (fleet
+    share under weighted admission, default 1), ``slo`` (SLO multiplier
+    over the base SLO, default 1), and ``share`` (fraction of offered
+    traffic; entries without one split the remainder evenly). Example::
+
+        "premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2"
+    """
+    entries: list[tuple[TenantClass, float | None]] = []
+    for index, raw in enumerate(spec.split(";")):
+        entry = raw.strip()
+        if not entry:
+            continue
+        name, _, body = entry.partition(":")
+        name = name.strip()
+        if not name:
+            raise ConfigError(f"tenant entry {raw!r} has no name")
+        fields = {"tier": float(index), "weight": 1.0, "slo": 1.0,
+                  "share": None}
+        if body:
+            for pair in body.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep or key not in fields:
+                    raise ConfigError(
+                        f"bad tenant field {pair!r} in {raw!r}; expected "
+                        "tier=, weight=, slo=, or share="
+                    )
+                try:
+                    fields[key] = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"tenant field {pair!r} in {raw!r} is not a number")
+        tier = fields["tier"]
+        if tier != int(tier):
+            raise ConfigError(
+                f"tenant tier must be an integer in {raw!r} (got {tier:g})")
+        tenant = TenantClass(
+            name=name,
+            slo_multiplier=fields["slo"],
+            weight=fields["weight"],
+            tier=int(tier),
+        )
+        entries.append((tenant, fields["share"]))
+    if not entries:
+        raise ConfigError(f"tenant spec {spec!r} describes no tenants")
+    names = [tenant.name for tenant, _ in entries]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"tenant spec {spec!r} repeats a tenant name")
+
+    explicit = sum(share for _, share in entries if share is not None)
+    free = [k for k, (_, share) in enumerate(entries) if share is None]
+    if explicit > 1.0 + 1e-9 or (not free and abs(explicit - 1.0) > 1e-9):
+        raise ConfigError(
+            f"tenant shares in {spec!r} must sum to 1 (got {explicit:g})")
+    if any(share is not None and share <= 0 for _, share in entries):
+        raise ConfigError(f"tenant shares in {spec!r} must be positive")
+    leftover = (1.0 - explicit) / len(free) if free else 0.0
+    if free and leftover <= 0:
+        raise ConfigError(
+            f"tenant spec {spec!r} leaves no traffic share for "
+            f"{[names[k] for k in free]}")
+    return [
+        (tenant, leftover if share is None else share)
+        for tenant, share in entries
+    ]
+
+
+def generate_tenant_traffic(
+    tenants: str | Sequence[tuple[TenantClass, float]],
+    pattern: str = "steady",
+    n_requests: int = 200,
+    rate_rps: float = 150.0,
+    seed: int = 0,
+    overrides: dict[str, dict] | None = None,
+    **shared,
+) -> list[RenderRequest]:
+    """One reproducible multi-tenant trace: per-tenant streams, merged.
+
+    Every tenant gets its ``share`` of the request count and offered
+    rate, generated as its own :func:`generate_traffic` stream from a
+    seed derived deterministically from ``(seed, tenant index)`` and
+    tagged with its :class:`TenantClass`; ``overrides`` maps a tenant
+    name to per-tenant :func:`generate_traffic` keyword overrides (its
+    own pattern, scenes, SLO, ...). The streams are merged by arrival
+    time and re-numbered, so request ids stay globally unique and
+    arrival-ordered.
+    """
+    mix = parse_tenant_spec(tenants) if isinstance(tenants, str) else list(tenants)
+    if not mix:
+        raise ConfigError("need at least one tenant class")
+    total_share = sum(share for _, share in mix)
+    if abs(total_share - 1.0) > 1e-9:
+        raise ConfigError(
+            f"tenant shares must sum to 1 (got {total_share:g})")
+    overrides = overrides or {}
+    unknown = set(overrides) - {tenant.name for tenant, _ in mix}
+    if unknown:
+        raise ConfigError(f"traffic overrides for unknown tenants {sorted(unknown)}")
+    for name, extra in overrides.items():
+        reserved = {"n_requests", "seed"} & set(extra)
+        if reserved:
+            raise ConfigError(
+                f"override for tenant {name!r} may not set {sorted(reserved)}; "
+                "request counts come from shares and seeds are derived"
+            )
+
+    merged: list[tuple[float, int, int, RenderRequest]] = []
+    remaining = n_requests
+    for index, (tenant, share) in enumerate(mix):
+        if index == len(mix) - 1:
+            n_tenant = remaining  # last class absorbs rounding residue
+        else:
+            n_tenant = min(remaining, max(1, round(n_requests * share)))
+        remaining -= n_tenant
+        if n_tenant < 1:
+            raise ConfigError(
+                f"tenant {tenant.name!r} gets no requests at share {share:g}; "
+                "raise n_requests"
+            )
+        kwargs = dict(pattern=pattern, rate_rps=rate_rps * share, **shared)
+        kwargs.update(overrides.get(tenant.name, {}))
+        stream = generate_traffic(
+            n_requests=n_tenant,
+            seed=seed * 1_000_003 + index,
+            **kwargs,
+        )
+        for request in stream:
+            merged.append(
+                (request.arrival_s, index, request.request_id,
+                 replace(request, tenant=tenant)))
+    merged.sort(key=lambda item: item[:3])
+    return [
+        replace(request, request_id=new_id)
+        for new_id, (_, _, _, request) in enumerate(merged)
+    ]

@@ -107,6 +107,61 @@ class TestLRU:
         assert cache.stats.misses == 1
 
 
+class TestPeekIsSideEffectFree:
+    """``peek`` must never perturb LRU state — the event engine reads
+    pinned programs through it on the execution path, and the PR-3
+    recency predictor assumes execution-time reads don't reorder the
+    eviction queue."""
+
+    def test_peek_returns_resident_program_without_stats(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=4, compile_fn=compiler)
+        program, _ = cache.get(KEY_A)
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.peek(KEY_A) is program
+        assert cache.peek(KEY_B) is None  # miss: no compile, no counter
+        assert (cache.stats.hits, cache.stats.misses) == before
+        assert compiler.calls == [KEY_A]
+
+    def test_peek_never_mutates_lru_order(self):
+        cache = TraceCache(capacity=3, compile_fn=CountingCompiler())
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        cache.get(KEY_C)
+        assert cache.keys == (KEY_A, KEY_B, KEY_C)
+        cache.peek(KEY_A)  # a touch/get here would move A to MRU
+        cache.peek(KEY_B)
+        assert cache.keys == (KEY_A, KEY_B, KEY_C), \
+            "peek reordered the LRU queue"
+
+    def test_eviction_order_survives_peek_heavy_workload(self):
+        compiler = CountingCompiler()
+        cache = TraceCache(capacity=2, compile_fn=compiler)
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        for _ in range(25):  # execution-path reads of the LRU victim
+            cache.peek(KEY_A)
+        cache.get(KEY_C)  # must evict A (oldest *use*), not B
+        assert KEY_A not in cache
+        assert KEY_B in cache and KEY_C in cache
+        # The evicted key's compile-cost record went with it: a re-fetch
+        # recompiles and is charged as a fresh miss.
+        assert cache.compile_cost_s(KEY_A) == 0.0
+        cache.get(KEY_A)
+        assert compiler.calls.count(KEY_A) == 2
+
+    def test_touch_does_refresh_lru_order(self):
+        # The intended contrast: touch (execution-time *use*) refreshes,
+        # peek (read-only inspection) does not.
+        cache = TraceCache(capacity=2, compile_fn=CountingCompiler())
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        cache.touch(KEY_A)        # A is now MRU
+        cache.get(KEY_C)          # evicts B
+        assert KEY_A in cache and KEY_C in cache
+        assert KEY_B not in cache
+
+
 class TestDefaultCompiler:
     def test_compiles_real_programs(self):
         cache = TraceCache(capacity=2)

@@ -171,7 +171,7 @@ class TestShedPressureFeedback:
 class TestAdmissionPolicies:
     def test_registry_and_factory(self):
         assert set(ADMISSION_POLICIES) == {
-            "admit-all", "tail-drop", "slo-shed", "downgrade"
+            "admit-all", "tail-drop", "slo-shed", "downgrade", "weighted"
         }
         with pytest.raises(ConfigError):
             make_admission_policy("bouncer")

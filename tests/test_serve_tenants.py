@@ -1,0 +1,369 @@
+"""Multi-tenant QoS invariants under randomized traffic.
+
+The fairness companion of ``test_serve_invariants``: seeded random
+two- and three-tenant traffic crossed with every sharding policy,
+several fleet shapes, weighted admission, batch preemption, and
+autoscaling — asserting the properties every QoS schedule must satisfy:
+
+* per-tenant conservation — every offered request of every tenant class
+  is either shed or completed, exactly once, preempted or not;
+* exactly-once across preemption/migration — a displaced batch's
+  members complete exactly once, and migration (finishing on a chip
+  other than the one displaced from) never duplicates or loses work;
+* no priority inversion among queued batches — when a batch is formed,
+  no older *queued* request of a more premium tier is left waiting
+  (in-flight batches are not preemptible by design and don't count);
+* single-tier batches — QoS batches never carry economy passengers
+  ahead of queued premium work;
+* determinism — the same seed reproduces bit-identical per-tenant
+  reports, fairness index included.
+
+Also pins the backward-compatibility contract: with a single default
+tenant and preemption unused, the engine's output is byte-identical to
+the pre-tenant engine's (the PR-3 goldens in ``test_serve_golden``
+already freeze those numbers; here the tagged and untagged runs are
+compared directly, compile stats included).
+
+The trace cache is stubbed with per-pipeline synthetic programs so the
+suite exercises the scheduler, not the performance model.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import AcceleratorConfig, CompileLatencyModel
+from repro.serve import (
+    Autoscaler,
+    DEFAULT_TENANT,
+    PipelineBatcher,
+    ServeCluster,
+    SHARDING_POLICIES,
+    TenantClass,
+    TraceCache,
+    generate_tenant_traffic,
+    generate_traffic,
+    make_admission_policy,
+    parse_tenant_spec,
+    simulate_service,
+)
+from repro.errors import ConfigError
+from tests.test_serve_invariants import assert_invariants, stub_program
+
+
+def stub_cache(model=None):
+    return TraceCache(capacity=64,
+                      compile_fn=lambda key: stub_program(key[1]),
+                      latency_model=model)
+
+
+PREMIUM = TenantClass("premium", slo_multiplier=1.0, weight=4.0, tier=0)
+STANDARD = TenantClass("standard", slo_multiplier=1.5, weight=2.0, tier=1)
+ECONOMY = TenantClass("economy", slo_multiplier=2.0, weight=1.0, tier=2)
+
+TWO_TENANTS = ((PREMIUM, 0.25), (ECONOMY, 0.75))
+THREE_TENANTS = ((PREMIUM, 0.2), (STANDARD, 0.3), (ECONOMY, 0.5))
+
+FLEET_SHAPES = {
+    "single": dict(n_chips=1),
+    "homogeneous": dict(n_chips=4),
+    "heterogeneous": dict(configs=[
+        AcceleratorConfig(),
+        AcceleratorConfig(),
+        AcceleratorConfig().scaled(2, 2),
+    ]),
+}
+
+#: Hot enough to build real queues (and stage real batches) against the
+#: stub frame costs.
+TRAFFIC = dict(pattern="bursty", n_requests=80, rate_rps=20000.0,
+               resolution=(64, 64), slo_s=0.001)
+
+
+def run_tenant_service(policy="pipeline-affinity", fleet="heterogeneous",
+                       mix=TWO_TENANTS, seed=0, admission="weighted",
+                       preempt=True, autoscale=False, compile_workers=0):
+    trace = generate_tenant_traffic(list(mix), seed=seed, **TRAFFIC)
+    autoscaler = None
+    if autoscale:
+        autoscaler = Autoscaler(
+            min_chips=1, max_chips=6, target_queue_per_chip=2.0,
+            window_s=0.005, warmup_s=0.0005, cooldown_s=0.001,
+            growth_configs=[AcceleratorConfig().scaled(2, 2), None],
+        )
+    model = CompileLatencyModel() if compile_workers else None
+    report = simulate_service(
+        trace,
+        ServeCluster(policy=policy, **FLEET_SHAPES[fleet]),
+        cache=stub_cache(model),
+        batcher=PipelineBatcher(max_batch=4),
+        autoscaler=autoscaler,
+        admission=make_admission_policy(admission) if admission else None,
+        preempt=preempt,
+        compile_workers=compile_workers,
+        compile_latency=model,
+    )
+    return report, trace
+
+
+def assert_tenant_invariants(report, trace, check_inversion=True):
+    """The QoS-specific invariants, on top of the scheduler-wide ones."""
+    assert_invariants(report, trace)
+
+    # -- per-tenant conservation ---------------------------------------
+    offered = {}
+    for request in trace:
+        offered.setdefault(request.tenant.name, set()).add(request.request_id)
+    served = {}
+    for r in report.responses:
+        served.setdefault(r.request.tenant.name, set()).add(
+            r.request.request_id)
+    shed = {}
+    for s in report.shed:
+        shed.setdefault(s.request.tenant.name, set()).add(
+            s.request.request_id)
+    for name, ids in offered.items():
+        got_served = served.get(name, set())
+        got_shed = shed.get(name, set())
+        assert not got_served & got_shed, \
+            f"tenant {name}: request both served and shed"
+        assert got_served | got_shed == ids, \
+            f"tenant {name}: requests lost or invented"
+    assert set(served) | set(shed) <= set(offered), "tenant invented"
+
+    # -- exactly-once across preemption/migration ----------------------
+    preempted_ids = [r.request.request_id for r in report.responses
+                     if r.preemptions > 0]
+    assert len(set(preempted_ids)) == len(preempted_ids)
+    migrated = [r for r in report.responses if r.migrated]
+    assert all(r.preemptions > 0 for r in migrated), \
+        "migration without a displacement"
+    shed_ids = {s.request.request_id for s in report.shed}
+    assert not set(preempted_ids) & shed_ids, \
+        "preempted request was also shed"
+
+    # -- single-tier batches -------------------------------------------
+    tiers_by_batch = {}
+    for r in report.responses:
+        tiers_by_batch.setdefault(r.batch_id, set()).add(r.request.tier)
+    n_tiers = len({r.tenant.tier for r in trace})
+    if n_tiers > 1:
+        assert all(len(tiers) == 1 for tiers in tiers_by_batch.values()), \
+            "a QoS batch mixed priority tiers"
+
+    # -- no priority inversion among queued batches --------------------
+    # When an economy batch is formed, no older queued premium request
+    # may be left waiting past it. Reconstructed from the responses:
+    # premium request p was queued at economy response e's formation
+    # instant iff p arrived at or before e.dispatched_s (arrivals drain
+    # before dispatch at equal timestamps) and p's own batch formed
+    # strictly later. Two legitimate exceptions: a premium request that
+    # was itself displaced (an even more premium arrival bumped its
+    # staged batch, so its *final* formation instant is late by design),
+    # and async-compile runs, where a premium request can wait on its
+    # trace (``check_inversion=False`` skips the whole check there).
+    if check_inversion and n_tiers > 1:
+        formed = {r.request.request_id: r.dispatched_s
+                  for r in report.responses}
+        by_tier = {}
+        for r in report.responses:
+            by_tier.setdefault(r.request.tier, []).append(r)
+        for premium_tier, premium_rs in by_tier.items():
+            for economy_tier, economy_rs in by_tier.items():
+                if premium_tier >= economy_tier:
+                    continue
+                for e in economy_rs:
+                    for p in premium_rs:
+                        if p.preemptions > 0:
+                            continue
+                        if (p.request.arrival_s <= e.dispatched_s
+                                and formed[p.request.request_id]
+                                > e.dispatched_s):
+                            raise AssertionError(
+                                f"priority inversion: tier {economy_tier} "
+                                f"batch formed at {e.dispatched_s} while "
+                                f"tier {premium_tier} request "
+                                f"{p.request.request_id} (arrived "
+                                f"{p.request.arrival_s}) stayed queued"
+                            )
+
+
+class TestTenantMatrix:
+    """52 seeded QoS cases across policies, fleets, mixes, and modes."""
+
+    @pytest.mark.parametrize("policy", sorted(SHARDING_POLICIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_weighted_preempt_invariants(self, policy, seed):
+        report, trace = run_tenant_service(policy=policy, seed=seed)
+        assert_tenant_invariants(report, trace)
+
+    @pytest.mark.parametrize("fleet", sorted(FLEET_SHAPES))
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_fleet_shapes(self, fleet, seed):
+        report, trace = run_tenant_service(fleet=fleet, seed=seed)
+        assert_tenant_invariants(report, trace)
+
+    @pytest.mark.parametrize("policy", ["pipeline-affinity", "cost-aware"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_autoscaled(self, policy, seed):
+        report, trace = run_tenant_service(policy=policy, seed=seed,
+                                           fleet="single", autoscale=True)
+        assert_tenant_invariants(report, trace)
+        assert report.peak_fleet_size >= 1
+
+    @pytest.mark.parametrize("preempt", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_three_tenant_mix(self, preempt, seed):
+        report, trace = run_tenant_service(mix=THREE_TENANTS, seed=seed,
+                                           preempt=preempt)
+        assert_tenant_invariants(report, trace)
+
+    @pytest.mark.parametrize("admission", [None, "admit-all", "slo-shed"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_other_admission_policies(self, admission, seed):
+        report, trace = run_tenant_service(admission=admission, seed=seed)
+        assert_tenant_invariants(report, trace)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_async_compile(self, seed):
+        # Async compile: a premium request may legitimately queue behind
+        # economy while its trace compiles, so the inversion check is
+        # out of scope; everything else must hold.
+        report, trace = run_tenant_service(seed=seed, compile_workers=2)
+        assert_tenant_invariants(report, trace, check_inversion=False)
+
+
+class TestPreemptionBehaviour:
+    def test_preemption_actually_fires(self):
+        report, _ = run_tenant_service(seed=0)
+        assert report.n_preemption_events > 0
+        assert report.n_preempted > 0
+        # Only economy (higher tier number) work is ever displaced.
+        displaced = [r for r in report.responses if r.preemptions > 0]
+        assert displaced
+        assert all(r.request.tenant.tier > PREMIUM.tier for r in displaced)
+
+    def test_migration_reaches_autoscaled_chips(self):
+        report, _ = run_tenant_service(seed=1, fleet="single",
+                                       autoscale=True)
+        grown = {c.chip_id for c in report.chips if c.added_at_s > 0}
+        if report.n_migrated:
+            migrated_chips = {r.chip_id for r in report.responses
+                              if r.migrated}
+            # Migrated work lands somewhere other than the displaced
+            # chip; with the fleet growing mid-burst that includes the
+            # newly warmed chips.
+            assert migrated_chips
+            assert grown, "fleet never grew despite migrations"
+
+    def test_no_preemption_without_flag(self):
+        report, _ = run_tenant_service(seed=0, preempt=False)
+        assert report.n_preemption_events == 0
+        assert report.n_preempted == 0
+        assert report.n_migrated == 0
+
+    def test_weighted_shedding_favours_premium(self):
+        report, _ = run_tenant_service(seed=2, fleet="single",
+                                       autoscale=False)
+        tenants = report.tenant_report()
+        assert tenants["premium"]["shed_rate"] <= \
+            tenants["economy"]["shed_rate"]
+
+
+class TestTenantDeterminism:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_same_seed_same_tenant_report(self, seed):
+        a, _ = run_tenant_service(seed=seed, autoscale=True, fleet="single")
+        b, _ = run_tenant_service(seed=seed, autoscale=True, fleet="single")
+        assert a.tenant_report() == b.tenant_report()
+        assert a.fairness_index == b.fairness_index
+        da, db = a.to_dict(), b.to_dict()
+        da.pop("cache"), db.pop("cache")  # compile wall time is host noise
+        assert da == db
+
+    def test_tenant_traffic_is_reproducible(self):
+        a = generate_tenant_traffic(list(TWO_TENANTS), seed=9, **TRAFFIC)
+        b = generate_tenant_traffic(list(TWO_TENANTS), seed=9, **TRAFFIC)
+        assert a == b
+        assert [r.request_id for r in a] == list(range(len(a)))
+        arrivals = [r.arrival_s for r in a]
+        assert arrivals == sorted(arrivals)
+
+
+class TestDefaultTenantByteCompat:
+    """Preemption/tenant machinery must be a strict no-op when unused."""
+
+    def plain_trace(self):
+        return generate_traffic(pattern="bursty", n_requests=60,
+                                rate_rps=12000.0, seed=42,
+                                resolution=(64, 64), slo_s=0.0005)
+
+    def run(self, trace, **kwargs):
+        return simulate_service(
+            trace, ServeCluster(3),
+            cache=stub_cache(kwargs.pop("model", None)),
+            batcher=PipelineBatcher(), **kwargs)
+
+    def test_tagged_default_tenant_is_byte_identical(self):
+        trace = self.plain_trace()
+        tagged = [replace(r, tenant=DEFAULT_TENANT) for r in trace]
+        a = self.run(trace).to_dict()
+        b = self.run(tagged).to_dict()
+        a.pop("cache"), b.pop("cache")
+        assert a == b
+
+    def test_compile_stats_unchanged_by_tenant_field(self):
+        trace = self.plain_trace()
+        model = CompileLatencyModel()
+        a = self.run(trace, model=model, compile_workers=2,
+                     compile_latency=model)
+        model_b = CompileLatencyModel()
+        b = self.run([replace(r, tenant=DEFAULT_TENANT) for r in trace],
+                     model=model_b, compile_workers=2,
+                     compile_latency=model_b)
+        da, db = a.to_dict(), b.to_dict()
+        assert da["compile"] == db["compile"]
+        da.pop("cache"), db.pop("cache")
+        assert da == db
+
+    def test_single_tenant_report_shape(self):
+        report = self.run(self.plain_trace())
+        assert not report.preempt_enabled
+        assert report.n_preemption_events == 0
+        tenants = report.tenant_report()
+        assert set(tenants) == {"default"}
+        assert report.fairness_index == 1.0
+
+
+class TestTenantSpec:
+    def test_parse_round_trip(self):
+        mix = parse_tenant_spec(
+            "premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2")
+        assert [(t.name, t.tier, t.weight, t.slo_multiplier, share)
+                for t, share in mix] == [
+            ("premium", 0, 4.0, 1.0, 0.25),
+            ("economy", 1, 1.0, 2.0, 0.75),
+        ]
+
+    def test_default_tiers_follow_position(self):
+        mix = parse_tenant_spec("gold;silver;bronze")
+        assert [t.tier for t, _ in mix] == [0, 1, 2]
+        assert sum(share for _, share in mix) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad", [
+        "", ":weight=2", "a:share=0.6;b:share=0.6", "a:share=1.0;b",
+        "a:karma=3", "a:weight=loud", "a;a", "a:tier=0.9;b",
+    ])
+    def test_bad_specs_are_clean_errors(self, bad):
+        with pytest.raises(ConfigError):
+            parse_tenant_spec(bad)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ConfigError):
+            TenantClass("", weight=1.0)
+        with pytest.raises(ConfigError):
+            TenantClass("x", weight=0.0)
+        with pytest.raises(ConfigError):
+            TenantClass("x", slo_multiplier=0.0)
+        with pytest.raises(ConfigError):
+            TenantClass("x", tier=-1)
