@@ -126,3 +126,75 @@ def test_preemption_path_rate_floor(benchmark, save_text):
         f"(floor {PREEMPT_FLOOR_RPS:,.0f}) — tier dispatch, weighted "
         f"admission, or staging has regressed the hot path"
     )
+
+
+# ----------------------------------------------------------------------
+# Autoscaled paths: the controller ticks at every engine decision
+# point, so fleet elasticity is hot-path code. The predictive mode adds
+# an arrival feed, an EWMA trend fit, and a desired-fleet projection on
+# top of the reactive controller — forecasting must never become a
+# hot-path tax, so its floor is pinned at >= 0.9x the reactive-
+# autoscaler floor (mirroring the QoS floor's 10% allowance).
+# ----------------------------------------------------------------------
+AUTOSCALE_FLOOR_RPS = 12_000.0
+PREDICTIVE_FLOOR_RPS = AUTOSCALE_FLOOR_RPS * 0.9
+
+
+def run_autoscaled_overload(mode):
+    from repro.serve import Autoscaler
+
+    trace = generate_traffic(
+        "bursty", n_requests=N_REQUESTS, rate_rps=60_000.0, seed=42,
+        resolution=(64, 64), slo_s=0.0005,
+    )
+    scaler = Autoscaler(
+        min_chips=2, max_chips=6, target_queue_per_chip=4.0,
+        slo_target=0.95, window_s=0.05, warmup_s=0.002, cooldown_s=0.01,
+        mode=mode,
+    )
+    began = time.perf_counter()
+    report = simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        autoscaler=scaler,
+    )
+    elapsed = time.perf_counter() - began
+    return report, N_REQUESTS / elapsed
+
+
+def test_reactive_autoscaler_rate_floor(benchmark, save_text):
+    report, rate = benchmark.pedantic(
+        lambda: run_autoscaled_overload("reactive"), rounds=1, iterations=1)
+    save_text(
+        "engine_perf_autoscaled",
+        f"simulated {N_REQUESTS} autoscaled requests at {rate:,.0f} req/s "
+        f"(floor {AUTOSCALE_FLOOR_RPS:,.0f}); peak fleet "
+        f"{report.peak_fleet_size}, {len(report.fleet_events)} flex events",
+    )
+    assert report.autoscaled and report.peak_fleet_size > 2
+    assert rate >= AUTOSCALE_FLOOR_RPS, (
+        f"reactive-autoscaled engine simulated only {rate:,.0f} req/s "
+        f"(floor {AUTOSCALE_FLOOR_RPS:,.0f}) — the controller tick has "
+        f"regressed the hot path"
+    )
+
+
+def test_predictive_autoscaler_rate_floor(benchmark, save_text):
+    report, rate = benchmark.pedantic(
+        lambda: run_autoscaled_overload("predictive"), rounds=1, iterations=1)
+    save_text(
+        "engine_perf_predictive",
+        f"simulated {N_REQUESTS} forecast-autoscaled requests at "
+        f"{rate:,.0f} req/s (floor {PREDICTIVE_FLOOR_RPS:,.0f}); peak fleet "
+        f"{report.peak_fleet_size}, {len(report.fleet_events)} flex events",
+    )
+    assert report.autoscaled and report.peak_fleet_size > 2
+    # No more than 10% below the reactive-autoscaler floor.
+    assert rate >= PREDICTIVE_FLOOR_RPS, (
+        f"predictive-autoscaled engine simulated only {rate:,.0f} req/s "
+        f"(floor {PREDICTIVE_FLOOR_RPS:,.0f}) — the forecast (arrival feed, "
+        f"trend fit, desired-fleet projection) has become a hot-path tax"
+    )

@@ -2,10 +2,13 @@
 # One-command verify: clean stale bytecode, run the tier-1 suite (with
 # the scheduler invariant suites called out explicitly, so they still
 # run if testpaths ever change), pin the event-engine perf-smoke floors
-# (single-tenant and the multi-tenant QoS path), then smoke-run the
-# serving CLI end to end — static fleet, autoscaled heterogeneous fleet
-# with admission, async compile with prefetch, and a two-tenant QoS run
-# with weighted admission and preemption.
+# (single-tenant, the multi-tenant QoS path, and both autoscaler
+# modes), then smoke-run the serving CLI end to end — static fleet,
+# autoscaled heterogeneous fleet with admission, async compile with
+# prefetch, a two-tenant QoS run with weighted admission and
+# preemption, and a predictive-autoscaling run that round-trips a
+# trace library through a temp dir (the second invocation must
+# warm-start from what the first one flushed).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +17,8 @@ find . -type f -name '*.pyc' -delete
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
-python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py
+python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py \
+  tests/test_serve_predictive.py
 python -m pytest -q benchmarks/test_engine_perf.py
 python -m repro serve --requests 50 --chips 2 --width 320 --height 180
 python -m repro serve --requests 40 --chips 3 --min-chips 1 \
@@ -26,3 +30,16 @@ python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
   --traffic bursty --rate 300 \
   --tenants 'premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2' \
   --admission weighted --preempt
+
+# Predictive serving: trace-library round trip + forecast-led autoscaling.
+LIBDIR="$(mktemp -d)"
+trap 'rm -rf "$LIBDIR"' EXIT
+python -m repro serve --requests 40 --chips 3 --min-chips 1 \
+  --traffic diurnal --width 160 --height 90 \
+  --trace-library "$LIBDIR/traces.json" --autoscale predictive
+test -s "$LIBDIR/traces.json"
+python -m repro serve --requests 40 --chips 3 --min-chips 1 \
+  --traffic diurnal --width 160 --height 90 \
+  --trace-library "$LIBDIR/traces.json" --autoscale predictive \
+  > "$LIBDIR/restart.txt"
+grep -Eq "hits, [1-9][0-9]* warm-started" "$LIBDIR/restart.txt"

@@ -43,6 +43,7 @@ from repro.analysis.profile_sweeps import hashgrid_deployment_sweep
 from repro.analysis.serving import (
     elastic_summary,
     engine_summary,
+    predictive_summary,
     serving_summary,
     tenant_summary,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "serving_summary",
     "elastic_summary",
     "engine_summary",
+    "predictive_summary",
     "tenant_summary",
     "ALL_EXPERIMENTS",
     "run_all",

@@ -15,7 +15,8 @@ from repro.analysis.figures import (
 )
 from repro.analysis.scaling_scenes import scene_scaling_study
 from repro.analysis.serving import (elastic_summary, engine_summary,
-                                    serving_summary, tenant_summary)
+                                    predictive_summary, serving_summary,
+                                    tenant_summary)
 from repro.analysis.tables import (
     table1_overview,
     table2_microops,
@@ -55,6 +56,9 @@ ALL_EXPERIMENTS = {
                    "prefetch", engine_summary),
     "ext_tenants": ("Extension — multi-tenant QoS: SLO classes, weighted "
                     "admission, batch preemption", tenant_summary),
+    "ext_predictive": ("Extension — predictive serving: forecast-led "
+                       "autoscaling and trace-library warm starts",
+                       predictive_summary),
 }
 
 

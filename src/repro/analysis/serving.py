@@ -27,6 +27,17 @@ recovers part of the cold-cache hit rate. The dramatic version of the
 same mechanism (compile latency >> frame time, 2x mean queue wait, SLO
 37.5% -> 91.7%) is frozen with stub frame costs in
 ``tests/test_serve_golden.py``.
+
+``predictive_summary`` closes the reactive gap from both ends: a
+diurnal wave replayed through a static fleet, the reactive controller,
+and the forecast-led ``predictive`` controller (same constants plus the
+arrival-rate trend), followed by a warm-vs-cold restart of the same
+service from the trace library the first run flushed. Headlines:
+predictive autoscaling lifts SLO attainment over reactive at equal or
+lower chip-seconds by provisioning one warm-up ahead of the wave, and
+the warm restart eliminates the cold compile misses outright. The
+dramatic stub-cost version of both is frozen in
+``tests/test_serve_golden.py``.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from dataclasses import replace
 from repro.core.config import CompileLatencyModel
 from repro.analysis.tables import format_table
 from repro.serve import (
+    Autoscaler,
     DEFAULT_TENANT,
     latency_percentile,
     PipelineBatcher,
@@ -43,6 +55,7 @@ from repro.serve import (
     SHARDING_POLICIES,
     TenantClass,
     TraceCache,
+    TraceLibrary,
     generate_tenant_traffic,
     generate_traffic,
     make_admission_policy,
@@ -348,3 +361,141 @@ def engine_summary(workload: dict | None = None) -> dict:
         rows,
     )
     return {"rows": rows, "reports": reports, "text": text}
+
+
+#: Predictive-serving evaluation workload: a two-period diurnal wave at
+#: ~2x the floor fleet's capacity, long enough (n / rate ~ 8 s against
+#: the generator's 4 s period) that the autoscaler sees full crests and
+#: troughs rather than one partial upswing.
+PREDICTIVE_WORKLOAD = dict(
+    pattern="diurnal",
+    n_requests=1200,
+    rate_rps=150.0,
+    seed=0,
+    scenes=("lego", "room"),
+    pipelines=("hashgrid", "gaussian", "mesh"),
+    resolution=(320, 180),
+    slo_s=0.05,
+)
+
+PREDICTIVE_MIN_CHIPS = 2
+PREDICTIVE_MAX_CHIPS = 6
+#: Warm-up long enough that a reactively added chip spends the SLO-
+#: critical part of the upswing still booting — the regime forecasting
+#: is for.
+PREDICTIVE_WARMUP_S = 0.15
+
+
+def make_wave_autoscaler(mode: str) -> Autoscaler:
+    """Reactive and predictive controller at identical constants; only
+    the mode differs, so the comparison isolates forecasting itself."""
+    return Autoscaler(
+        min_chips=PREDICTIVE_MIN_CHIPS,
+        max_chips=PREDICTIVE_MAX_CHIPS,
+        target_queue_per_chip=1.0,
+        slo_target=0.95,
+        window_s=0.25,
+        warmup_s=PREDICTIVE_WARMUP_S,
+        cooldown_s=0.15,
+        mode=mode,
+        target_utilization=1.0,
+        lead_s=0.0,
+        shrink_margin=1.1,
+    )
+
+
+def predictive_summary(workload: dict | None = None) -> dict:
+    """Reactive vs forecast-led autoscaling on a diurnal wave, plus the
+    trace library's warm-vs-cold restart.
+
+    One diurnal trace is replayed through a *static* fleet (the ceiling
+    provisioned for the whole run), the *reactive* sliding-window
+    controller, and the *predictive* controller (same constants, plus
+    the arrival-rate forecast) — the headline is the predictive fleet
+    leading the wave: higher SLO attainment than reactive at equal or
+    lower chip-seconds. A second table restarts the same service from
+    the trace library the first run flushed: the warm start removes the
+    cold compile misses entirely.
+    """
+    workload = dict(workload or PREDICTIVE_WORKLOAD)
+    trace = generate_traffic(**workload)
+
+    variants = {
+        "static": dict(
+            cluster=ServeCluster(PREDICTIVE_MAX_CHIPS,
+                                 policy="pipeline-affinity"),
+        ),
+        "reactive": dict(
+            cluster=ServeCluster(PREDICTIVE_MIN_CHIPS,
+                                 policy="pipeline-affinity"),
+            autoscaler=make_wave_autoscaler("reactive"),
+        ),
+        "predictive": dict(
+            cluster=ServeCluster(PREDICTIVE_MIN_CHIPS,
+                                 policy="pipeline-affinity"),
+            autoscaler=make_wave_autoscaler("predictive"),
+        ),
+    }
+    rows = []
+    reports: dict[str, dict] = {}
+    for name, kwargs in variants.items():
+        report = simulate_service(
+            trace,
+            cache=TraceCache(),
+            batcher=PipelineBatcher(),
+            **kwargs,
+        )
+        reports[name] = report.to_dict()
+        rows.append([
+            name,
+            f"{report.slo_attainment * 100:.1f}%",
+            f"{report.latency_p(95) * 1e3:.1f}",
+            f"{report.latency_p(99) * 1e3:.1f}",
+            f"{report.peak_fleet_size}",
+            f"{len(report.fleet_events)}",
+            f"{report.total_chip_seconds:.2f}",
+            f"{report.total_cost_units:.2f}",
+        ])
+    fleet_text = format_table(
+        ["fleet", "SLO", "p95 ms", "p99 ms", "peak chips", "flex events",
+         "chip-s", "cost"],
+        rows,
+    )
+
+    # Warm-vs-cold restart: flush a library from one run, then restart
+    # the same service from it (fresh cluster and cache; only the
+    # library persists, exactly like a process restart).
+    library = TraceLibrary()
+    restart_rows = []
+    for phase in ("cold start", "warm restart"):
+        report = simulate_service(
+            trace,
+            ServeCluster(PREDICTIVE_MAX_CHIPS, policy="pipeline-affinity"),
+            cache=TraceCache(),
+            batcher=PipelineBatcher(),
+            compile_workers=2,
+            trace_library=library,
+        )
+        reports[phase] = report.to_dict()
+        cache = report.cache_stats
+        restart_rows.append([
+            phase,
+            cache["misses"],
+            cache["warmed"],
+            f"{cache['hit_rate'] * 100:.1f}%",
+            f"{cache['compile_s'] * 1e3:.1f}",
+            f"{report.mean_queue_s * 1e3:.2f}",
+            f"{report.slo_attainment * 100:.1f}%",
+        ])
+    restart_text = format_table(
+        ["restart", "compile misses", "warmed", "hit rate", "compile ms",
+         "queue ms", "SLO"],
+        rows=restart_rows,
+    )
+    text = fleet_text + "\n\n" + restart_text
+    return {
+        "rows": rows,
+        "restart_rows": restart_rows,
+        "reports": reports,
+        "text": text,
+    }

@@ -60,6 +60,7 @@ def _cmd_serve(args) -> int:
         ServeCluster,
         SHARDING_POLICIES,
         TraceCache,
+        TraceLibrary,
         format_service_report,
         generate_tenant_traffic,
         generate_traffic,
@@ -102,9 +103,26 @@ def _cmd_serve(args) -> int:
             return ServeCluster(configs=fleet_configs, policy=policy)
         return ServeCluster(args.chips, config=config, policy=policy)
 
+    # Every comparison run below warm-starts from the same *initial*
+    # library state (what the file held when this invocation began), so
+    # the static-vs-autoscaled and --compare-policies numbers stay
+    # apples-to-apples — a later run must not inherit the compile
+    # results an earlier run just flushed. Only the primary run (the
+    # static fleet under the first policy) persists back to the file.
+    import json
+
+    initial_library = (TraceLibrary.load(args.trace_library).dumps()
+                       if args.trace_library else None)
+
+    def fresh_library():
+        if initial_library is None:
+            return None
+        return TraceLibrary.from_dict(json.loads(initial_library))
+
     policies = sorted(SHARDING_POLICIES) if args.compare_policies else [args.policy]
-    for policy in policies:
+    for index, policy in enumerate(policies):
         # Fresh cache/batcher per run so comparisons stay apples-to-apples.
+        library = fresh_library()
         static = simulate_service(
             trace,
             static_cluster(policy),
@@ -115,8 +133,21 @@ def _cmd_serve(args) -> int:
             compile_latency=compile_latency,
             prefetch=args.prefetch,
             preempt=args.preempt,
+            trace_library=library,
         )
         print(format_service_report(static))
+        if library is not None:
+            if index == 0:
+                library.save(args.trace_library)
+                destination = f"-> {args.trace_library}"
+            else:
+                destination = "(comparison run, not persisted)"
+            warmed = static.cache_stats.get("warmed", 0)
+            print(
+                f"trace library     {len(library):10d} traces "
+                f"({library.total_hits} lifetime hits, {warmed} warm-started)"
+                f" {destination}"
+            )
         if args.autoscale:
             # Grow through the fleet spec round-robin; without a spec,
             # mix 2x-PE/2x-SRAM chips with the base design point.
@@ -132,12 +163,14 @@ def _cmd_serve(args) -> int:
                     max_chips=max(max_chips, args.min_chips),
                     warmup_s=args.warmup_ms / 1e3,
                     growth_configs=growth,
+                    mode=args.autoscale,
                 ),
                 admission=admission(),
                 compile_workers=args.compile_workers,
                 compile_latency=compile_latency,
                 prefetch=args.prefetch,
                 preempt=args.preempt,
+                trace_library=fresh_library(),
             )
             print()
             print(format_service_report(autoscaled))
@@ -224,10 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--pe-scale", type=int, default=1)
     serve.add_argument("--sram-scale", type=int, default=1)
-    serve.add_argument("--autoscale", action="store_true",
+    serve.add_argument("--autoscale", nargs="?", const="reactive",
+                       choices=["reactive", "predictive"], default=None,
                        help="also run an autoscaled fleet (floor "
                             "--min-chips, ceiling --chips or the fleet "
-                            "spec) and compare it against the static one")
+                            "spec) and compare it against the static one; "
+                            "the optional mode picks the controller: "
+                            "reactive (default) trails queue/SLO pressure, "
+                            "predictive forecasts the arrival-rate trend "
+                            "and provisions one warm-up ahead of it")
     serve.add_argument("--min-chips", type=int, default=2,
                        help="autoscaler fleet floor")
     serve.add_argument("--warmup-ms", type=float, default=5.0,
@@ -260,9 +298,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline); N>=1 overlaps compile-on-miss with "
                             "chip execution")
     serve.add_argument("--prefetch", action="store_true",
-                       help="warm the trace cache with predicted keys "
-                            "during idle compile capacity (needs "
-                            "--compile-workers >= 1)")
+                       help="warm the trace cache with keys predicted by "
+                            "a per-session Markov model over pipeline "
+                            "transitions during idle compile capacity "
+                            "(needs --compile-workers >= 1)")
+    serve.add_argument("--trace-library", default=None, metavar="PATH",
+                       help="persistent trace library: warm-start the "
+                            "trace cache from this JSON artifact (absent "
+                            "file = cold start) and flush updated trace "
+                            "metadata back to it on shutdown, so a "
+                            "restarted service skips the cold-miss storm")
     serve.set_defaults(fn=_cmd_serve)
 
     report = sub.add_parser("report", help="regenerate paper experiments")

@@ -39,6 +39,18 @@ Elastic serving::
         admission=make_admission_policy("slo-shed"),
     )
     print(report.total_cost_units, report.shed_rate, report.fleet_size_timeline)
+
+Predictive serving::
+
+    # Forecast-led autoscaling (provision one warm-up ahead of the
+    # arrival-rate trend) + compile results persisted across restarts:
+    report = simulate_service(
+        generate_traffic("diurnal", n_requests=1200),
+        ServeCluster(2),
+        autoscaler=Autoscaler(min_chips=2, max_chips=6, mode="predictive"),
+        trace_library="traces.json",   # absent file == cold start
+    )
+    print(report.slo_attainment, report.cache_stats["warmed"])
 """
 
 from repro.serve.request import (
@@ -49,6 +61,11 @@ from repro.serve.request import (
     TraceKey,
 )
 from repro.serve.trace_cache import CacheStats, TraceCache
+from repro.serve.trace_library import (
+    LIBRARY_VERSION,
+    TraceLibrary,
+    TraceRecord,
+)
 from repro.serve.batcher import Batch, PipelineBatcher
 from repro.serve.cluster import (
     ChipState,
@@ -100,6 +117,9 @@ __all__ = [
     "TraceKey",
     "TraceCache",
     "CacheStats",
+    "TraceLibrary",
+    "TraceRecord",
+    "LIBRARY_VERSION",
     "Batch",
     "PipelineBatcher",
     "ChipState",

@@ -1,4 +1,4 @@
-"""Feedback-controlled fleet sizing for the rendering service.
+"""Feedback- and forecast-controlled fleet sizing for the service.
 
 The autoscaler watches two signals over a sliding window — pending
 queue depth per active chip and SLO attainment of recently finished
@@ -18,14 +18,30 @@ engine schedules when the service goes idle):
   sharding policy, which packs work onto cheap chips and lets pricey
   ones drain).
 
+That default ``reactive`` mode only ever trails the load: by the time
+the queue window shows pressure, the wave has already arrived, and a
+chip added now still spends ``warmup_s`` booting while SLOs burn. The
+``predictive`` mode leads instead of chasing: the engine feeds it every
+*offered* arrival, it fits a windowed arrival-rate trend (EWMA over
+rate samples and over the rate's slope), projects demand ``warmup_s``
+(plus ``lead_s``) ahead, converts that to a fleet size through the
+dispatcher's observed service-time estimate and a ``target_utilization``
+headroom, and provisions toward the projection *before* the queue
+feels it — and, on the downslope, retires surplus chips the projection
+says the trough will not need. The reactive queue/SLO triggers stay
+armed underneath as a backstop, so a forecast miss degrades to exactly
+the old behaviour rather than to an outage.
+
 Every action is appended to :attr:`Autoscaler.events`, which becomes
 the fleet-size timeline in the :class:`~repro.serve.metrics.ServiceReport`.
-``cooldown_s`` rate-limits actions so one burst cannot thrash the fleet.
-All state is deterministic: same trace, same decisions.
+``cooldown_s`` rate-limits actions so one burst cannot thrash the fleet
+and bounds either mode to one action per cooldown window. All state is
+deterministic: same trace, same decisions.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Container, Sequence
@@ -58,6 +74,9 @@ class FleetEvent:
 class Autoscaler:
     """Grow/shrink a :class:`ServeCluster` against queue and SLO signals."""
 
+    #: Recognized controller modes.
+    MODES = ("reactive", "predictive")
+
     def __init__(
         self,
         min_chips: int = 1,
@@ -69,6 +88,12 @@ class Autoscaler:
         warmup_s: float = 0.02,
         cooldown_s: float = 0.05,
         growth_configs: Sequence[AcceleratorConfig | None] | None = None,
+        mode: str = "reactive",
+        lead_s: float | None = None,
+        target_utilization: float = 0.75,
+        trend_alpha: float = 0.3,
+        min_forecast_samples: int = 8,
+        shrink_margin: float = 1.25,
     ) -> None:
         if min_chips < 1:
             raise ConfigError("autoscaler floor must be >= 1 chip")
@@ -80,6 +105,19 @@ class Autoscaler:
             raise ConfigError("SLO target must be in (0, 1]")
         if window_s <= 0 or warmup_s < 0 or cooldown_s < 0:
             raise ConfigError("autoscaler time constants cannot be negative")
+        if mode not in self.MODES:
+            raise ConfigError(
+                f"unknown autoscaler mode {mode!r}; choose from {self.MODES}")
+        if lead_s is not None and lead_s < 0:
+            raise ConfigError("forecast lead time cannot be negative")
+        if not 0.0 < target_utilization <= 1.0:
+            raise ConfigError("target utilization must be in (0, 1]")
+        if not 0.0 < trend_alpha <= 1.0:
+            raise ConfigError("trend EWMA alpha must be in (0, 1]")
+        if min_forecast_samples < 2:
+            raise ConfigError("forecaster needs at least 2 arrival samples")
+        if shrink_margin < 1.0:
+            raise ConfigError("shrink margin must be >= 1 (hysteresis band)")
         self.min_chips = min_chips
         self.max_chips = max_chips
         self.target_queue_per_chip = target_queue_per_chip
@@ -88,6 +126,18 @@ class Autoscaler:
         self.warmup_s = warmup_s
         self.cooldown_s = cooldown_s
         self.growth_configs = list(growth_configs) if growth_configs else [None]
+        self.mode = mode
+        self.predictive = mode == "predictive"
+        #: Projection horizon beyond the warm-up: demand is forecast at
+        #: ``now + warmup_s + lead_s`` so a chip added on this tick is
+        #: *serving* when the projected load lands, not still booting.
+        self.lead_s = warmup_s if lead_s is None else lead_s
+        self.target_utilization = target_utilization
+        self.trend_alpha = trend_alpha
+        self.min_forecast_samples = min_forecast_samples
+        #: Demand safety factor of the forecast *shrink* path (see
+        #: :meth:`desired_fleet`); > 1 opens the hysteresis band.
+        self.shrink_margin = shrink_margin
         self._next_growth = 0
         self._last_action_s = float("-inf")
         # Sliding windows with running sums: the event engine observes
@@ -97,6 +147,14 @@ class Autoscaler:
         self._queue_sum = 0
         self._slo_samples: deque[tuple[float, bool]] = deque()
         self._slo_met = 0
+        # Forecast state (predictive mode only): offered-arrival window,
+        # EWMA-smoothed rate, and EWMA-smoothed rate slope.
+        self._arrivals: deque[float] = deque()
+        self._n_arrivals = 0          # lifetime, for the warm-up gate
+        self._rate_ewma = 0.0
+        self._slope_ewma = 0.0
+        self._trend_at: float | None = None   # t of the last trend update
+        self._est_service_ewma = 0.0
         self.events: list[FleetEvent] = []
 
     # -- signal intake --------------------------------------------------
@@ -104,6 +162,14 @@ class Autoscaler:
         """Feed one completed request into the SLO window."""
         self._slo_samples.append((finish_s, slo_met))
         self._slo_met += slo_met
+
+    def record_arrival(self, arrival_s: float) -> None:
+        """Feed one *offered* arrival into the forecast window (the
+        engine only feeds this in predictive mode)."""
+        if not self.predictive:
+            return
+        self._arrivals.append(arrival_s)
+        self._n_arrivals += 1
 
     def _prune(self, now: float) -> None:
         # Samples are only approximately time-ordered (shed events carry
@@ -120,6 +186,9 @@ class Autoscaler:
         while slo and slo[0][0] < horizon:
             _, met = slo.popleft()
             self._slo_met -= met
+        arrivals = self._arrivals
+        while arrivals and arrivals[0] < horizon:
+            arrivals.popleft()
 
     def mean_queue_depth(self) -> float:
         if not self._queue_samples:
@@ -132,27 +201,101 @@ class Autoscaler:
             return 1.0
         return self._slo_met / len(self._slo_samples)
 
+    # -- forecasting (predictive mode) ----------------------------------
+    def arrival_rate(self) -> float:
+        """Offered arrivals per second over the sliding window."""
+        return len(self._arrivals) / self.window_s
+
+    def _update_trend(self, now: float, est_service_s: float) -> None:
+        """One EWMA step of the rate and of the rate's slope.
+
+        Trend samples are taken on a fixed cadence (an eighth of the
+        window) rather than at every engine tick: decision points
+        cluster microseconds apart under load, and a finite difference
+        over a near-zero ``dt`` is pure noise with unbounded magnitude
+        — no amount of EWMA smoothing recovers from feeding it that.
+        """
+        if est_service_s > 0.0:
+            self._est_service_ewma = est_service_s
+        if self._trend_at is None:
+            self._rate_ewma = self.arrival_rate()
+            self._trend_at = now
+            return
+        dt = now - self._trend_at
+        if dt < self.window_s / 8.0:
+            return
+        previous = self._rate_ewma
+        self._rate_ewma = previous + self.trend_alpha * (
+            self.arrival_rate() - previous)
+        slope_sample = (self._rate_ewma - previous) / dt
+        self._slope_ewma += self.trend_alpha * (
+            slope_sample - self._slope_ewma)
+        self._trend_at = now
+
+    def projected_rate(self) -> float:
+        """Arrival rate projected one warm-up plus one lead ahead — the
+        demand a chip added *now* would actually meet. The trend term
+        is clamped to at most one doubling (or one halving) per
+        horizon: a linear fit extrapolated through a wave's crest would
+        otherwise project demand the trace never carries."""
+        horizon = self.warmup_s + self.lead_s
+        trend = self._slope_ewma * horizon
+        bound = self._rate_ewma
+        trend = max(-bound, min(bound, trend))
+        return max(0.0, self._rate_ewma + trend)
+
+    def desired_fleet(self, margin: float = 1.0) -> int | None:
+        """Projected fleet size, clamped to [min_chips, max_chips];
+        ``None`` while the forecaster lacks signal (too few arrivals
+        seen, or no service-time estimate yet) — callers then fall back
+        to the reactive triggers alone. ``margin`` scales the projected
+        demand: the shrink path evaluates it with a safety factor > 1,
+        so grow-at-N / shrink-at-N decisions sit on different
+        thresholds and a projection wobbling around a fleet-size
+        boundary cannot retire into a crest it will re-buy one warm-up
+        later (hysteresis)."""
+        if (self._n_arrivals < self.min_forecast_samples
+                or self._est_service_ewma <= 0.0
+                or self._trend_at is None):
+            return None
+        # Provision for the projection, but never below what the window
+        # is measuring *right now*: the smoothed rate lags a fast
+        # upswing, and trusting it alone lets the shrink path retire
+        # into a wave that has already arrived.
+        rate = max(self.projected_rate(), self.arrival_rate())
+        demand = margin * rate * self._est_service_ewma
+        needed = math.ceil(demand / self.target_utilization - 1e-9)
+        return max(self.min_chips, min(self.max_chips, needed))
+
     # -- control loop ---------------------------------------------------
     def observe(self, now: float, cluster: ServeCluster, queue_depth: int,
-                reserved: Container[int] = ()) -> None:
+                reserved: Container[int] = (),
+                est_service_s: float = 0.0) -> None:
         """One control-loop tick at an event-engine decision point.
 
         ``reserved`` masks chip ids that look idle but already own a
         staged (dispatch-ahead) batch — retiring one would strand queued
-        work on a chip that no longer serves.
+        work on a chip that no longer serves. ``est_service_s`` is the
+        dispatcher's current per-request service-time estimate; only
+        the predictive mode consumes it (capacity = chips / service
+        time), so reactive callers may leave it 0.
         """
         self._prune(now)
         self._queue_samples.append((now, queue_depth))
         self._queue_sum += queue_depth
+        if self.predictive:
+            self._update_trend(now, est_service_s)
         if now - self._last_action_s < self.cooldown_s:
             return
 
         n_active = cluster.n_active
+        desired = self.desired_fleet() if self.predictive else None
         pressure = (
             self.mean_queue_depth() / n_active > self.target_queue_per_chip
             or self.window_slo_attainment() < self.slo_target
         )
-        if pressure and n_active < self.max_chips:
+        lead = desired is not None and desired > n_active
+        if (pressure or lead) and n_active < self.max_chips:
             config = self.growth_configs[self._next_growth % len(self.growth_configs)]
             self._next_growth += 1
             chip = cluster.add_chip(config, now=now, warmup_s=self.warmup_s)
@@ -169,7 +312,26 @@ class Autoscaler:
             and self.mean_queue_depth() < 1.0
             and self.window_slo_attainment() >= self.slo_target
         )
-        if calm and n_active > self.min_chips and len(idle) >= 2:
+        # Shrink symmetrically with how the mode grew. The reactive
+        # rule waits for full calm — a whole window of near-empty queue
+        # plus a two-idle hedge — because it cannot see the trough
+        # coming, so it must *observe* one. A forecast surplus instead
+        # mirrors the forecast add: the queue must be drained right now
+        # and the window free of SLO pressure, but one idle chip and
+        # the projection saying the coming horizon needs fewer chips
+        # are enough — without this, a predictive fleet leads the wave
+        # up but trails it down, and the early chip-seconds are never
+        # won back.
+        if desired is not None:
+            surplus = self.desired_fleet(margin=self.shrink_margin)
+            may_shrink = (surplus is not None and surplus < n_active
+                          and self._slope_ewma <= 0.0
+                          and queue_depth == 0
+                          and len(idle) >= 1
+                          and self.window_slo_attainment() >= self.slo_target)
+        else:
+            may_shrink = calm and len(idle) >= 2
+        if may_shrink and n_active > self.min_chips:
             victim = max(
                 idle, key=lambda c: (c.config.chip_cost_rate, c.added_at_s, c.chip_id)
             )
@@ -186,12 +348,14 @@ def make_elastic_autoscaler(
     max_chips: int = 6,
     warmup_s: float = 0.005,
     growth_configs: Sequence[AcceleratorConfig | None] | None = None,
+    mode: str = "reactive",
 ) -> Autoscaler:
     """The tuned controller shared by ``repro serve --autoscale``, the
-    ``ext_elastic`` experiment, and the elastic example: by default grow
-    with a mix of 2x-PE/2x-SRAM and baseline chips and drain between
-    bursts. Defaults are tuned for the elastic evaluation workload
-    (bursts at ~10x a 150 req/s mean against a 50 ms SLO)."""
+    ``ext_elastic``/``ext_predictive`` experiments, and the examples: by
+    default grow with a mix of 2x-PE/2x-SRAM and baseline chips and
+    drain between bursts. Defaults are tuned for the elastic evaluation
+    workload (bursts at ~10x a 150 req/s mean against a 50 ms SLO);
+    ``mode="predictive"`` arms the forecast path on the same constants."""
     if growth_configs is None:
         growth_configs = [AcceleratorConfig().scaled(2, 2), None]
     return Autoscaler(
@@ -203,4 +367,5 @@ def make_elastic_autoscaler(
         warmup_s=warmup_s,
         cooldown_s=0.02,
         growth_configs=growth_configs,
+        mode=mode,
     )

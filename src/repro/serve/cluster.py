@@ -248,6 +248,7 @@ class ServeCluster:
         config: AcceleratorConfig | None = None,
         policy: str = "pipeline-affinity",
         configs: Sequence[AcceleratorConfig] | None = None,
+        trace_library: object | None = None,
     ) -> None:
         if configs is not None and config is not None:
             raise ConfigError("pass either config (homogeneous) or configs")
@@ -266,6 +267,10 @@ class ServeCluster:
             raise ConfigError("cluster needs at least one chip")
         self.policy_name = policy
         self._policy = SHARDING_POLICIES[policy]()
+        #: Optional persistent trace library (a TraceLibrary or a path
+        #: to its JSON artifact): the engine warm-starts the trace
+        #: cache from it and flushes updated metadata on shutdown.
+        self.trace_library = trace_library
         self.chips = [
             ChipState(i, UniRenderAccelerator(cfg))
             for i, cfg in enumerate(chip_configs)

@@ -25,11 +25,23 @@ seed's ad-hoc two-clock loop. :class:`ServeCluster`,
   may flex the fleet (new chips schedule their own warm-up-complete
   chip-free event).
 
-Cross-request **trace prefetch** rides the same machinery: a recency
-predictor crosses recently seen scenes, pipelines, and resolutions into
-candidate trace keys, and idle compile workers warm the cache with them
-so a future miss becomes a hit. Accuracy counters (issued / hits /
-waste) land in the serving report.
+Cross-request **trace prefetch** rides the same machinery: a
+per-session first-order Markov model over pipeline transitions (with a
+recency-cross-product fallback while it is still cold) predicts each
+live session's next trace keys, and idle compile workers warm the cache
+with them so a future miss becomes a hit. Accuracy counters (issued /
+hits / waste, plus the model's own forecast score) land in the serving
+report.
+
+The **predictive serving layer** plugs in at two more points: a
+persistent :class:`~repro.serve.trace_library.TraceLibrary` warm-starts
+the trace cache from a previous run's compiled-trace metadata before
+the first arrival and absorbs updated stats at shutdown (a restarted
+service skips the cold-miss storm), and a ``mode="predictive"``
+:class:`~repro.serve.autoscaler.Autoscaler` is fed every offered
+arrival plus a traffic-weighted service-time EWMA so it can provision
+the fleet one warm-up ahead of the arrival-rate trend instead of
+trailing it.
 
 The pricing hot path is vectorized: every distinct (trace, chip config)
 pair is simulated exactly once into a :class:`CostTable` — plain-float
@@ -58,9 +70,11 @@ from __future__ import annotations
 import heapq
 import math
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from pathlib import Path
+from typing import Container, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -74,9 +88,16 @@ from repro.serve.cluster import ChipState, ServeCluster
 from repro.serve.metrics import ServiceReport
 from repro.serve.request import RenderRequest, RenderResponse, TraceKey
 from repro.serve.trace_cache import TraceCache
+from repro.serve.trace_library import TraceLibrary
 
 #: EWMA smoothing for the observed mean service time (admission input).
 _SERVICE_EWMA_ALPHA = 0.2
+
+#: Slower EWMA for the forecast capacity model: per-response service
+#: times swing by the pipeline cost ratio (~8x on the default mix), and
+#: a capacity estimate that rides those swings makes the predictive
+#: autoscaler's desired fleet flap between its bounds.
+_FORECAST_EWMA_ALPHA = 0.05
 
 #: Event kinds, in same-timestamp processing order: arrivals ingest
 #: before compile completions land, before freed chips trigger dispatch,
@@ -159,31 +180,95 @@ class CompileWorkerPool:
 # ----------------------------------------------------------------------
 # Cross-request trace prefetch
 # ----------------------------------------------------------------------
+class _KeyUnion:
+    """Membership over two containers (the prefetcher's skip set)."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first, second) -> None:
+        self.first = first
+        self.second = second
+
+    def __contains__(self, key) -> bool:
+        return key in self.first or key in self.second
+
+
 class TracePrefetcher:
     """Predicts upcoming trace keys from recent traffic.
 
-    The predictor keeps the last ``history`` demanded keys and crosses
-    the distinct scenes, pipelines, and resolutions seen there —
-    most-recent first — into candidate keys: a client that just
-    switched its session from *hashgrid* to *gaussian* will shortly
-    want its other scenes' gaussian traces too. Candidates already
-    resident or in flight are skipped by the engine; everything issued,
-    later used, or never used is counted (accuracy = hits / issued).
+    The predictor is a per-session first-order Markov model over
+    pipeline transitions: each (scene, resolution) pair is one client
+    session, and every demanded key updates the transition count from
+    the session's previous pipeline to its current one. Candidates are
+    each live session's likeliest *next* pipelines, sessions most
+    recently active first — a client that keeps flipping *hashgrid* to
+    *gaussian* mid-session will get its gaussian trace warmed the
+    moment it touches hashgrid again. Ties between equally likely
+    transitions break through a ``seed``-keyed deterministic hash, so a
+    seed pins the full prediction order.
+
+    Below ``min_observations`` recorded transitions the model has no
+    statistics worth trusting and falls back to the recency
+    cross-product predictor (distinct recent scenes x pipelines x
+    resolutions, most recent first).
+
+    Candidates already resident or in flight are skipped — by the
+    engine *and* by :meth:`candidates` itself when given the cache
+    (``resident=``): a prefetch recorded for an already-cached trace
+    would count that trace's next demand hit as prefetcher skill, which
+    a warm-started cache would turn into systematic accuracy inflation.
+    Everything issued, later used, or never used is counted
+    (accuracy = hits / issued), and the model additionally scores its
+    own per-session forecasts (predictor_accuracy = correct /
+    predictions) so the report separates prediction quality from
+    prefetch-pipeline plumbing.
     """
 
-    def __init__(self, history: int = 32, max_candidates: int = 8) -> None:
+    def __init__(
+        self,
+        history: int = 32,
+        max_candidates: int = 8,
+        min_observations: int = 8,
+        seed: int = 0,
+    ) -> None:
         if history < 1 or max_candidates < 1:
             raise ConfigError("prefetcher history/candidates must be >= 1")
+        if min_observations < 1:
+            raise ConfigError("prefetcher min_observations must be >= 1")
         self.history = history
         self.max_candidates = max_candidates
+        self.min_observations = min_observations
+        self.seed = seed
         self._recent: deque[TraceKey] = deque(maxlen=history)
+        # Markov state: one current pipeline per live session and the
+        # global first-order transition counts between pipelines.
+        self._session_pipeline: dict[tuple[str, int, int], str] = {}
+        self._transitions: dict[str, dict[str, int]] = {}
+        self._n_transitions = 0
         self.issued = 0
         self.hits = 0            # issued keys later demanded at least once
+        self.predictions = 0     # transitions the model forecast in advance
+        self.correct = 0         # ... whose top guess matched the demand
         self._unused: set[TraceKey] = set()
 
     # -- signal intake --------------------------------------------------
     def observe(self, key: TraceKey) -> None:
-        """Record one demanded trace key."""
+        """Record one demanded trace key (one step of its session)."""
+        scene, pipeline, width, height = key
+        session = (scene, width, height)
+        previous = self._session_pipeline.get(session)
+        if previous is not None:
+            # Score the forecast this transition just resolved, then
+            # learn from it — the model never grades itself on a
+            # transition it has already seen.
+            guess = self._predict(previous)
+            if guess is not None:
+                self.predictions += 1
+                self.correct += guess == pipeline
+            row = self._transitions.setdefault(previous, {})
+            row[pipeline] = row.get(pipeline, 0) + 1
+            self._n_transitions += 1
+        self._session_pipeline[session] = pipeline
         self._recent.append(key)
 
     def is_unused(self, key: TraceKey) -> bool:
@@ -207,8 +292,88 @@ class TracePrefetcher:
         self._unused.discard(key)
 
     # -- prediction -----------------------------------------------------
-    def candidates(self) -> list[TraceKey]:
-        """Predicted keys, most promising first (deterministic)."""
+    def _tiebreak(self, pipeline: str) -> int:
+        """Seed-keyed deterministic rank for equally weighted choices."""
+        return zlib.crc32(f"{self.seed}:{pipeline}".encode())
+
+    def _ranked(self, pipeline: str) -> list[str]:
+        """Next pipelines after ``pipeline``, likeliest first."""
+        row = self._transitions.get(pipeline)
+        if not row:
+            return []
+        return sorted(row, key=lambda nxt: (-row[nxt], self._tiebreak(nxt)))
+
+    def _predict(self, pipeline: str) -> Optional[str]:
+        """The model's single best next-pipeline guess (None when the
+        model is still below its observation threshold or has never
+        seen ``pipeline`` lead anywhere)."""
+        if self._n_transitions < self.min_observations:
+            return None
+        ranked = self._ranked(pipeline)
+        return ranked[0] if ranked else None
+
+    def transition_weights(self, pipeline: str) -> dict[str, int]:
+        """Observed transition counts out of ``pipeline`` (a copy)."""
+        return dict(self._transitions.get(pipeline, {}))
+
+    def candidates(
+        self, resident: Optional[Container[TraceKey]] = None
+    ) -> list[TraceKey]:
+        """Predicted keys, most promising first (deterministic).
+
+        ``resident`` filters out keys that are already cached *before*
+        they consume candidate slots — prefetching them would be free
+        accuracy (see the class docstring), and on a warm-started cache
+        a post-hoc filter would return an empty list while genuinely
+        missing, deeper predictions still exist.
+        """
+        if self._n_transitions < self.min_observations:
+            return self._recency_candidates(resident)
+        return self._markov_candidates(resident)
+
+    def _markov_candidates(
+        self, resident: Optional[Container[TraceKey]]
+    ) -> list[TraceKey]:
+        """Each live session's ranked next keys, breadth-first: every
+        session's best guess before any session's second guess,
+        sessions most recently active first."""
+        ranked_by_session: list[tuple[tuple[str, int, int], list[str]]] = []
+        seen: set[tuple[str, int, int]] = set()
+        for scene, _pipeline, width, height in reversed(self._recent):
+            session = (scene, width, height)
+            if session in seen:
+                continue
+            seen.add(session)
+            ranked = self._ranked(self._session_pipeline[session])
+            if ranked:
+                ranked_by_session.append((session, ranked))
+        out: list[TraceKey] = []
+        emitted: set[TraceKey] = set()
+        depth = 0
+        while len(out) < self.max_candidates:
+            any_left = False
+            for (scene, width, height), ranked in ranked_by_session:
+                if depth >= len(ranked):
+                    continue
+                any_left = True
+                key = (scene, ranked[depth], width, height)
+                if key in emitted or (resident is not None
+                                      and key in resident):
+                    continue
+                emitted.add(key)
+                out.append(key)
+                if len(out) >= self.max_candidates:
+                    return out
+            if not any_left:
+                break
+            depth += 1
+        return out
+
+    def _recency_candidates(
+        self, resident: Optional[Container[TraceKey]] = None
+    ) -> list[TraceKey]:
+        """Cold-start fallback: cross distinct recent scenes, pipelines,
+        and resolutions, most recent first."""
         scenes: list[str] = []
         pipelines: list[str] = []
         resolutions: list[tuple[int, int]] = []
@@ -223,7 +388,10 @@ class TracePrefetcher:
         for pipeline in pipelines:
             for scene in scenes:
                 for width, height in resolutions:
-                    out.append((scene, pipeline, width, height))
+                    key = (scene, pipeline, width, height)
+                    if resident is not None and key in resident:
+                        continue
+                    out.append(key)
                     if len(out) >= self.max_candidates:
                         return out
         return out
@@ -238,12 +406,22 @@ class TracePrefetcher:
     def accuracy(self) -> float:
         return self.hits / self.issued if self.issued else 0.0
 
+    @property
+    def predictor_accuracy(self) -> float:
+        """Fraction of scored session transitions whose top guess was
+        right — the Markov model's quality, independent of whether the
+        compile pool had idle capacity to act on it."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
     def to_dict(self) -> dict:
         return {
             "issued": self.issued,
             "hits": self.hits,
             "waste": self.waste,
             "accuracy": self.accuracy,
+            "predictions": self.predictions,
+            "correct": self.correct,
+            "predictor_accuracy": self.predictor_accuracy,
         }
 
 
@@ -518,6 +696,7 @@ class EventEngine:
         compile_latency: Optional[CompileLatencyModel] = None,
         prefetcher: Optional[TracePrefetcher] = None,
         preempt: bool = False,
+        trace_library: "TraceLibrary | str | Path | None" = None,
     ) -> None:
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         if not ordered:
@@ -540,6 +719,14 @@ class EventEngine:
         self.cache = cache if cache is not None else TraceCache()
         self.batcher = batcher if batcher is not None else PipelineBatcher()
         self.autoscaler = autoscaler
+        # A predictive autoscaler additionally consumes the arrival
+        # stream and a traffic-weighted service-time EWMA (the per-
+        # pipeline estimates would overweight rare, expensive pipelines
+        # in the capacity model); the reactive controller's hot path
+        # must not pay for either.
+        self._feed_forecast = autoscaler is not None and getattr(
+            autoscaler, "predictive", False)
+        self._svc_ewma: Optional[float] = None
         self.admission = admission
         self.async_compile = compile_workers >= 1
         if self.async_compile and compile_latency is None:
@@ -562,6 +749,22 @@ class EventEngine:
             CompileWorkerPool(compile_workers) if self.async_compile else None
         )
         self.prefetcher = prefetcher
+
+        # -- persistent trace library (warm start + shutdown flush) -----
+        if trace_library is None:
+            trace_library = cluster.trace_library
+        self._library_path: Optional[Path] = None
+        if isinstance(trace_library, (str, Path)):
+            self._library_path = Path(trace_library)
+            trace_library = TraceLibrary.load(self._library_path)
+        self.trace_library = trace_library
+        self._hits_baseline: dict[TraceKey, int] = {}
+        if self.trace_library is not None:
+            self.trace_library.warm(self.cache)
+            # The cache's hit counters are lifetime figures and the
+            # cache may be shared across runs; the shutdown flush must
+            # credit the library with this run's hits only.
+            self._hits_baseline = dict(self.cache.hits_by_key)
 
         # -- multi-tenant QoS state -------------------------------------
         # Tier-filtered batching switches on when the trace actually
@@ -640,7 +843,8 @@ class EventEngine:
         while inflight and inflight[0][0] <= now:
             finish_s, _seq, slo_met = heapq.heappop(inflight)
             scaler.record_response(finish_s, slo_met)
-        scaler.observe(now, self.cluster, queue_depth, reserved=self._staged)
+        scaler.observe(now, self.cluster, queue_depth, reserved=self._staged,
+                       est_service_s=self._svc_ewma or 0.0)
         self._watch_new_chips()
 
     # -- readiness ------------------------------------------------------
@@ -673,17 +877,17 @@ class EventEngine:
         # cold request waits a full compile latency extra. A singleton
         # pool has no worker to reserve, so it may prefetch when idle.
         reserve = 1 if self.pool.n_workers > 1 else 0
+        # Resident *and* in-flight keys are filtered inside the
+        # predictor, before its candidate cap — either kind occupying
+        # a slot could starve deeper, genuinely missing predictions.
+        skip = _KeyUnion(self.cache, self._waiting_done_s)
         while self.pool.idle_count(now) > reserve:
-            issued = False
-            for key in prefetcher.candidates():
-                if key in self.cache or key in self._waiting_done_s:
-                    continue
-                self._submit_compile(key, now, demand=False)
-                prefetcher.note_issue(key)
-                issued = True
-                break
-            if not issued:
+            candidates = prefetcher.candidates(resident=skip)
+            if not candidates:
                 return
+            key = candidates[0]
+            self._submit_compile(key, now, demand=False)
+            prefetcher.note_issue(key)
 
     # -- arrival ingestion ----------------------------------------------
     def _project_wait(self, request: RenderRequest, at: float) -> float:
@@ -758,6 +962,10 @@ class EventEngine:
 
     def _ingest(self, request: RenderRequest, now: float) -> None:
         """Admission decision, made at the request's arrival instant."""
+        if self._feed_forecast:
+            # Offered demand, pre-admission: the forecaster must see the
+            # wave the admission policy is about to clip.
+            self.autoscaler.record_arrival(request.arrival_s)
         admission = self.admission
         if admission is None:
             verdict = request
@@ -959,6 +1167,13 @@ class EventEngine:
                 est[pipeline] = prior + _SERVICE_EWMA_ALPHA * (
                     response.service_s - prior
                 )
+            if self._feed_forecast:
+                mean = self._svc_ewma
+                self._svc_ewma = (
+                    response.service_s if mean is None
+                    else mean + _FORECAST_EWMA_ALPHA * (
+                        response.service_s - mean)
+                )
             if feed:
                 heapq.heappush(
                     self._inflight,
@@ -1112,6 +1327,18 @@ class EventEngine:
                 f"admission policy {self.admission.name!r} shed all "
                 f"{len(self._shed)} requests"
             )
+        if self.trace_library is not None:
+            # Shutdown flush: fold this run's compiled traces and hit
+            # counters back into the library so the next start is warm.
+            baseline = self._hits_baseline
+            run_hits = {
+                key: hits - baseline.get(key, 0)
+                for key, hits in self.cache.hits_by_key.items()
+                if hits > baseline.get(key, 0)
+            }
+            self.trace_library.absorb(self.cache, run_hits=run_hits)
+            if self._library_path is not None:
+                self.trace_library.save(self._library_path)
         return ServiceReport(
             policy=self.cluster.policy_name,
             responses=self._responses,

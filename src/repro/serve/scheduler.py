@@ -38,6 +38,7 @@ from repro.serve.engine import EventEngine, TracePrefetcher
 from repro.serve.metrics import ServiceReport
 from repro.serve.request import RenderRequest
 from repro.serve.trace_cache import TraceCache
+from repro.serve.trace_library import TraceLibrary
 
 
 def simulate_service(
@@ -52,6 +53,7 @@ def simulate_service(
     compile_latency: CompileLatencyModel | None = None,
     prefetch: bool | TracePrefetcher = False,
     preempt: bool = False,
+    trace_library: TraceLibrary | str | None = None,
 ) -> ServiceReport:
     """Serve every admitted request on the fleet; returns the report.
 
@@ -76,6 +78,14 @@ def simulate_service(
     meantime). At the default ``preempt=False`` none of this machinery
     runs: requests tagged with the default tenant class produce reports
     byte-identical to the pre-tenant engine's.
+
+    ``trace_library`` (a :class:`TraceLibrary` or a path to its JSON
+    artifact) makes compile results persistent across runs: the cache is
+    warm-started from the recorded traces before the first arrival and
+    the engine flushes updated metadata back on shutdown (saving to the
+    path, when one was given). ``ServeCluster(trace_library=...)`` is an
+    equivalent spelling. An empty or absent library is exactly a cold
+    start.
     """
     prefetcher = None
     if prefetch:
@@ -92,5 +102,6 @@ def simulate_service(
         compile_latency=compile_latency,
         prefetcher=prefetcher,
         preempt=preempt,
+        trace_library=trace_library,
     )
     return engine.run()

@@ -55,6 +55,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    warmed: int = 0               # entries installed by a library warm-start
     compile_s: float = 0.0        # simulated compile latency charged
     compile_s_saved: float = 0.0  # simulated compile latency avoided by hits
     compile_wall_s: float = 0.0   # host wall time spent compiling (diagnostic)
@@ -72,6 +73,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "warmed": self.warmed,
             "hit_rate": self.hit_rate,
             "compile_s": self.compile_s,
             "compile_s_saved": self.compile_s_saved,
@@ -103,6 +105,9 @@ class TraceCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[TraceKey, MicroOpProgram]" = OrderedDict()
         self._compile_cost_s: dict[TraceKey, float] = {}
+        #: Demand hits per key over this cache's lifetime — the signal
+        #: the persistent trace library accumulates across runs.
+        self.hits_by_key: dict[TraceKey, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -129,6 +134,7 @@ class TraceCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self.hits_by_key[key] = self.hits_by_key.get(key, 0) + 1
             self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
             return self._entries[key], True
 
@@ -150,6 +156,7 @@ class TraceCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self.hits_by_key[key] = self.hits_by_key.get(key, 0) + 1
             self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
             return self._entries[key]
         self.stats.misses += 1
@@ -164,6 +171,24 @@ class TraceCache:
     ) -> None:
         """Land a program compiled elsewhere (worker pool or prefetch)."""
         self._account_compile(key, sim_cost_s, wall_cost_s)
+        self._admit(key, program)
+
+    def warm_start(
+        self,
+        key: TraceKey,
+        program: MicroOpProgram,
+        sim_cost_s: float = 0.0,
+    ) -> None:
+        """Install a trace recorded by a previous run's library.
+
+        Unlike :meth:`insert`, nothing is charged to this run's compile
+        counters — the compile was paid for in the run that recorded the
+        trace — but the entry carries its recorded simulated cost so
+        later hits still credit ``compile_s_saved``. Warm installs are
+        tallied separately in :attr:`CacheStats.warmed`.
+        """
+        self._compile_cost_s[key] = sim_cost_s
+        self.stats.warmed += 1
         self._admit(key, program)
 
     def touch(self, key: TraceKey) -> None:

@@ -1,0 +1,239 @@
+"""Persistent trace library: compile results that outlive the process.
+
+Compiled frame traces are pure functions of their trace key, yet until
+now every service run recompiled its working set from scratch — a
+restarted service pays a cold-miss storm for traces it had already
+compiled yesterday. The :class:`TraceLibrary` closes that gap: at
+shutdown the engine flushes each resident trace's *metadata* (pipeline,
+program size, simulated compile cost, lifetime demand hits) to a
+versioned JSON artifact, and a later run warm-starts its
+:class:`~repro.serve.trace_cache.TraceCache` from it — recompiling the
+recorded keys host-side before the simulation clock starts, so the
+first request of the day hits a warm cache instead of a compile queue.
+
+Only metadata is serialized, never programs: a
+:class:`~repro.core.microops.MicroOpProgram` is deterministic per key,
+so the library re-derives it through ``cache.compile_fn`` at warm-start
+(host wall time, zero *simulated* time — the restart happens before the
+service accepts traffic). The recorded ``compile_s`` is attached to the
+warmed entry, so cache hits on warm traces keep crediting
+``compile_s_saved`` exactly as if this run had compiled them.
+
+The artifact is deliberately boring: a sorted-key, indented JSON object
+with a ``version`` field, entries ordered least- to most-recently used
+(the warm-start insertion order, so LRU behaviour survives a restart
+bit for bit), and a byte-stable ``save -> load -> save`` round trip —
+the property the regression suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import ConfigError
+from repro.serve.request import TraceKey
+from repro.serve.trace_cache import TraceCache
+
+#: Artifact schema version; bump on incompatible layout changes.
+LIBRARY_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One compiled trace's cross-run metadata."""
+
+    scene: str
+    pipeline: str
+    width: int
+    height: int
+    invocations: int      # compiled program size (micro-op invocations)
+    pixels: int           # program output pixels
+    compile_s: float      # simulated compile latency last charged
+    hits: int = 0         # lifetime demand hits across recorded runs
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigError("trace record resolution must be positive")
+        if self.invocations < 0 or self.pixels < 0:
+            raise ConfigError("trace record program size cannot be negative")
+        if self.compile_s < 0 or self.hits < 0:
+            raise ConfigError("trace record counters cannot be negative")
+
+    @property
+    def key(self) -> TraceKey:
+        return (self.scene, self.pipeline, self.width, self.height)
+
+    def to_dict(self) -> dict:
+        return {
+            "scene": self.scene,
+            "pipeline": self.pipeline,
+            "width": self.width,
+            "height": self.height,
+            "invocations": self.invocations,
+            "pixels": self.pixels,
+            "compile_s": self.compile_s,
+            "hits": self.hits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceRecord":
+        try:
+            return cls(
+                scene=str(payload["scene"]),
+                pipeline=str(payload["pipeline"]),
+                width=int(payload["width"]),
+                height=int(payload["height"]),
+                invocations=int(payload["invocations"]),
+                pixels=int(payload["pixels"]),
+                compile_s=float(payload["compile_s"]),
+                hits=int(payload["hits"]),
+            )
+        except (KeyError, TypeError, ValueError) as err:
+            raise ConfigError(f"malformed trace-library entry: {err}")
+
+
+class TraceLibrary:
+    """An ordered set of :class:`TraceRecord`, least recently used first.
+
+    The ordering *is* the persistence of LRU state: :meth:`warm` inserts
+    records in list order, so the warmed cache evicts in the same order
+    the donor cache would have.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord] = ()) -> None:
+        self._records: "OrderedDict[TraceKey, TraceRecord]" = OrderedDict()
+        for record in records:
+            if record.key in self._records:
+                raise ConfigError(
+                    f"trace library repeats key {record.key!r}")
+            self._records[record.key] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return key in self._records
+
+    @property
+    def keys(self) -> tuple[TraceKey, ...]:
+        """Recorded keys, least recently used first."""
+        return tuple(self._records)
+
+    def get(self, key: TraceKey) -> Optional[TraceRecord]:
+        return self._records.get(key)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(record.hits for record in self._records.values())
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": LIBRARY_VERSION,
+            "entries": [record.to_dict()
+                        for record in self._records.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceLibrary":
+        version = payload.get("version")
+        if version != LIBRARY_VERSION:
+            raise ConfigError(
+                f"trace library version {version!r} is not supported "
+                f"(expected {LIBRARY_VERSION})"
+            )
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ConfigError("trace library has no entry list")
+        return cls(TraceRecord.from_dict(entry) for entry in entries)
+
+    def dumps(self) -> str:
+        """Canonical byte-stable JSON text of the library."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceLibrary":
+        """Read a library artifact; an absent file is an empty library —
+        a cold start and a first start are the same thing."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            raise ConfigError(f"trace library {path} is not valid JSON: {err}")
+        if not isinstance(payload, dict):
+            raise ConfigError(f"trace library {path} is not a JSON object")
+        return cls.from_dict(payload)
+
+    # -- cache interchange ----------------------------------------------
+    def warm(self, cache: TraceCache) -> int:
+        """Warm-start ``cache`` from the recorded traces; returns how
+        many entries were installed.
+
+        Only the most recent ``cache.capacity`` records are compiled
+        (the rest would be evicted on arrival), in least- to
+        most-recent order so the warmed cache's LRU order matches the
+        donor's. Warm installs never touch hit/miss/compile counters —
+        this run did not pay for them — but each entry carries its
+        recorded simulated compile cost, so later hits credit
+        ``compile_s_saved``.
+        """
+        if cache.capacity <= 0 or not self._records:
+            return 0
+        records = list(self._records.values())[-cache.capacity:]
+        warmed = 0
+        for record in records:
+            if record.key in cache:
+                # A shared cache kept the trace alive across runs: no
+                # recompile, and no inflated ``warmed`` counter.
+                continue
+            program = cache.compile_fn(record.key)
+            cache.warm_start(record.key, program, sim_cost_s=record.compile_s)
+            warmed += 1
+        return warmed
+
+    def absorb(self, cache: TraceCache,
+               run_hits: Optional[Mapping[TraceKey, int]] = None) -> None:
+        """Fold one finished run's cache back into the library.
+
+        Resident traces are (re)recorded with their current program
+        size and compile cost and move to the recent end in the cache's
+        LRU order; traces known to the library but evicted during the
+        run keep their stale metadata (they may warm a future, larger
+        cache). ``run_hits`` is *this run's* per-key demand-hit counts,
+        accumulated onto the lifetime counters; it defaults to the
+        cache's own ``hits_by_key``, which is only correct for a cache
+        that served exactly one run — callers sharing a cache across
+        runs (the engine snapshots a baseline at start-up) must pass
+        the delta themselves or earlier runs' hits double-count.
+        """
+        if run_hits is None:
+            run_hits = cache.hits_by_key
+        for key, hits in run_hits.items():
+            record = self._records.get(key)
+            if record is not None and hits:
+                self._records[key] = replace(record, hits=record.hits + hits)
+        for key in cache.keys:  # least recently used first
+            program = cache.peek(key)
+            prior = self._records.pop(key, None)
+            hits = (prior.hits if prior is not None
+                    else run_hits.get(key, 0))
+            scene, pipeline, width, height = key
+            self._records[key] = TraceRecord(
+                scene=scene,
+                pipeline=pipeline,
+                width=width,
+                height=height,
+                invocations=len(program.invocations),
+                pixels=program.pixels,
+                compile_s=cache.compile_cost_s(key),
+                hits=hits,
+            )

@@ -104,10 +104,19 @@ class TestServeCommand:
 class TestElasticServeFlags:
     def test_elastic_defaults(self):
         args = build_parser().parse_args(["serve"])
-        assert args.autoscale is False
+        assert args.autoscale is None
         assert args.min_chips == 2
         assert args.admission == "admit-all"
         assert args.fleet_spec is None
+        assert args.trace_library is None
+
+    def test_autoscale_flag_modes(self):
+        # Bare --autoscale keeps the pre-predictive behaviour (reactive);
+        # the optional value selects the forecast-led controller.
+        assert build_parser().parse_args(
+            ["serve", "--autoscale"]).autoscale == "reactive"
+        assert build_parser().parse_args(
+            ["serve", "--autoscale", "predictive"]).autoscale == "predictive"
 
     def test_serve_autoscale_compares_fleets(self, capsys):
         code = main(["serve", "--chips", "3", "--requests", "24",

@@ -287,3 +287,230 @@ def test_qos_holds_premium_slo_under_overload():
     assert qos["premium"]["slo_attainment"] >= 0.90
     assert baseline["premium"] < 0.60
     assert qos["economy"]["n_shed"] > qos["premium"]["n_shed"]
+
+
+# ----------------------------------------------------------------------
+# Predictive serving goldens: forecast-led autoscaling on a diurnal
+# wave, and warm-vs-cold restarts from a persistent trace library.
+# ----------------------------------------------------------------------
+#: Heavier stub frame costs (10x the scheduler scenario's) so that a
+#: two-chip floor saturates around one third of the diurnal crest —
+#: fleet sizing, not raw speed, decides SLO attainment.
+_WAVE_MACS = {"hashgrid": 2e8, "gaussian": 1.6e9, "mesh": 4e8}
+
+
+def wave_program(pipeline):
+    program = MicroOpProgram(pipeline=pipeline, pixels=1024)
+    program.append(
+        MicroOp.GEMM,
+        "mlp",
+        gemm_workload(macs=_WAVE_MACS.get(pipeline, 5e8), rows=1e3,
+                      in_width=32, out_width=4, weight_bytes=1e4),
+    )
+    return program
+
+
+def wave_autoscaler(mode):
+    from repro.serve import Autoscaler
+
+    return Autoscaler(
+        min_chips=2, max_chips=6, target_queue_per_chip=1.0,
+        slo_target=0.95, window_s=0.25, warmup_s=0.15, cooldown_s=0.15,
+        mode=mode, target_utilization=1.0, lead_s=0.0, shrink_margin=1.1,
+    )
+
+
+def run_wave_scenario(mode):
+    """Two full diurnal periods at ~2x the floor fleet's capacity; both
+    controllers share every constant except the forecast."""
+    trace = generate_traffic(pattern="diurnal", n_requests=12000,
+                             rate_rps=1500.0, seed=11, resolution=(64, 64),
+                             slo_s=0.012)
+    return simulate_service(
+        trace,
+        ServeCluster(2, policy="pipeline-affinity"),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: wave_program(key[1])),
+        batcher=PipelineBatcher(),
+        autoscaler=wave_autoscaler(mode),
+    )
+
+
+@dataclass(frozen=True)
+class PredictiveGolden:
+    slo_attainment: float
+    p50_ms: float
+    p95_ms: float
+    chip_seconds: float
+    peak_fleet: int
+    fleet_timeline: tuple
+
+
+GOLDEN_WAVE = {
+    "reactive": PredictiveGolden(
+        slo_attainment=0.872666667,
+        p50_ms=1.711154667,
+        p95_ms=29.738834724,
+        chip_seconds=21.735675464,
+        peak_fleet=6,
+        fleet_timeline=(
+            (0.000000000, 2),
+            (0.038397346, 3),
+            (0.295316056, 2),
+            (0.446142656, 3),
+            (0.596142656, 4),
+            (0.746142656, 5),
+            (0.896142656, 6),
+            (1.046147423, 5),
+            (1.196185184, 4),
+            (1.346636444, 3),
+            (1.499273387, 2),
+            (1.649431270, 3),
+            (1.886372590, 2),
+            (4.291174055, 3),
+            (4.845884584, 2),
+            (4.995931249, 3),
+            (5.145931249, 4),
+            (5.295931249, 5),
+            (5.445931249, 6),
+            (5.595931249, 5),
+            (5.745973182, 4),
+            (5.896040193, 3),
+            (6.046893340, 2),
+        )),
+    "predictive": PredictiveGolden(
+        slo_attainment=0.996083333,
+        p50_ms=0.670224565,
+        p95_ms=4.812028880,
+        chip_seconds=21.435036712,
+        peak_fleet=5,
+        fleet_timeline=(
+            (0.000000000, 2),
+            (0.038397346, 3),
+            (0.338441913, 4),
+            (1.076839965, 3),
+            (1.243392863, 4),
+            (1.393466852, 3),
+            (1.545749946, 2),
+            (1.712846453, 3),
+            (1.863284898, 2),
+            (4.113562660, 3),
+            (4.483023737, 4),
+            (5.244204566, 5),
+            (5.464528660, 4),
+            (5.614550200, 3),
+            (5.768165604, 2),
+        )),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(GOLDEN_WAVE))
+def test_wave_numbers_are_frozen(mode):
+    golden = GOLDEN_WAVE[mode]
+    report = run_wave_scenario(mode)
+    assert report.slo_attainment == pytest.approx(
+        golden.slo_attainment, rel=1e-9)
+    assert report.latency_p(50) * 1e3 == pytest.approx(golden.p50_ms, rel=1e-6)
+    assert report.latency_p(95) * 1e3 == pytest.approx(golden.p95_ms, rel=1e-6)
+    assert report.total_chip_seconds == pytest.approx(
+        golden.chip_seconds, rel=1e-9)
+    assert report.peak_fleet_size == golden.peak_fleet
+    timeline = report.fleet_size_timeline
+    assert len(timeline) == len(golden.fleet_timeline)
+    for (t, n), (gt, gn) in zip(timeline, golden.fleet_timeline):
+        assert t == pytest.approx(gt, abs=1e-6)
+        assert n == gn
+
+
+def test_predictive_leads_the_wave():
+    # The acceptance headline: on the diurnal 2x-overload wave the
+    # forecast-led controller strictly improves SLO attainment over the
+    # reactive one at equal or lower provisioned chip-seconds (and a
+    # lower peak fleet: it provisions on time instead of piling on
+    # mid-crest).
+    reactive = run_wave_scenario("reactive")
+    predictive = run_wave_scenario("predictive")
+    assert predictive.slo_attainment > reactive.slo_attainment
+    assert predictive.total_chip_seconds <= reactive.total_chip_seconds
+    assert predictive.latency_p(95) < reactive.latency_p(95)
+    assert predictive.peak_fleet_size <= reactive.peak_fleet_size
+
+
+# ----------------------------------------------------------------------
+# Trace-library restart goldens.
+# ----------------------------------------------------------------------
+def run_library_storm(library):
+    """The PR-3 bursty miss storm (12 cold scenes, async compile), now
+    restartable: each call is one service process sharing ``library``."""
+    from repro.core.config import CompileLatencyModel
+
+    trace = generate_traffic(pattern="bursty", n_requests=120,
+                             rate_rps=8000.0, seed=11, scenes=_STORM_SCENES,
+                             resolution=(64, 64), slo_s=0.02)
+    return simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        compile_workers=2,
+        compile_latency=CompileLatencyModel(),
+        trace_library=library,
+    )
+
+
+#: Frozen warm-vs-cold restart: (compile misses, warm-started entries,
+#: mean queue wait ms, SLO attainment) per phase. The compile-miss
+#: delta — 98 cold misses to zero — is the trace library's headline:
+#: the restarted service's queue wait drops ~47x and SLO attainment
+#: goes to 100% because nothing waits on a compile worker any more.
+GOLDEN_RESTART = {
+    "cold": (98, 0, 9.315754233, 0.916666667),
+    "warm": (0, 35, 0.197851538, 1.000000000),
+}
+
+
+def test_restart_numbers_are_frozen():
+    from repro.serve import TraceLibrary
+
+    library = TraceLibrary()
+    for phase in ("cold", "warm"):
+        misses, warmed, queue_ms, slo = GOLDEN_RESTART[phase]
+        report = run_library_storm(library)
+        assert report.cache_stats["misses"] == misses
+        assert report.cache_stats["warmed"] == warmed
+        assert report.mean_queue_s * 1e3 == pytest.approx(queue_ms, rel=1e-6)
+        assert report.slo_attainment == pytest.approx(slo, rel=1e-9)
+    assert len(library) == 35
+
+
+def test_warm_start_is_schedule_neutral_without_compile_latency():
+    # The acceptance headline: in the default synchronous mode (compile
+    # invisible to simulated time) a warm-started service reproduces
+    # the cold-start ServiceReport byte for byte — only the cache
+    # stats (hits/misses/warm-start counters) may differ.
+    from repro.serve import TraceLibrary
+
+    def one_run(library):
+        trace = generate_traffic(pattern="bursty", n_requests=120,
+                                 rate_rps=8000.0, seed=11,
+                                 scenes=_STORM_SCENES, resolution=(64, 64),
+                                 slo_s=0.02)
+        return simulate_service(
+            trace,
+            ServeCluster(2),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+            trace_library=library,
+        )
+
+    library = TraceLibrary()
+    cold = one_run(library).to_dict()
+    warm = one_run(library).to_dict()
+    cold_cache = cold.pop("cache")
+    warm_cache = warm.pop("cache")
+    assert warm == cold
+    assert cold_cache["warmed"] == 0
+    assert warm_cache["warmed"] > 0
+    assert warm_cache["misses"] == 0
