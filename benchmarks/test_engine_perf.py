@@ -198,3 +198,78 @@ def test_predictive_autoscaler_rate_floor(benchmark, save_text):
         f"(floor {PREDICTIVE_FLOOR_RPS:,.0f}) — the forecast (arrival feed, "
         f"trend fit, desired-fleet projection) has become a hot-path tax"
     )
+
+
+# ----------------------------------------------------------------------
+# Observability floors: the obs hooks live on the same hot path, so two
+# floors pin their cost. Disabled means *absent* — the engine stores
+# obs=None and every site pays one pointer check — so a run with a
+# sink-less observer must stay within 3% of the bare floor. Full
+# tracing (ring-buffer tracer + metrics registry + flight recorder,
+# sample 1.0) buys a deque append and a handful of counter increments
+# per event and must hold >= 0.5x the bare floor.
+# ----------------------------------------------------------------------
+OBS_DISABLED_FLOOR_RPS = FLOOR_RPS * 0.97
+OBS_ENABLED_FLOOR_RPS = FLOOR_RPS * 0.5
+
+
+def run_observed_overload(observer):
+    trace = generate_traffic(
+        "bursty", n_requests=N_REQUESTS, rate_rps=60_000.0, seed=42,
+        resolution=(64, 64), slo_s=0.0005,
+    )
+    began = time.perf_counter()
+    report = simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        observer=observer,
+    )
+    elapsed = time.perf_counter() - began
+    return report, N_REQUESTS / elapsed
+
+
+def test_disabled_observer_rate_floor(benchmark, save_text):
+    from repro.obs import Observer
+
+    # No sinks: resolve_observer() normalizes this to None inside the
+    # engine, so the run measures exactly the disabled-path guards.
+    report, rate = benchmark.pedantic(
+        lambda: run_observed_overload(Observer()), rounds=1, iterations=1)
+    save_text(
+        "engine_perf_obs_disabled",
+        f"simulated {N_REQUESTS} requests with a disabled observer at "
+        f"{rate:,.0f} req/s (floor {OBS_DISABLED_FLOOR_RPS:,.0f})",
+    )
+    assert report.n_requests == N_REQUESTS
+    assert rate >= OBS_DISABLED_FLOOR_RPS, (
+        f"disabled-observer run simulated only {rate:,.0f} req/s "
+        f"(floor {OBS_DISABLED_FLOOR_RPS:,.0f}) — the is-not-None guards "
+        f"have grown into real hot-path work"
+    )
+
+
+def test_full_tracing_rate_floor(benchmark, save_text):
+    from repro.obs import FlightRecorder, MetricsRegistry, Observer, Tracer
+
+    def run():
+        return run_observed_overload(Observer(
+            tracer=Tracer(capacity=65536, sample=1.0),
+            metrics=MetricsRegistry(),
+            flight=FlightRecorder(),
+        ))
+
+    report, rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_text(
+        "engine_perf_obs_enabled",
+        f"simulated {N_REQUESTS} fully traced requests at {rate:,.0f} "
+        f"req/s (floor {OBS_ENABLED_FLOOR_RPS:,.0f})",
+    )
+    assert report.n_requests == N_REQUESTS
+    assert rate >= OBS_ENABLED_FLOOR_RPS, (
+        f"fully traced run simulated only {rate:,.0f} req/s "
+        f"(floor {OBS_ENABLED_FLOOR_RPS:,.0f}) — tracing overhead has "
+        f"left the deque-append-and-increment budget"
+    )

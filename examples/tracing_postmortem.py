@@ -1,0 +1,109 @@
+"""Tracing post-mortem walkthrough: a bursty shed storm under a full
+observer, from live telemetry to a Perfetto-loadable artifact.
+
+Run:  python examples/tracing_postmortem.py [n_requests]
+
+The scenario is an undersized two-chip fleet hit by bursty traffic hot
+enough that `slo-shed` admission refuses a chunk of the offered load.
+The run is instrumented with all three observability sinks:
+
+1. **Tracer** — every hop of every sampled request (arrival, verdict,
+   batch, completion) plus all fleet-scope events (batch spans per
+   chip, compile spans per worker, preemptions, scale actions) into a
+   bounded ring buffer;
+2. **Metrics registry** — counters, gauges, and streaming P² latency
+   quantiles, snapshotted on a simulated-time cadence;
+3. **Flight recorder** — armed for shed bursts and SLO dips; each
+   trigger freezes the recent trace history into a post-mortem dump.
+
+The script then plays the operator: it prints the `repro trace`-style
+rollup, walks the flight dumps, and writes `postmortem.trace.json` —
+open that file in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing and you can watch the burst arrive, the queue back
+up, and the shed storm begin, track by track.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Observer,
+    Tracer,
+    chrome_trace,
+    save_chrome_trace,
+    summarize_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.serve import (
+    PipelineBatcher,
+    ServeCluster,
+    TraceCache,
+    format_service_report,
+    generate_traffic,
+    make_admission_policy,
+    simulate_service,
+)
+
+
+def main(n_requests: int = 150) -> None:
+    trace = generate_traffic(
+        "bursty", n_requests=n_requests, rate_rps=400.0, seed=0,
+        scenes=("lego", "room"), pipelines=("hashgrid", "gaussian", "mesh"),
+        resolution=(320, 180), slo_s=0.05,
+    )
+
+    observer = Observer(
+        tracer=Tracer(capacity=65536, sample=1.0),
+        metrics=MetricsRegistry(),
+        flight=FlightRecorder(),
+    )
+    report = simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64),
+        batcher=PipelineBatcher(max_batch=8),
+        admission=make_admission_policy("slo-shed"),
+        compile_workers=2,
+        observer=observer,
+    )
+
+    print("=== the storm, as the report tells it ===")
+    print(format_service_report(report))
+
+    print("\n=== the storm, as the trace tells it ===")
+    exported = chrome_trace(observer.tracer, metrics=observer.metrics)
+    validate_chrome_trace(exported)
+    print(summarize_chrome_trace(exported))
+
+    print("\n=== the post-mortem: flight dumps ===")
+    flight = observer.flight
+    if not flight.dumps:
+        print("no triggers fired (raise the rate or tighten the SLO)")
+    for dump in flight.dumps:
+        print(f"dump at t={dump['t_s'] * 1e3:8.2f} ms — {dump['reason']}")
+        print(f"  froze the last {dump['n_events']} events; "
+              f"tail of the story:")
+        for event in dump["events"][-5:]:
+            args = event.get("args") or {}
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(args.items()))
+            print(f"    {event['ts_s'] * 1e3:8.3f} ms  "
+                  f"{event['name']:<14s} [{detail}]")
+        metrics = dump["metrics"]
+        if metrics:
+            print(f"  metrics at the freeze: "
+                  f"{metrics.get('engine.arrivals', 0):.0f} arrivals, "
+                  f"{metrics.get('admission.slo-shed.shed', 0):.0f} shed, "
+                  f"p95 latency "
+                  f"{metrics.get('engine.latency_ms.p95', 0.0):.2f} ms")
+
+    path = save_chrome_trace(observer.tracer, "postmortem.trace.json",
+                             metrics=observer.metrics)
+    print(f"\nwrote {path} — load it in Perfetto (ui.perfetto.dev) or "
+          f"chrome://tracing,\nor run: python -m repro trace {path}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

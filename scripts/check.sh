@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # One-command verify: clean stale bytecode, run the tier-1 suite (with
-# the scheduler invariant suites called out explicitly, so they still
-# run if testpaths ever change), pin the event-engine perf-smoke floors
-# (single-tenant, the multi-tenant QoS path, and both autoscaler
-# modes), then smoke-run the serving CLI end to end — static fleet,
-# autoscaled heterogeneous fleet with admission, async compile with
-# prefetch, a two-tenant QoS run with weighted admission and
-# preemption, and a predictive-autoscaling run that round-trips a
-# trace library through a temp dir (the second invocation must
-# warm-start from what the first one flushed).
+# the scheduler invariant and observability suites called out
+# explicitly, so they still run if testpaths ever change), pin the
+# event-engine perf-smoke floors (single-tenant, the multi-tenant QoS
+# path, both autoscaler modes, and the observer on/off floors), then
+# smoke-run the serving CLI end to end — static fleet, autoscaled
+# heterogeneous fleet with admission, async compile with prefetch, a
+# two-tenant QoS run with weighted admission and preemption, a
+# predictive-autoscaling run that round-trips a trace library through
+# a temp dir (the second invocation must warm-start from what the
+# first one flushed), and an observability run whose --trace-out
+# artifact must schema-validate and summarize.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +21,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q
 python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py \
   tests/test_serve_predictive.py
+python -m pytest -q tests/test_obs_tracer.py tests/test_obs_metrics.py \
+  tests/test_obs_export.py tests/test_obs_flight.py tests/test_obs_neutrality.py
 python -m pytest -q benchmarks/test_engine_perf.py
 python -m repro serve --requests 50 --chips 2 --width 320 --height 180
 python -m repro serve --requests 40 --chips 3 --min-chips 1 \
@@ -43,3 +47,19 @@ python -m repro serve --requests 40 --chips 3 --min-chips 1 \
   --trace-library "$LIBDIR/traces.json" --autoscale predictive \
   > "$LIBDIR/restart.txt"
 grep -Eq "hits, [1-9][0-9]* warm-started" "$LIBDIR/restart.txt"
+
+# Observability: full-sink serve run, then schema-validate the Chrome
+# trace artifact and summarize it through the `repro trace` command.
+python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
+  --traffic bursty --rate 300 --admission slo-shed \
+  --trace-out "$LIBDIR/serve.trace.json" \
+  --metrics-out "$LIBDIR/metrics.csv" --flight-recorder
+python - "$LIBDIR/serve.trace.json" <<'PY'
+import sys
+from repro.obs import load_chrome_trace, validate_chrome_trace
+n = validate_chrome_trace(load_chrome_trace(sys.argv[1]))
+print(f"trace artifact schema-valid: {n} events")
+PY
+python -m repro trace "$LIBDIR/serve.trace.json" > "$LIBDIR/trace_summary.txt"
+grep -q "trace events" "$LIBDIR/trace_summary.txt"
+head -1 "$LIBDIR/metrics.csv" | grep -q '^t_s,'

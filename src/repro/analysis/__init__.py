@@ -47,6 +47,7 @@ from repro.analysis.serving import (
     serving_summary,
     tenant_summary,
 )
+from repro.analysis.observability import observability_summary
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
 __all__ = [
@@ -81,6 +82,7 @@ __all__ = [
     "engine_summary",
     "predictive_summary",
     "tenant_summary",
+    "observability_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

@@ -13,6 +13,7 @@ from repro.analysis.figures import (
     figure16_speedup_energy,
     figure17_hybrid,
 )
+from repro.analysis.observability import observability_summary
 from repro.analysis.scaling_scenes import scene_scaling_study
 from repro.analysis.serving import (elastic_summary, engine_summary,
                                     predictive_summary, serving_summary,
@@ -59,6 +60,8 @@ ALL_EXPERIMENTS = {
     "ext_predictive": ("Extension — predictive serving: forecast-led "
                        "autoscaling and trace-library warm starts",
                        predictive_summary),
+    "ext_obs": ("Extension — flight recorder & fleet telemetry",
+                observability_summary),
 }
 
 

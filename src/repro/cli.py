@@ -1,10 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``render``   — build a representation and render a probe frame.
 * ``simulate`` — compile a frame and run the accelerator model.
 * ``serve``    — run the multi-chip rendering service on synthetic load.
+* ``trace``    — summarize a ``serve --trace-out`` artifact.
 * ``report``   — regenerate the paper's tables and figures.
 """
 
@@ -119,6 +120,24 @@ def _cmd_serve(args) -> int:
             return None
         return TraceLibrary.from_dict(json.loads(initial_library))
 
+    # Observability sinks ride on the *primary* run only (the static
+    # fleet under the first policy) — comparison and autoscaled runs
+    # stay untraced so their reports cost nothing extra and the trace
+    # artifact describes exactly one schedule. ``--flight-recorder``
+    # implies a tracer: a dump with no frozen events is useless.
+    observer = None
+    if args.trace_out or args.metrics_out or args.flight_recorder:
+        from repro.obs import FlightRecorder, MetricsRegistry, Observer, Tracer
+
+        observer = Observer(
+            tracer=(Tracer(capacity=args.trace_capacity,
+                           sample=args.trace_sample)
+                    if args.trace_out or args.flight_recorder else None),
+            metrics=(MetricsRegistry()
+                     if args.trace_out or args.metrics_out else None),
+            flight=FlightRecorder() if args.flight_recorder else None,
+        )
+
     policies = sorted(SHARDING_POLICIES) if args.compare_policies else [args.policy]
     for index, policy in enumerate(policies):
         # Fresh cache/batcher per run so comparisons stay apples-to-apples.
@@ -134,6 +153,7 @@ def _cmd_serve(args) -> int:
             prefetch=args.prefetch,
             preempt=args.preempt,
             trace_library=library,
+            observer=observer if index == 0 else None,
         )
         print(format_service_report(static))
         if library is not None:
@@ -186,6 +206,38 @@ def _cmd_serve(args) -> int:
             )
         if len(policies) > 1:
             print()
+
+    if observer is not None:
+        from pathlib import Path
+
+        from repro.obs import save_chrome_trace, save_metrics
+
+        if args.trace_out:
+            tracer = observer.tracer
+            path = save_chrome_trace(tracer, args.trace_out,
+                                     metrics=observer.metrics)
+            print(f"trace             {tracer.recorded:10d} events "
+                  f"({tracer.dropped} dropped) -> {path}")
+        if args.metrics_out:
+            path = save_metrics(observer.metrics, args.metrics_out)
+            rows = len(observer.metrics.timeline)
+            print(f"metrics           {rows:10d} timeline rows -> {path}")
+        flight = observer.flight
+        if flight is not None:
+            if flight.dumps:
+                base = args.trace_out or args.metrics_out or "serve"
+                path = flight.save(Path(base).with_suffix(".flight.json"))
+                print(f"flight recorder   {len(flight.dumps):10d} dumps "
+                      f"({flight.n_triggers} triggers) -> {path}")
+            else:
+                print("flight recorder   armed, no dumps triggered")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_chrome_trace, summarize_chrome_trace
+
+    print(summarize_chrome_trace(load_chrome_trace(args.file)))
     return 0
 
 
@@ -308,7 +360,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "file = cold start) and flush updated trace "
                             "metadata back to it on shutdown, so a "
                             "restarted service skips the cold-miss storm")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON of the "
+                            "primary run (open it in Perfetto / "
+                            "chrome://tracing, or summarize it with "
+                            "'repro trace PATH')")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="R",
+                       help="fraction of requests whose lifecycle events "
+                            "are traced (deterministic per-request hash; "
+                            "fleet-scope events always trace)")
+    serve.add_argument("--trace-capacity", type=int, default=65536,
+                       metavar="N",
+                       help="tracer ring-buffer capacity; oldest events "
+                            "drop first")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics timeline of the primary "
+                            "run ('.csv' suffix for CSV, anything else "
+                            "for JSON)")
+    serve.add_argument("--flight-recorder", action="store_true",
+                       help="arm the flight recorder: on a shed burst or "
+                            "an SLO-attainment dip, freeze the recent "
+                            "trace history plus a metrics snapshot into "
+                            "a .flight.json artifact next to --trace-out")
     serve.set_defaults(fn=_cmd_serve)
+
+    trace = sub.add_parser("trace",
+                           help="summarize a 'serve --trace-out' artifact")
+    trace.add_argument("file", help="Chrome trace-event JSON written by "
+                                    "'repro serve --trace-out'")
+    trace.set_defaults(fn=_cmd_trace)
 
     report = sub.add_parser("report", help="regenerate paper experiments")
     report.add_argument("experiments", nargs="*",

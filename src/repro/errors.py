@@ -38,3 +38,8 @@ class UnsupportedPipelineError(ReproError):
 
 class SimulationError(ReproError):
     """The performance simulator reached an inconsistent state."""
+
+
+class ObsError(ReproError):
+    """An observability artifact (trace, metrics dump, flight-recorder
+    capture) was malformed or failed validation."""

@@ -1,0 +1,139 @@
+"""Flight recorder: freeze the recent past when the service degrades.
+
+The tracer's ring buffer always holds the last ``capacity`` events; the
+flight recorder decides *when that history is worth keeping*. Two
+triggers watch the live run:
+
+* **shed burst** — ``shed_burst`` refusals inside ``burst_window_s`` of
+  simulated time (an admission-control storm);
+* **SLO breach** — attainment over the last ``slo_window`` completions
+  falling below ``slo_floor`` (the service is serving, but late).
+
+When either fires, the recorder freezes the tracer's most recent
+``last_n`` events plus a full metrics snapshot into one *dump*: a
+self-contained post-mortem artifact that records what the fleet was
+doing in the moments before the incident, exportable as JSON (and each
+dump's events still load in Perfetto through the Chrome-trace
+exporter). ``cooldown_s`` of simulated time separates dumps so one
+sustained storm produces one dump per cooldown window, not one per
+shed; ``max_dumps`` bounds total memory.
+
+Triggers evaluate on simulated time and deterministic state only, so
+the same run always dumps at the same instants.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+class FlightRecorder:
+    """Trigger-driven freezer of the tracer's recent history."""
+
+    def __init__(
+        self,
+        last_n: int = 512,
+        shed_burst: int = 12,
+        burst_window_s: float = 0.05,
+        slo_window: int = 64,
+        slo_floor: float = 0.5,
+        cooldown_s: float = 0.2,
+        max_dumps: int = 8,
+    ) -> None:
+        if last_n < 1:
+            raise ConfigError("flight recorder must freeze >= 1 event")
+        if shed_burst < 1 or slo_window < 1:
+            raise ConfigError("flight-recorder trigger windows must be >= 1")
+        if burst_window_s <= 0 or cooldown_s < 0:
+            raise ConfigError("flight-recorder time constants must be positive")
+        if not 0.0 < slo_floor <= 1.0:
+            raise ConfigError("SLO floor must be in (0, 1]")
+        if max_dumps < 1:
+            raise ConfigError("flight recorder must keep >= 1 dump")
+        self.last_n = last_n
+        self.shed_burst = shed_burst
+        self.burst_window_s = burst_window_s
+        self.slo_window = slo_window
+        self.slo_floor = slo_floor
+        self.cooldown_s = cooldown_s
+        self.max_dumps = max_dumps
+        self._shed_at: deque[float] = deque(maxlen=shed_burst)
+        self._slo: deque[bool] = deque(maxlen=slo_window)
+        self._slo_met = 0
+        self._last_dump_s = float("-inf")
+        self.n_triggers = 0           # trigger conditions observed
+        self.dumps: list[dict] = []   # frozen artifacts (<= max_dumps kept)
+
+    # -- trigger intake -------------------------------------------------
+    def note_shed(self, t_s: float) -> Optional[str]:
+        """Record one refusal; returns a trigger reason when it fires."""
+        shed = self._shed_at
+        shed.append(t_s)
+        if (len(shed) == self.shed_burst
+                and t_s - shed[0] <= self.burst_window_s):
+            return (f"shed-burst: {self.shed_burst} refusals in "
+                    f"{(t_s - shed[0]) * 1e3:.2f} ms")
+        return None
+
+    def note_completion(self, t_s: float, slo_met: bool) -> Optional[str]:
+        """Record one completion; returns a trigger reason on breach."""
+        window = self._slo
+        if len(window) == self.slo_window:
+            self._slo_met -= window[0]
+        window.append(slo_met)
+        self._slo_met += slo_met
+        if len(window) == self.slo_window:
+            attainment = self._slo_met / self.slo_window
+            if attainment < self.slo_floor:
+                return (f"slo-breach: attainment {attainment:.3f} over last "
+                        f"{self.slo_window} completions "
+                        f"(floor {self.slo_floor:.3f})")
+        return None
+
+    # -- capture ---------------------------------------------------------
+    def capture(self, t_s: float, reason: str, tracer=None,
+                metrics=None) -> Optional[dict]:
+        """Freeze a dump unless still cooling down or out of slots."""
+        self.n_triggers += 1
+        if t_s - self._last_dump_s < self.cooldown_s:
+            return None
+        if len(self.dumps) >= self.max_dumps:
+            return None
+        from repro.obs.export import event_dicts
+
+        dump = {
+            "t_s": t_s,
+            "reason": reason,
+            "n_events": 0,
+            "events": [],
+            "metrics": {},
+        }
+        if tracer is not None:
+            events = tracer.tail(self.last_n)
+            dump["events"] = event_dicts(events)
+            dump["n_events"] = len(events)
+        if metrics is not None:
+            dump["metrics"] = metrics.flatten()
+        self.dumps.append(dump)
+        self._last_dump_s = t_s
+        return dump
+
+    # -- export -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "last_n": self.last_n,
+            "n_triggers": self.n_triggers,
+            "n_dumps": len(self.dumps),
+            "dumps": self.dumps,
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write every dump as one JSON artifact; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path

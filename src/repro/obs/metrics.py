@@ -1,0 +1,280 @@
+"""Counters, gauges, and streaming-quantile histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (the tracer being
+the event half): engine, autoscaler, admission policy, trace cache, and
+compile pool each publish named metrics into one
+:class:`MetricsRegistry`, and the registry can be *snapshotted* at any
+simulated instant — each snapshot is one flat ``{name: value}`` row of
+the metrics timeline the exporters turn into JSON/CSV for the
+``analysis/`` plotting path.
+
+Histograms use the P² algorithm (Jain & Chlamtac, CACM 1985): each
+tracked quantile keeps five markers — estimates of the quantile itself,
+its two flanking quantiles, and the sample extremes — adjusted with a
+piecewise-parabolic update per observation. Memory is O(1) per
+quantile and an observation costs a handful of float operations, so a
+million-request run can keep live latency percentiles without retaining
+a million latencies.
+
+Accuracy: on smooth unimodal distributions the P² estimate typically
+sits within ~1–2% of the exact percentile once a few hundred samples
+have arrived. The randomized suite in ``tests/test_obs_metrics.py``
+locks the documented ceiling — estimate within **5% of the sample's
+interdecile range** of ``numpy.percentile`` (10% at the p99 tail,
+where the markers sit in the sparsest data) across seeds and
+distributions (uniform, lognormal, bimodal) at n >= 2000 — so a
+regression in the marker update shows up as a failed bound, not a
+silently wrong dashboard.
+
+Everything is deterministic: identical observation sequences produce
+identical marker states, so two seeded runs snapshot identically
+(also pinned in the test suite).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Optional
+
+from repro.errors import ConfigError, ObsError
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time numeric metric (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm."""
+
+    __slots__ = ("q", "_heights", "_pos", "_desired", "_inc", "n")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ConfigError("P2 quantile must be in (0, 1)")
+        self.q = q
+        self._heights: list[float] = []   # first 5 obs, then marker heights
+        self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._inc = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        h = self._heights
+        if self.n <= 5:
+            insort(h, x)
+            return
+
+        # Locate the cell and clamp the extremes.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+
+        pos = self._pos
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        desired = self._desired
+        inc = self._inc
+        for i in range(5):
+            desired[i] += inc[i]
+
+        # Adjust the three interior markers toward their desired
+        # positions with the piecewise-parabolic (P²) update.
+        for i in (1, 2, 3):
+            d = desired[i] - pos[i]
+            right = pos[i + 1] - pos[i]
+            left = pos[i - 1] - pos[i]
+            if (d >= 1.0 and right > 1.0) or (d <= -1.0 and left < -1.0):
+                step = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._pos
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._pos
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (NaN before any observation).
+
+        Below six observations the exact order statistic is returned
+        (linear interpolation over the sorted buffer, matching
+        ``numpy.percentile``'s default)."""
+        h = self._heights
+        if not h:
+            return float("nan")
+        if self.n <= 5:
+            rank = self.q * (len(h) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(h) - 1)
+            return h[lo] + (rank - lo) * (h[hi] - h[lo])
+        return h[2]
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max plus one
+    :class:`P2Quantile` estimator per tracked quantile."""
+
+    __slots__ = ("name", "quantiles", "_estimators", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)) -> None:
+        if not quantiles:
+            raise ConfigError("histogram needs at least one quantile")
+        self.name = name
+        self.quantiles = tuple(quantiles)
+        self._estimators = [P2Quantile(q) for q in self.quantiles]
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for estimator in self._estimators:
+            estimator.add(x)
+
+    def quantile(self, q: float) -> float:
+        """Current estimate of a *tracked* quantile."""
+        for estimator in self._estimators:
+            if estimator.q == q:
+                return estimator.value()
+        raise ObsError(
+            f"histogram {self.name!r} does not track q={q}; "
+            f"tracked: {self.quantiles}"
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+        for estimator in self._estimators:
+            label = f"p{estimator.q * 100:g}"
+            out[label] = estimator.value() if self.count else 0.0
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics plus the snapshot timeline they produce.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (idempotent,
+    so every component can resolve its instruments at bind time and pay
+    only an attribute access per event). :meth:`snapshot` flattens the
+    registry into one ``{name: value}`` row — histogram fields expand to
+    ``name.count`` / ``name.p50`` / ... — stamps it with the simulated
+    time, and appends it to :attr:`timeline`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self.timeline: list[dict] = []
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        return self._metrics.get(name)
+
+    def _register(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = kind(name, **kwargs)
+        elif not isinstance(metric, kind):
+            raise ConfigError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._register(name, Gauge)
+
+    def histogram(self, name: str,
+                  quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)
+                  ) -> Histogram:
+        return self._register(name, Histogram, quantiles=quantiles)
+
+    # -- snapshots ------------------------------------------------------
+    def flatten(self) -> dict:
+        """Current values as one flat, name-sorted dict."""
+        row: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for field, value in metric.snapshot().items():
+                    row[f"{name}.{field}"] = value
+            else:
+                row[name] = metric.value
+        return row
+
+    def snapshot(self, t_s: float) -> dict:
+        """Record (and return) the timeline row at simulated ``t_s``."""
+        row = {"t_s": t_s}
+        row.update(self.flatten())
+        self.timeline.append(row)
+        return row

@@ -1,0 +1,255 @@
+"""The Observer facade: one object the serve stack talks to.
+
+The engine, autoscaler, admission policy, trace cache, and compile pool
+never touch the tracer/metrics/flight-recorder directly — each
+instrumentation site calls one :class:`Observer` hook (``on_arrival``,
+``on_batch``, ``on_scale``, ...). The observer fans the event out to
+whichever sinks are attached: the ring-buffer tracer, the metrics
+registry, and the flight recorder.
+
+Cost discipline:
+
+* **Disabled** means *absent*: components hold ``obs = None`` and guard
+  every site with one ``is not None`` check, so an untraced run pays a
+  single pointer comparison per site — there is no "null observer
+  object" receiving calls on the hot path.
+  :func:`resolve_observer` normalizes ``None`` / disabled observers to
+  ``None`` at construction time so the engine only ever stores a live
+  observer or nothing.
+* **Enabled** hooks resolve their metric instruments once, in
+  ``__init__`` (bind-time resolution) — per event they increment
+  pre-resolved counters and append one tuple to the tracer's deque.
+
+Sampling is per *request*: :meth:`wants` answers once per request id
+(forwarded from the tracer's deterministic hash) and the engine keeps
+the verdict alongside the queued request, so a sampled request traces
+every hop and an unsampled one traces nothing. Fleet-scope events
+(batches, compiles, scale actions, preemptions) always trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Observer:
+    """Fan-out point for serve-stack instrumentation.
+
+    Any sink may be omitted: ``Observer(tracer=Tracer())`` traces
+    without metrics, ``Observer(metrics=MetricsRegistry())`` meters
+    without tracing. With no sinks at all the observer is *disabled*
+    (see :func:`resolve_observer`). ``snapshot_every_s`` sets the
+    metrics-timeline cadence, sampled on controller ticks.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+        snapshot_every_s: float = 0.01,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.flight = flight
+        self.snapshot_every_s = snapshot_every_s
+        self._next_snapshot_s = 0.0
+
+        m = metrics
+        self._m_arrivals = m.counter("engine.arrivals") if m is not None else None
+        self._m_responses = m.counter("engine.responses") if m is not None else None
+        self._m_slo_met = m.counter("engine.slo_met") if m is not None else None
+        self._m_batches = m.counter("engine.batches") if m is not None else None
+        self._m_preempt = m.counter("engine.preemptions") if m is not None else None
+        self._m_compiles = m.counter("engine.compiles") if m is not None else None
+        self._m_scale_up = m.counter("fleet.scale_up") if m is not None else None
+        self._m_scale_down = m.counter("fleet.scale_down") if m is not None else None
+        self._h_latency = m.histogram("engine.latency_ms") if m is not None else None
+        self._h_queue = m.histogram("engine.queue_ms") if m is not None else None
+        self._h_batch = m.histogram("engine.batch_size") if m is not None else None
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer is not None or self.metrics is not None
+                or self.flight is not None)
+
+    def wants(self, request_id: int) -> bool:
+        """Per-request sampling verdict (True when not tracing, so
+        metrics still see every request)."""
+        tracer = self.tracer
+        return tracer.wants(request_id) if tracer is not None else True
+
+    # -- request lifecycle ----------------------------------------------
+    def on_arrival(self, t_s: float, req, sampled: bool) -> None:
+        if self._m_arrivals is not None:
+            self._m_arrivals.inc()
+        if sampled and self.tracer is not None:
+            self.tracer.instant(
+                t_s, "arrival", "request", ("tier", req.tenant.tier),
+                {"request_id": req.request_id, "scene": req.scene,
+                 "pipeline": req.pipeline, "tenant": req.tenant.name})
+
+    def on_admit(self, t_s: float, req, verdict: str, sampled: bool) -> None:
+        """``verdict`` is "admit" or "degrade" (sheds go to
+        :meth:`on_shed`)."""
+        if sampled and self.tracer is not None:
+            self.tracer.instant(
+                t_s, verdict, "admission", ("tier", req.tenant.tier),
+                {"request_id": req.request_id})
+
+    def on_shed(self, t_s: float, req, sampled: bool) -> Optional[dict]:
+        """Record a refusal; returns a flight dump if one triggered."""
+        if sampled and self.tracer is not None:
+            self.tracer.instant(
+                t_s, "shed", "admission", ("tier", req.tenant.tier),
+                {"request_id": req.request_id, "tenant": req.tenant.name})
+        flight = self.flight
+        if flight is not None:
+            reason = flight.note_shed(t_s)
+            if reason is not None:
+                return self._capture(t_s, reason)
+        return None
+
+    def on_response(self, resp, sampled: bool) -> Optional[dict]:
+        """Record a completion; returns a flight dump if one triggered."""
+        if self._m_responses is not None:
+            self._m_responses.inc()
+            if resp.slo_met:
+                self._m_slo_met.inc()
+            self._h_latency.observe(resp.latency_s * 1e3)
+            self._h_queue.observe(resp.queue_s * 1e3)
+        if sampled and self.tracer is not None:
+            req = resp.request
+            self.tracer.instant(
+                resp.finish_s, "completion", "request",
+                ("tier", req.tenant.tier),
+                {"request_id": req.request_id, "chip": resp.chip_id,
+                 "latency_ms": round(resp.latency_s * 1e3, 4),
+                 "slo_met": resp.slo_met})
+        flight = self.flight
+        if flight is not None:
+            reason = flight.note_completion(resp.finish_s, resp.slo_met)
+            if reason is not None:
+                return self._capture(resp.finish_s, reason)
+        return None
+
+    # -- fleet-scope events (never sampled away) -------------------------
+    def on_batch(self, start_s: float, end_s: float, chip_id: int,
+                 batch_id: int, size: int, pipeline: str, tier: int) -> None:
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._h_batch.observe(size)
+        if self.tracer is not None:
+            self.tracer.span(
+                start_s, end_s, f"batch {pipeline}", "batch",
+                ("chip", chip_id),
+                {"batch_id": batch_id, "size": size, "tier": tier})
+
+    def on_preempt(self, t_s: float, chip_id: int, batch_id: int,
+                   size: int, by_tier: int) -> None:
+        if self._m_preempt is not None:
+            self._m_preempt.inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "preempt", "preempt", ("chip", chip_id),
+                {"batch_id": batch_id, "size": size, "by_tier": by_tier})
+
+    def on_compile(self, start_s: float, done_s: float, worker_id: int,
+                   pipeline: str, origin: str) -> None:
+        """One compile job occupying a worker (origin: "sync" /
+        "worker" / "prefetch")."""
+        if self._m_compiles is not None:
+            self._m_compiles.inc()
+        if self.tracer is not None:
+            self.tracer.span(
+                start_s, done_s, f"compile {pipeline}", "compile",
+                ("worker", worker_id), {"origin": origin})
+
+    def on_compile_sync(self, start_s: float, end_s: float, chip_id: int,
+                        pipeline: str) -> None:
+        """A synchronous compile stalling the dispatch path on a chip
+        (the ``compile_workers=0`` model: no worker track exists, so the
+        span lands on the chip that paid the stall)."""
+        if self._m_compiles is not None:
+            self._m_compiles.inc()
+        if self.tracer is not None:
+            self.tracer.span(
+                start_s, end_s, f"compile {pipeline}", "compile",
+                ("chip", chip_id), {"origin": "sync"})
+
+    def on_prefetch_issue(self, t_s: float, key) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "prefetch issue", "prefetch", ("fleet", 0),
+                {"scene": key[0], "pipeline": key[1]})
+
+    def on_prefetch_hit(self, t_s: float, key) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "prefetch hit", "prefetch", ("fleet", 0),
+                {"scene": key[0], "pipeline": key[1]})
+
+    def on_scale(self, t_s: float, action: str, delta: int,
+                 n_chips: int) -> None:
+        """A fleet flex: ``action`` is "scale_up" or "scale_down"."""
+        if self.metrics is not None:
+            (self._m_scale_up if action == "scale_up"
+             else self._m_scale_down).inc()
+            self.metrics.gauge("fleet.n_chips").set(n_chips)
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, action, "fleet", ("fleet", 0),
+                {"delta": delta, "n_chips": n_chips})
+
+    # -- cadence / teardown ----------------------------------------------
+    def maybe_snapshot(self, t_s: float) -> None:
+        """Append a metrics-timeline row if the cadence elapsed (called
+        on controller ticks)."""
+        if self.metrics is not None and t_s >= self._next_snapshot_s:
+            self.metrics.snapshot(t_s)
+            self._next_snapshot_s = t_s + self.snapshot_every_s
+
+    def finalize(self, end_s: float) -> None:
+        """Final timeline row at the end of the run."""
+        if self.metrics is not None:
+            self.metrics.snapshot(end_s)
+
+    def _capture(self, t_s: float, reason: str) -> Optional[dict]:
+        return self.flight.capture(
+            t_s, reason, tracer=self.tracer, metrics=self.metrics)
+
+
+def resolve_observer(observer: Optional[Observer]) -> Optional[Observer]:
+    """Normalize the engine's ``observer=`` argument: a disabled
+    observer (no sinks) becomes ``None`` so hot-path guards stay a
+    single pointer check."""
+    if observer is None or not observer.enabled:
+        return None
+    return observer
+
+
+def make_observer(
+    trace: bool = False,
+    metrics: bool = False,
+    flight: bool = False,
+    capacity: int = 65536,
+    sample: float = 1.0,
+    snapshot_every_s: float = 0.01,
+) -> Optional[Observer]:
+    """Convenience constructor used by the CLI: pick sinks by flag.
+
+    Returns ``None`` when every sink is off (so callers can pass the
+    result straight to ``ServeCluster(observer=...)``).
+    """
+    if not (trace or metrics or flight):
+        return None
+    return Observer(
+        tracer=Tracer(capacity=capacity, sample=sample) if trace else None,
+        metrics=MetricsRegistry() if metrics else None,
+        flight=FlightRecorder() if flight else None,
+        snapshot_every_s=snapshot_every_s,
+    )

@@ -1,0 +1,138 @@
+"""Ring-buffer event tracer: the flight data of one service run.
+
+The tracer records *typed events* — instants (an arrival, an admission
+verdict, a preemption, a fleet flex) and spans (a batch executing on a
+chip, a compile job occupying a worker) — into a bounded ring buffer.
+Memory is O(``capacity``): when the buffer is full the oldest event is
+dropped and counted, never silently lost, so a multi-hour simulated run
+always keeps its most recent history (exactly what the flight recorder
+needs for a post-mortem).
+
+Every event carries a *track*: a ``(group, index)`` pair that the
+Chrome-trace exporter maps onto one Perfetto row — ``("chip", 2)`` is
+chip 2's execution lane, ``("worker", 0)`` the first compile worker,
+``("tier", 1)`` the economy tenants' request stream, ``("fleet", 0)``
+the autoscaler/controller lane.
+
+Sampling bounds the *rate* the same way capacity bounds the *memory*:
+``sample=r`` keeps a deterministic pseudo-random fraction ``r`` of
+requests, chosen by a Knuth multiplicative hash of the request id so
+(1) the same run always traces the same requests and (2) a sampled
+request keeps *all* of its events — a partially traced request would
+export as a broken span chain. Fleet-scope events (scale actions,
+compile jobs, batch spans) are never sampled away; they are rare and
+carry the context the sampled request events hang off.
+
+All timestamps are simulated seconds. Recording never perturbs the
+simulation: the tracer only reads, so a run traced at ``sample=1.0``
+produces a byte-identical :class:`~repro.serve.metrics.ServiceReport`
+to the same run untraced (pinned in ``tests/test_obs_neutrality.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, NamedTuple, Optional
+
+from repro.errors import ConfigError
+
+#: Knuth's multiplicative hash constant (2^32 / golden ratio), used for
+#: the deterministic per-request sampling decision.
+_KNUTH = 2654435761
+_U32 = 1 << 32
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event. ``dur_s`` is ``None`` for instants."""
+
+    ts_s: float
+    dur_s: Optional[float]
+    name: str
+    cat: str
+    track: tuple[str, int]
+    args: Optional[dict]
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur_s is not None
+
+
+class Tracer:
+    """Bounded, drop-oldest recorder of typed service events.
+
+    ``capacity`` bounds resident events (drop-oldest beyond it);
+    ``sample`` in (0, 1] is the per-request keep fraction (see the
+    module docstring — fleet-scope events always record).
+    """
+
+    def __init__(self, capacity: int = 65536, sample: float = 1.0) -> None:
+        if capacity < 1:
+            raise ConfigError("tracer capacity must be >= 1 event")
+        if not 0.0 < sample <= 1.0:
+            raise ConfigError("tracer sample rate must be in (0, 1]")
+        self.capacity = capacity
+        self.sample = sample
+        self._threshold = _U32 if sample >= 1.0 else int(sample * _U32)
+        self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0   # lifetime events accepted (dropped included)
+        self.dropped = 0    # ring-buffer overwrites (oldest-first)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buf)
+
+    # -- sampling -------------------------------------------------------
+    def wants(self, request_id: int) -> bool:
+        """Deterministic sampling verdict for one request's events."""
+        if self._threshold >= _U32:
+            return True
+        return (request_id * _KNUTH) % _U32 < self._threshold
+
+    # -- recording ------------------------------------------------------
+    def instant(self, ts_s: float, name: str, cat: str,
+                track: tuple[str, int], args: Optional[dict] = None) -> None:
+        """Record a point-in-time event."""
+        buf = self._buf
+        if len(buf) == self.capacity:
+            self.dropped += 1
+        buf.append(TraceEvent(ts_s, None, name, cat, track, args))
+        self.recorded += 1
+
+    def span(self, start_s: float, end_s: float, name: str, cat: str,
+             track: tuple[str, int], args: Optional[dict] = None) -> None:
+        """Record an interval event (``end_s >= start_s``)."""
+        buf = self._buf
+        if len(buf) == self.capacity:
+            self.dropped += 1
+        buf.append(TraceEvent(
+            start_s, max(0.0, end_s - start_s), name, cat, track, args))
+        self.recorded += 1
+
+    # -- reading --------------------------------------------------------
+    def events(self) -> list[TraceEvent]:
+        """Resident events in recording order (oldest first)."""
+        return list(self._buf)
+
+    def tail(self, n: int) -> list[TraceEvent]:
+        """The most recent ``n`` resident events (the flight-recorder
+        freeze unit)."""
+        if n >= len(self._buf):
+            return list(self._buf)
+        buf = self._buf
+        return [buf[i] for i in range(len(buf) - n, len(buf))]
+
+    def clear(self) -> None:
+        """Drop resident events; lifetime counters are kept."""
+        self._buf.clear()
+
+    def to_dict(self) -> dict:
+        """Recording statistics (the ``repro trace`` header line)."""
+        return {
+            "capacity": self.capacity,
+            "sample": self.sample,
+            "resident": len(self._buf),
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+        }

@@ -96,6 +96,7 @@ from repro.serve.metrics import (
     ServiceReport,
     format_service_report,
     latency_percentile,
+    publish_report,
 )
 from repro.serve.scheduler import simulate_service
 from repro.core.config import CompileLatencyModel
@@ -147,6 +148,7 @@ __all__ = [
     "ServiceReport",
     "format_service_report",
     "latency_percentile",
+    "publish_report",
     "simulate_service",
     "generate_traffic",
     "generate_tenant_traffic",

@@ -70,6 +70,34 @@ class AdmissionPolicy:
     #: the engine budgets the queue against the tenant's weighted share
     #: of the fleet instead of the global backlog.
     tenant_aware = False
+    #: Observability mirrors (class attributes, since several subclasses
+    #: never call ``super().__init__``): resolved by :meth:`bind_metrics`,
+    #: ``None`` until then so the unobserved path costs nothing.
+    _m_admitted = None
+    _m_shed = None
+    _m_degraded = None
+
+    def bind_metrics(self, registry) -> None:
+        """Resolve this policy's verdict counters in an observability
+        registry (``admission.<name>.admitted`` / ``.shed`` /
+        ``.degraded``)."""
+        prefix = f"admission.{self.name}"
+        self._m_admitted = registry.counter(f"{prefix}.admitted")
+        self._m_shed = registry.counter(f"{prefix}.shed")
+        self._m_degraded = registry.counter(f"{prefix}.degraded")
+
+    def note_verdict(self, outcome: str) -> None:
+        """Count one verdict ("admitted" / "shed" / "degraded"); a
+        degraded request counts as admitted too — it was queued, just
+        rewritten. No-op until :meth:`bind_metrics` runs."""
+        if self._m_admitted is None:
+            return
+        if outcome == "shed":
+            self._m_shed.inc()
+            return
+        self._m_admitted.inc()
+        if outcome == "degraded":
+            self._m_degraded.inc()
 
     def admit(
         self,

@@ -77,6 +77,11 @@ class Autoscaler:
     #: Recognized controller modes.
     MODES = ("reactive", "predictive")
 
+    #: Optional :class:`repro.obs.observer.Observer` the engine attaches
+    #: when a run is instrumented; ``None`` keeps every action unobserved
+    #: at the cost of one pointer check per fleet flex (not per tick).
+    observer = None
+
     def __init__(
         self,
         min_chips: int = 1,
@@ -162,6 +167,20 @@ class Autoscaler:
         """Feed one completed request into the SLO window."""
         self._slo_samples.append((finish_s, slo_met))
         self._slo_met += slo_met
+
+    def record_shed(self, shed_at_s: float) -> None:
+        """Feed one admission refusal into the SLO window.
+
+        A shed is an SLO failure the queue never sees, and it enters the
+        window **immediately at its arrival stamp** — unlike served
+        requests, which the engine reveals only once their finish time
+        has passed (no clairvoyance). This asymmetry is deliberate: the
+        refusal itself is the controller's earliest evidence of
+        overload, and it happened *now*, so suppressing it until some
+        later completion would hide exactly the pressure that should
+        grow the fleet. Exactly one window sample per shed.
+        """
+        self.record_response(shed_at_s, slo_met=False)
 
     def record_arrival(self, arrival_s: float) -> None:
         """Feed one *offered* arrival into the forecast window (the
@@ -303,6 +322,8 @@ class Autoscaler:
             self.events.append(FleetEvent(
                 now, "add", chip.chip_id, chip.config.label, cluster.n_active
             ))
+            if self.observer is not None:
+                self.observer.on_scale(now, "scale_up", 1, cluster.n_active)
             return
 
         idle = [c for c in cluster.active_chips
@@ -341,6 +362,8 @@ class Autoscaler:
                 now, "retire", victim.chip_id, victim.config.label,
                 cluster.n_active,
             ))
+            if self.observer is not None:
+                self.observer.on_scale(now, "scale_down", -1, cluster.n_active)
 
 
 def make_elastic_autoscaler(

@@ -249,6 +249,7 @@ class ServeCluster:
         policy: str = "pipeline-affinity",
         configs: Sequence[AcceleratorConfig] | None = None,
         trace_library: object | None = None,
+        observer: object | None = None,
     ) -> None:
         if configs is not None and config is not None:
             raise ConfigError("pass either config (homogeneous) or configs")
@@ -271,6 +272,11 @@ class ServeCluster:
         #: to its JSON artifact): the engine warm-starts the trace
         #: cache from it and flushes updated metadata on shutdown.
         self.trace_library = trace_library
+        #: Optional :class:`repro.obs.observer.Observer`: the engine
+        #: picks it up (unless one is passed to it directly) and threads
+        #: tracing/metrics/flight recording through the run. ``None``
+        #: (or an observer with no sinks) records nothing.
+        self.observer = observer
         self.chips = [
             ChipState(i, UniRenderAccelerator(cfg))
             for i, cfg in enumerate(chip_configs)

@@ -81,11 +81,12 @@ import numpy as np
 from repro.core.config import AcceleratorConfig, CompileLatencyModel
 from repro.core.simulator import FrameResult, UniRenderAccelerator
 from repro.errors import ConfigError, SimulationError
+from repro.obs.observer import Observer, resolve_observer
 from repro.serve.admission import AdmissionPolicy, ShedRecord
 from repro.serve.autoscaler import Autoscaler
 from repro.serve.batcher import Batch, PipelineBatcher
 from repro.serve.cluster import ChipState, ServeCluster
-from repro.serve.metrics import ServiceReport
+from repro.serve.metrics import ServiceReport, publish_report
 from repro.serve.request import RenderRequest, RenderResponse, TraceKey
 from repro.serve.trace_cache import TraceCache
 from repro.serve.trace_library import TraceLibrary
@@ -150,6 +151,10 @@ class CompileWorkerPool:
         self.n_workers = n_workers
         self._free_at = [0.0] * n_workers
         self.stats = CompileWorkerStats()
+        # Placement of the most recent submit (worker index and start
+        # instant) — read by the engine's compile-span instrumentation.
+        self.last_worker = 0
+        self.last_start = 0.0
 
     def submit(self, now: float, latency_s: float, demand: bool) -> float:
         """Assign a compile job; returns its completion time."""
@@ -157,6 +162,8 @@ class CompileWorkerPool:
         start = max(now, self._free_at[worker])
         done = start + latency_s
         self._free_at[worker] = done
+        self.last_worker = worker
+        self.last_start = start
         self.stats.busy_s += latency_s
         if demand:
             self.stats.demand_jobs += 1
@@ -697,6 +704,7 @@ class EventEngine:
         prefetcher: Optional[TracePrefetcher] = None,
         preempt: bool = False,
         trace_library: "TraceLibrary | str | Path | None" = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         if not ordered:
@@ -749,6 +757,25 @@ class EventEngine:
             CompileWorkerPool(compile_workers) if self.async_compile else None
         )
         self.prefetcher = prefetcher
+
+        # -- observability (off by default) -----------------------------
+        # Disabled observers normalize to None, so every instrumentation
+        # site below costs exactly one pointer check when unobserved.
+        # Metric instruments bind *now* — before the library warm start,
+        # so cache.warmed counts warm installs too — and scale actions
+        # report through the autoscaler's own observer handle.
+        if observer is None:
+            observer = cluster.observer
+        self._obs = resolve_observer(observer)
+        if self._obs is not None:
+            metrics = self._obs.metrics
+            if metrics is not None:
+                self.cache.bind_metrics(metrics)
+                if admission is not None:
+                    admission.bind_metrics(metrics)
+                metrics.gauge("fleet.n_chips").set(len(cluster.chips))
+            if autoscaler is not None:
+                autoscaler.observer = self._obs
 
         # -- persistent trace library (warm start + shutdown flush) -----
         if trace_library is None:
@@ -846,6 +873,8 @@ class EventEngine:
         scaler.observe(now, self.cluster, queue_depth, reserved=self._staged,
                        est_service_s=self._svc_ewma or 0.0)
         self._watch_new_chips()
+        if self._obs is not None:
+            self._obs.maybe_snapshot(now)
 
     # -- readiness ------------------------------------------------------
     def _is_ready(self, request: RenderRequest) -> bool:
@@ -863,9 +892,13 @@ class EventEngine:
         wall = time.perf_counter() - began
         self._programs[key] = program
         latency = self.latency_model.latency_s(program)
-        done = self.pool.submit(now, latency, demand=demand)
+        pool = self.pool
+        done = pool.submit(now, latency, demand=demand)
         self._waiting_done_s[key] = done
         self._push(done, _COMPILE_DONE, (key, latency, wall))
+        if self._obs is not None:
+            self._obs.on_compile(pool.last_start, done, pool.last_worker,
+                                 key[1], "worker" if demand else "prefetch")
         return latency
 
     def _issue_prefetches(self, now: float) -> None:
@@ -888,6 +921,8 @@ class EventEngine:
             key = candidates[0]
             self._submit_compile(key, now, demand=False)
             prefetcher.note_issue(key)
+            if self._obs is not None:
+                self._obs.on_prefetch_issue(now, key)
 
     # -- arrival ingestion ----------------------------------------------
     def _project_wait(self, request: RenderRequest, at: float) -> float:
@@ -966,11 +1001,14 @@ class EventEngine:
             # Offered demand, pre-admission: the forecaster must see the
             # wave the admission policy is about to clip.
             self.autoscaler.record_arrival(request.arrival_s)
+        obs = self._obs
+        at = request.arrival_s
+        if obs is not None:
+            obs.on_arrival(at, request, obs.wants(request.request_id))
         admission = self.admission
         if admission is None:
             verdict = request
         else:
-            at = request.arrival_s
             if self._tenant_aware:
                 projected = self._project_wait_weighted(request, at)
             else:
@@ -983,13 +1021,21 @@ class EventEngine:
                 self._shed.append(
                     ShedRecord(request, at, admission.name, projected)
                 )
+                if obs is not None:
+                    admission.note_verdict("shed")
+                    obs.on_shed(at, request, obs.wants(request.request_id))
                 if self.autoscaler is not None:
                     # A shed is an SLO failure the queue never sees; feed
                     # it to the controller's window or admission control
                     # would suppress exactly the pressure that should
                     # grow the fleet.
-                    self.autoscaler.record_response(at, slo_met=False)
+                    self.autoscaler.record_shed(at)
                 return
+        if obs is not None and admission is not None:
+            degraded = verdict is not request
+            admission.note_verdict("degraded" if degraded else "admitted")
+            obs.on_admit(at, verdict, "degrade" if degraded else "admit",
+                         obs.wants(verdict.request_id))
 
         if self.async_compile:
             self._ingest_async(verdict, now)
@@ -1036,6 +1082,10 @@ class EventEngine:
             self._preempt_count[rid] = self._preempt_count.get(rid, 0) + 1
             self._displaced_from[rid] = victim.chip.chip_id
         self.n_preemptions += 1
+        if self._obs is not None:
+            self._obs.on_preempt(now, victim.chip.chip_id,
+                                 victim.batch.batch_id, len(members),
+                                 request.tenant.tier)
 
     def _ingest_async(self, verdict: RenderRequest, now: float) -> None:
         """Demand-side cache traffic: hit, join an in-flight compile, or
@@ -1050,6 +1100,8 @@ class EventEngine:
             if prefetcher is not None and prefetcher.is_unused(key):
                 prefetcher.note_use(key)
                 self._ingest_prefetched[verdict.request_id] = True
+                if self._obs is not None:
+                    self._obs.on_prefetch_hit(now, key)
             return
         self._ingest_hit[verdict.request_id] = False
         if key in self._waiting_done_s:
@@ -1057,6 +1109,8 @@ class EventEngine:
             if prefetcher is not None and prefetcher.is_unused(key):
                 prefetcher.note_use(key)
                 self._ingest_prefetched[verdict.request_id] = True
+                if self._obs is not None:
+                    self._obs.on_prefetch_hit(now, key)
         else:
             if prefetcher is not None:
                 prefetcher.note_demand_compile(key)
@@ -1078,6 +1132,7 @@ class EventEngine:
         responses = self._responses
         feed = self.autoscaler is not None
         est = self._est_by_pipeline
+        obs = self._obs
         t = start_s
         for request in batch.requests:
             key = request.trace_key
@@ -1152,6 +1207,11 @@ class EventEngine:
                 migrated=migrated,
             )
             responses.append(response)
+            if obs is not None:
+                if origin == "sync" and compile_wait > 0.0:
+                    obs.on_compile_sync(t, t + compile_wait, chip.chip_id,
+                                        request.pipeline)
+                obs.on_response(response, obs.wants(request.request_id))
             chip.requests_served += 1
             chip.frame_cycles += cycles
             chip.switch_cycles += switch
@@ -1181,6 +1241,10 @@ class EventEngine:
                 )
                 self._inflight_seq += 1
 
+        if obs is not None:
+            obs.on_batch(start_s, t, chip.chip_id, batch.batch_id,
+                         len(batch.requests), batch.pipeline,
+                         batch.requests[0].tenant.tier)
         chip.busy_s += t - start_s
         chip.free_at_s = t
         self._push(t, _CHIP_FREE, chip.chip_id)
@@ -1304,6 +1368,8 @@ class EventEngine:
                     self._controller_tick(now, pending.n_pending)
                 self._issue_prefetches(now)
             self._dispatch_all(now)
+            if self._obs is not None:
+                self._obs.maybe_snapshot(now)
             if (self.autoscaler is not None and pending.n_pending == 0
                     and events and events[0][0] > now
                     and self._tick_pushed_at != now):
@@ -1322,6 +1388,14 @@ class EventEngine:
                 f"event queue drained with {len(self._staged)} staged "
                 "batches never started (engine bug)"
             )
+        if self.autoscaler is not None:
+            # Drain completions that finished after the last controller
+            # tick so the window's accounting closes at exactly one
+            # sample per offered request. No scaling decision follows,
+            # so this never changes a schedule.
+            for finish_s, _seq, slo_met in sorted(self._inflight):
+                self.autoscaler.record_response(finish_s, slo_met)
+            self._inflight.clear()
         if not self._responses:
             raise SimulationError(
                 f"admission policy {self.admission.name!r} shed all "
@@ -1339,7 +1413,7 @@ class EventEngine:
             self.trace_library.absorb(self.cache, run_hits=run_hits)
             if self._library_path is not None:
                 self.trace_library.save(self._library_path)
-        return ServiceReport(
+        report = ServiceReport(
             policy=self.cluster.policy_name,
             responses=self._responses,
             chips=self.cluster.chips,
@@ -1358,6 +1432,15 @@ class EventEngine:
             preempt_enabled=self.preempt,
             n_preemption_events=self.n_preemptions,
         )
+        obs = self._obs
+        if obs is not None:
+            # Publish flows strictly report -> registry, never back:
+            # the report is built first and is byte-identical with or
+            # without an observer attached (pinned in the test suite).
+            if obs.metrics is not None:
+                publish_report(report, obs.metrics)
+            obs.finalize(report.end_s)
+        return report
 
     def _finish_compile(self, now: float, payload) -> None:
         key, latency, wall = payload

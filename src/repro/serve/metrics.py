@@ -359,6 +359,43 @@ class ServiceReport:
         }
 
 
+def publish_report(report: ServiceReport, registry) -> None:
+    """Fold a finished run's headline figures into an observability
+    registry (see :mod:`repro.obs.metrics`).
+
+    Called by the event engine *after* the :class:`ServiceReport` is
+    fully built, so data flows strictly report -> registry: attaching an
+    observer can never change the report itself. Everything lands as a
+    gauge — these are end-of-run summaries, not streaming series — plus
+    the compile/prefetch stat dicts flattened under their own prefixes.
+    """
+    gauge = registry.gauge
+    gauge("report.n_requests").set(report.n_requests)
+    gauge("report.n_offered").set(report.n_offered)
+    gauge("report.n_shed").set(report.n_shed)
+    gauge("report.n_degraded").set(report.n_degraded)
+    gauge("report.shed_rate").set(report.shed_rate)
+    gauge("report.makespan_s").set(report.makespan_s)
+    gauge("report.throughput_rps").set(report.throughput_rps)
+    gauge("report.latency_p50_ms").set(report.latency_p(50) * 1e3)
+    gauge("report.latency_p95_ms").set(report.latency_p(95) * 1e3)
+    gauge("report.latency_p99_ms").set(report.latency_p(99) * 1e3)
+    gauge("report.slo_attainment").set(report.slo_attainment)
+    gauge("report.goodput_slo_attainment").set(report.goodput_slo_attainment)
+    gauge("report.mean_batch_size").set(report.mean_batch_size)
+    gauge("report.mean_utilization").set(report.mean_utilization)
+    gauge("report.energy_per_request_j").set(report.energy_per_request_j)
+    gauge("report.total_cost_units").set(report.total_cost_units)
+    gauge("report.peak_fleet_size").set(report.peak_fleet_size)
+    gauge("report.n_preemption_events").set(report.n_preemption_events)
+    for name, value in report.compile_stats.items():
+        if isinstance(value, (int, float)):
+            gauge(f"compile.{name}").set(value)
+    for name, value in report.prefetch_stats.items():
+        if isinstance(value, (int, float)):
+            gauge(f"prefetch.{name}").set(value)
+
+
 def format_service_report(report: ServiceReport) -> str:
     """Human-readable serving summary (the `repro serve` output)."""
     from repro.analysis.tables import format_table

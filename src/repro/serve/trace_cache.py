@@ -108,6 +108,22 @@ class TraceCache:
         #: Demand hits per key over this cache's lifetime — the signal
         #: the persistent trace library accumulates across runs.
         self.hits_by_key: dict[TraceKey, int] = {}
+        # Observability mirrors, resolved once by bind_metrics(); None
+        # keeps the unobserved hot path at a single pointer check.
+        self._m_hits = None
+        self._m_misses = None
+        self._m_evictions = None
+        self._m_warmed = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror hit/miss/eviction/warm counters into an observability
+        registry (see :mod:`repro.obs.metrics`). Idempotent; binding
+        must happen before any warm start so ``cache.warmed`` counts
+        library installs too."""
+        self._m_hits = registry.counter("cache.hits")
+        self._m_misses = registry.counter("cache.misses")
+        self._m_evictions = registry.counter("cache.evictions")
+        self._m_warmed = registry.counter("cache.warmed")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -134,6 +150,8 @@ class TraceCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self.hits_by_key[key] = self.hits_by_key.get(key, 0) + 1
             self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
             return self._entries[key], True
@@ -144,6 +162,8 @@ class TraceCache:
         sim = (self.latency_model.latency_s(program)
                if self.latency_model is not None else 0.0)
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         self._account_compile(key, sim, wall)
         self._admit(key, program)
         return program, False
@@ -156,10 +176,14 @@ class TraceCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             self.hits_by_key[key] = self.hits_by_key.get(key, 0) + 1
             self.stats.compile_s_saved += self._compile_cost_s.get(key, 0.0)
             return self._entries[key]
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         return None
 
     def insert(
@@ -189,6 +213,8 @@ class TraceCache:
         """
         self._compile_cost_s[key] = sim_cost_s
         self.stats.warmed += 1
+        if self._m_warmed is not None:
+            self._m_warmed.inc()
         self._admit(key, program)
 
     def touch(self, key: TraceKey) -> None:
@@ -213,6 +239,8 @@ class TraceCache:
                 evicted, _ = self._entries.popitem(last=False)
                 self._compile_cost_s.pop(evicted, None)
                 self.stats.evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
 
     def clear(self) -> None:
         """Drop entries and cost records; counters are kept."""

@@ -182,3 +182,88 @@ class TestEngineServeFlags:
                      "--scenes", "lego", "--pipelines", "hashgrid"])
         assert code == 2
         assert "--compile-workers" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_obs_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.trace_out is None
+        assert args.trace_sample == 1.0
+        assert args.trace_capacity == 65536
+        assert args.metrics_out is None
+        assert args.flight_recorder is False
+
+    def test_trace_out_writes_schema_valid_artifact(self, tmp_path, capsys):
+        from repro.obs import load_chrome_trace, validate_chrome_trace
+
+        out_path = tmp_path / "serve.trace.json"
+        code = main(["serve", "--chips", "2", "--requests", "20",
+                     "--traffic", "bursty", "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid,gaussian",
+                     "--trace-out", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace" in out and str(out_path) in out
+        assert validate_chrome_trace(load_chrome_trace(out_path)) > 0
+
+    def test_trace_subcommand_summarizes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.trace.json"
+        assert main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--trace-out", str(out_path)]) == 0
+        capsys.readouterr()
+        code = main(["trace", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace events" in out
+        assert "recorder:" in out
+
+    def test_trace_subcommand_missing_file_is_clean_error(self, capsys):
+        code = main(["trace", "/nonexistent/trace.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_out_writes_csv_timeline(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.csv"
+        code = main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--metrics-out", str(out_path)])
+        assert code == 0
+        assert "metrics" in capsys.readouterr().out
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("t_s,")
+        assert "engine.arrivals" in header
+
+    def test_flight_recorder_reports_armed_state(self, capsys):
+        # A gentle run: armed, but nothing should trigger.
+        code = main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--flight-recorder"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flight recorder" in out
+
+    def test_comparison_runs_stay_untraced(self, tmp_path, capsys):
+        # --compare-policies: the artifact must describe exactly the
+        # first (primary) policy's schedule, not an accumulation.
+        from repro.obs import load_chrome_trace
+
+        solo_path = tmp_path / "solo.json"
+        assert main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--policy", "cost-aware",
+                     "--trace-out", str(solo_path)]) == 0
+        compare_path = tmp_path / "compare.json"
+        assert main(["serve", "--chips", "2", "--requests", "12",
+                     "--width", "64", "--height", "64",
+                     "--scenes", "lego", "--pipelines", "hashgrid",
+                     "--compare-policies",
+                     "--trace-out", str(compare_path)]) == 0
+        capsys.readouterr()
+        solo = load_chrome_trace(solo_path)["otherData"]["recorded"]
+        compared = load_chrome_trace(compare_path)["otherData"]["recorded"]
+        assert solo == compared

@@ -1,0 +1,95 @@
+"""Flight recorder: triggers, cooldown, and frozen dump artifacts."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer
+
+
+def loaded_tracer(n=40):
+    tracer = Tracer()
+    for i in range(n):
+        tracer.instant(i * 0.001, f"e{i}", "test", ("fleet", 0))
+    return tracer
+
+
+class TestTriggers:
+    def test_shed_burst_fires_inside_window(self):
+        rec = FlightRecorder(shed_burst=3, burst_window_s=0.010)
+        assert rec.note_shed(0.000) is None
+        assert rec.note_shed(0.004) is None
+        reason = rec.note_shed(0.008)
+        assert reason is not None and "shed-burst" in reason
+
+    def test_slow_trickle_of_sheds_never_fires(self):
+        rec = FlightRecorder(shed_burst=3, burst_window_s=0.010)
+        assert all(rec.note_shed(i * 1.0) is None for i in range(20))
+
+    def test_slo_breach_fires_when_window_dips(self):
+        rec = FlightRecorder(slo_window=10, slo_floor=0.5)
+        for i in range(10):
+            assert rec.note_completion(i * 0.01, True) is None
+        reasons = [rec.note_completion(1.0 + i * 0.01, False)
+                   for i in range(10)]
+        fired = [r for r in reasons if r is not None]
+        assert fired and "slo-breach" in fired[0]
+
+    def test_slo_window_needs_to_fill_first(self):
+        rec = FlightRecorder(slo_window=50, slo_floor=0.9)
+        # 10 straight misses, but the window is not full yet.
+        assert all(rec.note_completion(i * 0.01, False) is None
+                   for i in range(10))
+
+
+class TestCapture:
+    def test_dump_freezes_tail_and_metrics(self):
+        rec = FlightRecorder(last_n=8)
+        reg = MetricsRegistry()
+        reg.counter("n").inc(5)
+        dump = rec.capture(1.0, "test-trigger", tracer=loaded_tracer(),
+                           metrics=reg)
+        assert dump["reason"] == "test-trigger"
+        assert dump["n_events"] == 8
+        assert [e["name"] for e in dump["events"]][-1] == "e39"
+        assert dump["metrics"]["n"] == 5
+
+    def test_cooldown_suppresses_back_to_back_dumps(self):
+        rec = FlightRecorder(cooldown_s=0.2)
+        assert rec.capture(1.0, "a") is not None
+        assert rec.capture(1.1, "b") is None          # still cooling
+        assert rec.capture(1.3, "c") is not None      # cooled down
+        assert [d["reason"] for d in rec.dumps] == ["a", "c"]
+        assert rec.n_triggers == 3
+
+    def test_max_dumps_bounds_memory(self):
+        rec = FlightRecorder(cooldown_s=0.0, max_dumps=2)
+        for i in range(5):
+            rec.capture(float(i), f"r{i}")
+        assert len(rec.dumps) == 2
+
+    def test_save_writes_json_artifact(self, tmp_path):
+        rec = FlightRecorder()
+        rec.capture(1.0, "boom", tracer=loaded_tracer(4))
+        path = rec.save(tmp_path / "dump.flight.json")
+        obj = json.loads(path.read_text())
+        assert obj["n_dumps"] == 1
+        assert obj["dumps"][0]["reason"] == "boom"
+        assert len(obj["dumps"][0]["events"]) == 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"last_n": 0},
+        {"shed_burst": 0},
+        {"slo_window": 0},
+        {"burst_window_s": 0.0},
+        {"cooldown_s": -1.0},
+        {"slo_floor": 0.0},
+        {"slo_floor": 1.5},
+        {"max_dumps": 0},
+    ])
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(ConfigError):
+            FlightRecorder(**kwargs)

@@ -1,0 +1,135 @@
+"""Observer neutrality: instrumentation must never move a number.
+
+Every scenario here runs twice — bare, and under a full observer
+(tracer + metrics + flight recorder, sample 1.0) — and asserts the two
+``ServiceReport.to_dict()`` payloads are *byte-identical* once
+serialized. The frozen golden scenarios double as the fixture: if an
+observer hook ever perturbs admission, batching, dispatch, compile
+scheduling, or autoscaling, the goldens themselves would catch the
+drift in absolute terms and this suite pinpoints the observer as the
+cause.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, MetricsRegistry, Observer, Tracer
+from repro.serve import (
+    Autoscaler,
+    PipelineBatcher,
+    ServeCluster,
+    TraceCache,
+    generate_traffic,
+    make_admission_policy,
+    simulate_service,
+)
+from tests.test_serve_golden import stub_program
+
+
+def full_observer(sample=1.0):
+    return Observer(
+        tracer=Tracer(sample=sample),
+        metrics=MetricsRegistry(),
+        flight=FlightRecorder(),
+    )
+
+
+def serialized(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def golden_run(pattern, policy, observer=None):
+    # Mirrors tests/test_serve_golden.py::run_scenario plus the observer.
+    trace = generate_traffic(pattern=pattern, n_requests=60, rate_rps=12000.0,
+                             seed=42, resolution=(64, 64), slo_s=0.0005)
+    return simulate_service(
+        trace,
+        ServeCluster(3, policy=policy),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        observer=observer,
+    )
+
+
+class TestGoldenScenarioNeutrality:
+    @pytest.mark.parametrize("pattern", ["steady", "bursty"])
+    @pytest.mark.parametrize("policy", ["round-robin", "pipeline-affinity",
+                                        "cost-aware"])
+    def test_report_byte_identical_with_full_observer(self, pattern, policy):
+        bare = serialized(golden_run(pattern, policy))
+        observed = serialized(golden_run(pattern, policy, full_observer()))
+        assert bare == observed
+
+    def test_report_byte_identical_under_sampling(self):
+        bare = serialized(golden_run("bursty", "pipeline-affinity"))
+        observed = serialized(
+            golden_run("bursty", "pipeline-affinity", full_observer(0.25)))
+        assert bare == observed
+
+    def test_observer_via_cluster_is_equivalent(self):
+        direct = golden_run("bursty", "round-robin", full_observer())
+        trace = generate_traffic(pattern="bursty", n_requests=60,
+                                 rate_rps=12000.0, seed=42,
+                                 resolution=(64, 64), slo_s=0.0005)
+        via_cluster = simulate_service(
+            trace,
+            ServeCluster(3, policy="round-robin", observer=full_observer()),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+        )
+        assert serialized(direct) == serialized(via_cluster)
+
+
+class TestHardScenarioNeutrality:
+    """The paths with the most observer hooks: shed storms under an
+    autoscaler, and the async compile pool with prefetch."""
+
+    def run_elastic(self, observer=None):
+        trace = generate_traffic("bursty", n_requests=120, rate_rps=20000.0,
+                                 seed=7, resolution=(64, 64), slo_s=0.0005)
+        return simulate_service(
+            trace,
+            ServeCluster(1, policy="least-loaded"),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+            autoscaler=Autoscaler(min_chips=1, max_chips=4, window_s=0.005,
+                                  warmup_s=0.0005, cooldown_s=0.001),
+            admission=make_admission_policy("slo-shed"),
+            observer=observer,
+        )
+
+    def run_compile_pool(self, observer=None):
+        trace = generate_traffic("bursty", n_requests=120, rate_rps=20000.0,
+                                 seed=7, resolution=(64, 64), slo_s=0.0005)
+        return simulate_service(
+            trace,
+            ServeCluster(2),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+            compile_workers=2,
+            prefetch=True,
+            observer=observer,
+        )
+
+    def test_autoscaled_shed_storm_is_neutral(self):
+        bare = self.run_elastic()
+        observed = self.run_elastic(full_observer())
+        assert bare.n_shed > 0          # the storm actually happened
+        assert serialized(bare) == serialized(observed)
+
+    def test_compile_pool_with_prefetch_is_neutral(self):
+        bare = self.run_compile_pool()
+        observed = self.run_compile_pool(full_observer())
+        assert serialized(bare) == serialized(observed)
+
+    def test_sinkless_observer_resolves_to_nothing(self):
+        # Observer() with no sinks is the disabled path — identical by
+        # construction, asserted anyway as the contract.
+        bare = self.run_compile_pool()
+        observed = self.run_compile_pool(Observer())
+        assert serialized(bare) == serialized(observed)

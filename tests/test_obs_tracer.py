@@ -1,0 +1,84 @@
+"""Ring-buffer tracer: bounded memory, deterministic sampling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import TraceEvent, Tracer
+
+
+class TestRingBuffer:
+    def test_drop_oldest_under_pressure(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.instant(i * 0.1, f"e{i}", "test", ("fleet", 0))
+        events = tracer.events()
+        assert [e.name for e in events] == ["e6", "e7", "e8", "e9"]
+        assert tracer.recorded == 10
+        assert tracer.dropped == 6
+
+    def test_tail_returns_newest(self):
+        tracer = Tracer(capacity=16)
+        for i in range(8):
+            tracer.instant(i * 0.1, f"e{i}", "test", ("fleet", 0))
+        assert [e.name for e in tracer.tail(3)] == ["e5", "e6", "e7"]
+        assert len(tracer.tail(100)) == 8
+
+    def test_clear_drops_events_but_keeps_lifetime_counters(self):
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            tracer.instant(float(i), "e", "test", ("fleet", 0))
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.recorded == 6 and tracer.dropped == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            Tracer(capacity=0)
+
+
+class TestEvents:
+    def test_span_and_instant_shapes(self):
+        tracer = Tracer()
+        tracer.span(1.0, 1.5, "work", "batch", ("chip", 2), {"size": 3})
+        tracer.instant(2.0, "poke", "fleet", ("fleet", 0))
+        span, instant = tracer.events()
+        assert isinstance(span, TraceEvent)
+        assert span.is_span and span.dur_s == pytest.approx(0.5)
+        assert span.track == ("chip", 2) and span.args == {"size": 3}
+        assert not instant.is_span and instant.dur_s is None
+
+    def test_span_clamps_negative_duration(self):
+        tracer = Tracer()
+        tracer.span(2.0, 1.0, "clock-skew", "test", ("chip", 0))
+        assert tracer.events()[0].dur_s == 0.0
+
+    def test_to_dict_accounting(self):
+        tracer = Tracer(capacity=2, sample=0.5)
+        for i in range(5):
+            tracer.instant(float(i), "e", "test", ("fleet", 0))
+        d = tracer.to_dict()
+        assert d["capacity"] == 2 and d["sample"] == 0.5
+        assert d["recorded"] == 5 and d["dropped"] == 3
+        assert d["resident"] == 2
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_across_instances(self):
+        a, b = Tracer(sample=0.3), Tracer(sample=0.3)
+        ids = range(5000)
+        assert [a.wants(i) for i in ids] == [b.wants(i) for i in ids]
+
+    def test_sample_rate_roughly_honored(self):
+        tracer = Tracer(sample=0.3)
+        hits = sum(tracer.wants(i) for i in range(20000))
+        assert 0.25 < hits / 20000 < 0.35
+
+    def test_full_sampling_keeps_everything(self):
+        tracer = Tracer(sample=1.0)
+        assert all(tracer.wants(i) for i in range(1000))
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ConfigError):
+            Tracer(sample=0.0)
+        with pytest.raises(ConfigError):
+            Tracer(sample=1.5)

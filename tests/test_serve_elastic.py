@@ -220,3 +220,99 @@ class TestAdmissionPolicies:
     def test_downgrade_ladder_validation(self):
         with pytest.raises(ConfigError):
             Downgrade(ladder=("mesh",))
+
+
+class TestSloWindowSemantics:
+    """Locks the shed-path window semantics the engine relies on.
+
+    A refusal enters the controller's SLO window *immediately at its
+    arrival stamp* — the controller must see overload pressure the
+    instant admission starts refusing work. A served request enters at
+    its *finish time*, and only once simulated time has reached that
+    finish (the in-flight heap pops in the controller tick) — the
+    window never sees the future. Every offered request contributes
+    exactly one sample.
+    """
+
+    class SpyAutoscaler(Autoscaler):
+        def __init__(self, **kwargs):
+            super().__init__(**kwargs)
+            self.log = []   # ("shed"/"response", t_s, slo_met) + observes
+
+        def observe(self, now, cluster, queue_depth, **kwargs):
+            self.log.append(("observe", now, None))
+            return super().observe(now, cluster, queue_depth, **kwargs)
+
+        def record_shed(self, shed_at_s):
+            self.log.append(("shed", shed_at_s, False))
+            super().record_shed(shed_at_s)
+
+        def record_response(self, finish_s, slo_met):
+            self.log.append(("response", finish_s, slo_met))
+            super().record_response(finish_s, slo_met)
+
+    def run_spied_storm(self):
+        from repro.compile.workloads import gemm_workload
+        from repro.core.microops import MicroOp, MicroOpProgram
+        from repro.serve import (PipelineBatcher, TraceCache,
+                                 generate_traffic, simulate_service)
+
+        def program(pipeline):
+            p = MicroOpProgram(pipeline=pipeline, pixels=1024)
+            p.append(MicroOp.GEMM, "mlp",
+                     gemm_workload(macs=2e8, rows=1e3, in_width=32,
+                                   out_width=4, weight_bytes=1e4))
+            return p
+
+        spy = self.SpyAutoscaler(min_chips=1, max_chips=4, window_s=0.005,
+                                 warmup_s=0.0005, cooldown_s=0.001)
+        trace = generate_traffic("steady", n_requests=60, rate_rps=20000.0,
+                                 seed=0, resolution=(64, 64), slo_s=0.0005)
+        report = simulate_service(
+            trace,
+            ServeCluster(1, policy="least-loaded"),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: program(key[1])),
+            batcher=PipelineBatcher(),
+            autoscaler=spy,
+            admission=make_admission_policy("slo-shed"),
+        )
+        return report, spy
+
+    def test_exactly_one_window_sample_per_offered_request(self):
+        report, spy = self.run_spied_storm()
+        sheds = [t for kind, t, _ in spy.log if kind == "shed"]
+        # record_shed delegates to record_response, so the response
+        # entries cover every window sample: one per offered request.
+        samples = [(t, met) for kind, t, met in spy.log if kind == "response"]
+        assert report.n_shed > 0 and report.responses
+        assert len(samples) == report.n_offered
+        assert len(sheds) == report.n_shed
+
+    def test_sheds_enter_the_window_at_their_arrival_stamp(self):
+        report, spy = self.run_spied_storm()
+        shed_samples = sorted(t for kind, t, _ in spy.log if kind == "shed")
+        shed_stamps = sorted(record.shed_at_s for record in report.shed)
+        assert shed_samples == shed_stamps
+        arrival_stamps = sorted(record.request.arrival_s
+                                for record in report.shed)
+        assert shed_samples == arrival_stamps
+
+    def test_served_requests_enter_at_finish_and_never_early(self):
+        report, spy = self.run_spied_storm()
+        shed_stamps = {record.shed_at_s for record in report.shed}
+        served = [(t, met) for kind, t, met in spy.log
+                  if kind == "response" and t not in shed_stamps]
+        expected = sorted((r.finish_s, r.slo_met) for r in report.responses)
+        assert sorted(served) == expected
+        # No clairvoyance: a finish-time sample is recorded during the
+        # controller tick whose `now` has reached it — the very next
+        # observe() in the log must not be earlier than the sample.
+        for i, (kind, t, _met) in enumerate(spy.log):
+            if kind != "response" or t in shed_stamps:
+                continue
+            following = [n for k, n, _ in spy.log[i + 1:] if k == "observe"]
+            assert not following or following[0] >= t - 1e-12, (
+                f"finish-time sample {t} recorded before simulated time "
+                f"reached it (next tick at {following[0]})"
+            )
