@@ -273,3 +273,62 @@ def test_full_tracing_rate_floor(benchmark, save_text):
         f"(floor {OBS_ENABLED_FLOOR_RPS:,.0f}) — tracing overhead has "
         f"left the deque-append-and-increment budget"
     )
+
+
+# ----------------------------------------------------------------------
+# Chaos path: a fault plan puts a crash probe, a straggler-window
+# lookup, and a speed-EWMA update on every dispatched frame, so fault
+# injection is hot-path code too. An active plan (two straggler windows
+# spanning the whole run plus one mid-run recoverable crash) must hold
+# >= 0.8x the bare floor — above that, the per-frame fault checks have
+# outgrown their dictionary-lookup budget.
+# ----------------------------------------------------------------------
+FAULT_FLOOR_RPS = FLOOR_RPS * 0.8
+
+
+def run_faulted_overload():
+    from repro.serve import ChipCrash, FaultPlan, StragglerWindow
+
+    trace = generate_traffic(
+        "bursty", n_requests=N_REQUESTS, rate_rps=60_000.0, seed=42,
+        resolution=(64, 64), slo_s=0.0005,
+    )
+    horizon = max(r.arrival_s for r in trace)
+    plan = FaultPlan(
+        crashes=[ChipCrash(0, horizon * 0.4, horizon * 0.1)],
+        stragglers=[StragglerWindow(0, 0.0, horizon, 1.5),
+                    StragglerWindow(1, 0.0, horizon, 2.0)],
+        rollback_s=0.0001,
+    )
+    began = time.perf_counter()
+    report = simulate_service(
+        trace,
+        ServeCluster(2),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        faults=plan,
+    )
+    elapsed = time.perf_counter() - began
+    return report, N_REQUESTS / elapsed
+
+
+def test_fault_injection_rate_floor(benchmark, save_text):
+    report, rate = benchmark.pedantic(run_faulted_overload, rounds=1,
+                                      iterations=1)
+    save_text(
+        "engine_perf_faults",
+        f"simulated {N_REQUESTS} requests under an active fault plan at "
+        f"{rate:,.0f} req/s (floor {FAULT_FLOOR_RPS:,.0f}); "
+        f"{report.fault_stats['n_crashes']} crashes, "
+        f"{report.fault_stats['n_requeued']} frames re-queued",
+    )
+    # The plan really engaged: the crash fired and stragglers dilated.
+    assert report.fault_stats["n_crashes"] == 1
+    assert report.fleet_availability < 1.0
+    # No more than 20% below the bare floor.
+    assert rate >= FAULT_FLOOR_RPS, (
+        f"faulted engine simulated only {rate:,.0f} req/s "
+        f"(floor {FAULT_FLOOR_RPS:,.0f}) — per-frame fault checks have "
+        f"regressed the hot path"
+    )

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
-# One-command verify: clean stale bytecode, run the tier-1 suite (with
-# the scheduler invariant and observability suites called out
-# explicitly, so they still run if testpaths ever change), pin the
-# event-engine perf-smoke floors (single-tenant, the multi-tenant QoS
-# path, both autoscaler modes, and the observer on/off floors), then
-# smoke-run the serving CLI end to end — static fleet, autoscaled
-# heterogeneous fleet with admission, async compile with prefetch, a
-# two-tenant QoS run with weighted admission and preemption, a
-# predictive-autoscaling run that round-trips a trace library through
-# a temp dir (the second invocation must warm-start from what the
-# first one flushed), and an observability run whose --trace-out
-# artifact must schema-validate and summarize.
+# One-command verify: clean stale bytecode, fail fast on collection
+# errors, run the tier-1 suite (with the scheduler invariant, chaos,
+# and observability suites called out explicitly, so they still run if
+# testpaths ever change), pin the event-engine perf-smoke floors
+# (single-tenant, the multi-tenant QoS path, both autoscaler modes,
+# the observer on/off floors, and the fault path), then smoke-run the
+# serving CLI end to end — static fleet, autoscaled heterogeneous
+# fleet with admission, async compile with prefetch, a two-tenant QoS
+# run with weighted admission and preemption, a chaos run with fault
+# injection and hedging, a predictive-autoscaling run that round-trips
+# a trace library through a temp dir (the second invocation must
+# warm-start from what the first one flushed), and an observability
+# run whose --trace-out artifact must schema-validate and summarize.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +19,12 @@ find . -type d -name __pycache__ -prune -exec rm -rf {} +
 find . -type f -name '*.pyc' -delete
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# Collection pre-step: a suite that cannot even import must fail the
+# run loudly here, not surface as a confusing mid-run pytest error.
+python -m pytest --co -q > /dev/null
 python -m pytest -x -q
 python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py \
-  tests/test_serve_predictive.py
+  tests/test_serve_predictive.py tests/test_serve_faults.py
 python -m pytest -q tests/test_obs_tracer.py tests/test_obs_metrics.py \
   tests/test_obs_export.py tests/test_obs_flight.py tests/test_obs_neutrality.py
 python -m pytest -q benchmarks/test_engine_perf.py
@@ -34,6 +38,18 @@ python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
   --traffic bursty --rate 300 \
   --tenants 'premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2' \
   --admission weighted --preempt
+
+# Chaos serving: literal fault spec (recoverable crash + straggler +
+# rollback) with hedging, and a seeded random plan; both must report
+# the fault scoreboard.
+python -m repro serve --requests 60 --chips 3 --width 160 --height 90 \
+  --traffic bursty --rate 300 \
+  --faults 'crash=1@0.02+0.05;slow=2@0.0-0.2x4;rollback=0.002' \
+  --hedge | grep "availability" > /dev/null
+python -m repro serve --requests 60 --chips 3 --width 160 --height 90 \
+  --traffic bursty --rate 300 \
+  --faults 'seeded:seed=7,chips=3,horizon=0.2,crashes=2,stragglers=2' \
+  | grep "crashes" > /dev/null
 
 # Predictive serving: trace-library round trip + forecast-led autoscaling.
 LIBDIR="$(mktemp -d)"

@@ -47,6 +47,7 @@ from repro.analysis.serving import (
     serving_summary,
     tenant_summary,
 )
+from repro.analysis.chaos import chaos_summary
 from repro.analysis.observability import observability_summary
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
@@ -83,6 +84,7 @@ __all__ = [
     "predictive_summary",
     "tenant_summary",
     "observability_summary",
+    "chaos_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

@@ -13,6 +13,7 @@ from repro.analysis.figures import (
     figure16_speedup_energy,
     figure17_hybrid,
 )
+from repro.analysis.chaos import chaos_summary
 from repro.analysis.observability import observability_summary
 from repro.analysis.scaling_scenes import scene_scaling_study
 from repro.analysis.serving import (elastic_summary, engine_summary,
@@ -62,6 +63,8 @@ ALL_EXPERIMENTS = {
                        predictive_summary),
     "ext_obs": ("Extension — flight recorder & fleet telemetry",
                 observability_summary),
+    "ext_chaos": ("Extension — chaos serving: faults, stragglers, hedging",
+                  chaos_summary),
 }
 
 

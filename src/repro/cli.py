@@ -56,6 +56,7 @@ def _cmd_serve(args) -> int:
     from repro.core.config import AcceleratorConfig, CompileLatencyModel
     from repro.errors import ConfigError
     from repro.serve import (
+        FaultPlan,
         PipelineBatcher,
         make_elastic_autoscaler,
         ServeCluster,
@@ -93,6 +94,7 @@ def _cmd_serve(args) -> int:
         trace = generate_tenant_traffic(args.tenants, **traffic_kwargs)
     else:
         trace = generate_traffic(**traffic_kwargs)
+    faults = FaultPlan.parse(args.faults) if args.faults else None
 
     def admission():
         if args.admission == "admit-all":
@@ -154,6 +156,8 @@ def _cmd_serve(args) -> int:
             preempt=args.preempt,
             trace_library=library,
             observer=observer if index == 0 else None,
+            faults=faults,
+            hedge=args.hedge,
         )
         print(format_service_report(static))
         if library is not None:
@@ -191,6 +195,8 @@ def _cmd_serve(args) -> int:
                 prefetch=args.prefetch,
                 preempt=args.preempt,
                 trace_library=fresh_library(),
+                faults=faults,
+                hedge=args.hedge,
             )
             print()
             print(format_service_report(autoscaled))
@@ -379,10 +385,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "run ('.csv' suffix for CSV, anything else "
                             "for JSON)")
     serve.add_argument("--flight-recorder", action="store_true",
-                       help="arm the flight recorder: on a shed burst or "
-                            "an SLO-attainment dip, freeze the recent "
-                            "trace history plus a metrics snapshot into "
-                            "a .flight.json artifact next to --trace-out")
+                       help="arm the flight recorder: on a shed burst, "
+                            "an SLO-attainment dip, or a chip crash, "
+                            "freeze the recent trace history plus a "
+                            "metrics snapshot into a .flight.json "
+                            "artifact next to --trace-out")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="chaos fault plan: ';'-separated "
+                            "crash=CHIP@AT[+DOWN] (omit +DOWN for a "
+                            "permanent loss), slow=CHIP@A-BxF (straggler "
+                            "window, service times xF), stall=A-BxF "
+                            "(compile-worker stall), rollback=S "
+                            "(checkpoint-rollback cost per crash retry), "
+                            "e.g. 'crash=1@0.010+0.050;slow=2@0-0.1x4'; "
+                            "or 'seeded:seed=S,chips=N,horizon=H[,...]' "
+                            "for a randomized plan")
+    serve.add_argument("--hedge", action="store_true",
+                       help="arm request hedging: duplicate a queued "
+                            "request onto a second chip once its queue "
+                            "age crosses a quantile-derived threshold; "
+                            "first completion wins, the loser is "
+                            "cancelled or counted as wasted work "
+                            "(exactly-once in the report)")
     serve.set_defaults(fn=_cmd_serve)
 
     trace = sub.add_parser("trace",

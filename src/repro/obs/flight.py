@@ -7,7 +7,10 @@ triggers watch the live run:
 * **shed burst** — ``shed_burst`` refusals inside ``burst_window_s`` of
   simulated time (an admission-control storm);
 * **SLO breach** — attainment over the last ``slo_window`` completions
-  falling below ``slo_floor`` (the service is serving, but late).
+  falling below ``slo_floor`` (the service is serving, but late);
+* **chip crash** — a fault-plan failure took effect (every crash is a
+  trigger: the moments before a chip died are exactly the history a
+  post-mortem wants).
 
 When either fires, the recorder freezes the tracer's most recent
 ``last_n`` events plus a full metrics snapshot into one *dump*: a
@@ -94,6 +97,11 @@ class FlightRecorder:
                         f"{self.slo_window} completions "
                         f"(floor {self.slo_floor:.3f})")
         return None
+
+    def note_crash(self, t_s: float, chip_id: int) -> str:
+        """A chip failure took effect: always a trigger (the capture
+        itself still honors the cooldown and dump budget)."""
+        return f"chip-crash: chip {chip_id} went down"
 
     # -- capture ---------------------------------------------------------
     def capture(self, t_s: float, reason: str, tracer=None,

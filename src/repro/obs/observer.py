@@ -68,6 +68,10 @@ class Observer:
         self._m_compiles = m.counter("engine.compiles") if m is not None else None
         self._m_scale_up = m.counter("fleet.scale_up") if m is not None else None
         self._m_scale_down = m.counter("fleet.scale_down") if m is not None else None
+        self._m_crashes = m.counter("fault.crashes") if m is not None else None
+        self._m_recoveries = m.counter("fault.recoveries") if m is not None else None
+        self._m_hedges = m.counter("engine.hedges") if m is not None else None
+        self._m_hedge_wins = m.counter("engine.hedge_wins") if m is not None else None
         self._h_latency = m.histogram("engine.latency_ms") if m is not None else None
         self._h_queue = m.histogram("engine.queue_ms") if m is not None else None
         self._h_batch = m.histogram("engine.batch_size") if m is not None else None
@@ -192,6 +196,53 @@ class Observer:
             self.tracer.instant(
                 t_s, "prefetch hit", "prefetch", ("fleet", 0),
                 {"scene": key[0], "pipeline": key[1]})
+
+    def on_crash(self, t_s: float, chip_id: int, down_s: Optional[float],
+                 n_requeued: int) -> Optional[dict]:
+        """A chip failure took effect (``down_s`` None == permanent);
+        returns a flight dump if the crash triggered one."""
+        if self._m_crashes is not None:
+            self._m_crashes.inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "crash", "fault", ("chip", chip_id),
+                {"down_s": down_s, "requeued": n_requeued,
+                 "permanent": down_s is None})
+        flight = self.flight
+        if flight is not None:
+            reason = flight.note_crash(t_s, chip_id)
+            if reason is not None:
+                return self._capture(t_s, reason)
+        return None
+
+    def on_recover(self, t_s: float, chip_id: int, outage_s: float) -> None:
+        if self._m_recoveries is not None:
+            self._m_recoveries.inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "recover", "fault", ("chip", chip_id),
+                {"outage_ms": round(outage_s * 1e3, 4)})
+
+    def on_hedge(self, t_s: float, request_id: int, queue_age_s: float) -> None:
+        """A queued request crossed the hedge threshold and was
+        duplicated onto the pending index."""
+        if self._m_hedges is not None:
+            self._m_hedges.inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "hedge", "hedge", ("fleet", 0),
+                {"request_id": request_id,
+                 "queue_age_ms": round(queue_age_s * 1e3, 4)})
+
+    def on_hedge_settle(self, t_s: float, request_id: int,
+                        winner: str) -> None:
+        """A hedged pair resolved (``winner``: "primary" or "clone")."""
+        if self._m_hedge_wins is not None and winner == "clone":
+            self._m_hedge_wins.inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                t_s, "hedge settle", "hedge", ("fleet", 0),
+                {"request_id": request_id, "winner": winner})
 
     def on_scale(self, t_s: float, action: str, delta: int,
                  n_chips: int) -> None:

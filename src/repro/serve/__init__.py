@@ -51,6 +51,19 @@ Predictive serving::
         trace_library="traces.json",   # absent file == cold start
     )
     print(report.slo_attainment, report.cache_stats["warmed"])
+
+Chaos serving::
+
+    # Inject chip crashes / stragglers and hedge slow requests; the
+    # report stays exactly-once and conservation-closed either way:
+    from repro.serve import FaultPlan
+
+    report = simulate_service(
+        trace, ServeCluster(n_chips=4),
+        faults=FaultPlan.parse("crash=1@0.010+0.050;slow=2@0.0-0.1x4"),
+        hedge=True,
+    )
+    print(report.fleet_availability, report.fault_stats, report.hedge_stats)
 """
 
 from repro.serve.request import (
@@ -85,6 +98,14 @@ from repro.serve.admission import (
     make_admission_policy,
 )
 from repro.serve.autoscaler import Autoscaler, FleetEvent, make_elastic_autoscaler
+from repro.serve.faults import (
+    ChipCrash,
+    CompileStall,
+    FailedRecord,
+    FaultPlan,
+    HedgePolicy,
+    StragglerWindow,
+)
 from repro.serve.engine import (
     CompileWorkerPool,
     CostTable,
@@ -139,6 +160,12 @@ __all__ = [
     "Autoscaler",
     "FleetEvent",
     "make_elastic_autoscaler",
+    "FaultPlan",
+    "ChipCrash",
+    "StragglerWindow",
+    "CompileStall",
+    "HedgePolicy",
+    "FailedRecord",
     "CompileLatencyModel",
     "CompileWorkerPool",
     "CostTable",

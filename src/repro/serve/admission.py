@@ -30,6 +30,12 @@ Policies:
   the fleet; only the tenant's own backlog counts against that share,
   so an economy flood cannot starve a premium tenant's budget, and the
   request is held to its *effective* (tenant-scaled) SLO.
+
+Under a fault plan (:mod:`repro.serve.faults`) the engine's projection
+is *fault-aware*: down chips contribute no capacity and each surviving
+chip is weighted by its learned effective speed (an EWMA of observed
+straggler dilation), so a policy sheds against the fleet that actually
+exists, not the one that was provisioned.
 """
 
 from __future__ import annotations

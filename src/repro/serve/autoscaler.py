@@ -307,14 +307,18 @@ class Autoscaler:
         if now - self._last_action_s < self.cooldown_s:
             return
 
-        n_active = cluster.n_active
+        # Capacity is the chips that are actually *up*: a crashed chip
+        # is a capacity loss, not an idle retire candidate, so every
+        # grow/shrink comparison runs against n_available. On healthy
+        # runs n_available == n_active and the decisions are unchanged.
+        n_live = max(1, cluster.n_available)
         desired = self.desired_fleet() if self.predictive else None
         pressure = (
-            self.mean_queue_depth() / n_active > self.target_queue_per_chip
+            self.mean_queue_depth() / n_live > self.target_queue_per_chip
             or self.window_slo_attainment() < self.slo_target
         )
-        lead = desired is not None and desired > n_active
-        if (pressure or lead) and n_active < self.max_chips:
+        lead = desired is not None and desired > n_live
+        if (pressure or lead) and n_live < self.max_chips:
             config = self.growth_configs[self._next_growth % len(self.growth_configs)]
             self._next_growth += 1
             chip = cluster.add_chip(config, now=now, warmup_s=self.warmup_s)
@@ -327,7 +331,8 @@ class Autoscaler:
             return
 
         idle = [c for c in cluster.active_chips
-                if c.free_at_s <= now and c.chip_id not in reserved]
+                if c.available and c.free_at_s <= now
+                and c.chip_id not in reserved]
         calm = (
             queue_depth == 0
             and self.mean_queue_depth() < 1.0
@@ -345,14 +350,14 @@ class Autoscaler:
         # won back.
         if desired is not None:
             surplus = self.desired_fleet(margin=self.shrink_margin)
-            may_shrink = (surplus is not None and surplus < n_active
+            may_shrink = (surplus is not None and surplus < n_live
                           and self._slope_ewma <= 0.0
                           and queue_depth == 0
                           and len(idle) >= 1
                           and self.window_slo_attainment() >= self.slo_target)
         else:
             may_shrink = calm and len(idle) >= 2
-        if may_shrink and n_active > self.min_chips:
+        if may_shrink and n_live > self.min_chips:
             victim = max(
                 idle, key=lambda c: (c.config.chip_cost_rate, c.added_at_s, c.chip_id)
             )

@@ -56,6 +56,12 @@ class ChipState:
     pipeline_switches: int = 0
     energy_j: float = 0.0
 
+    # Fault lifecycle (driven by a FaultPlan; all zero on healthy runs).
+    down_since_s: float | None = None   # open outage start, None == up
+    down_s: float = 0.0                 # closed-outage downtime total
+    n_crashes: int = 0
+    lost_work_s: float = 0.0            # chip time burned on aborted frames
+
     @property
     def config(self) -> AcceleratorConfig:
         return self.accelerator.config
@@ -63,6 +69,12 @@ class ChipState:
     @property
     def active(self) -> bool:
         return self.retired_at_s is None
+
+    @property
+    def available(self) -> bool:
+        """Active and not currently crashed — the dispatcher's and the
+        autoscaler's notion of real capacity."""
+        return self.retired_at_s is None and self.down_since_s is None
 
     @property
     def switch_s(self) -> float:
@@ -85,6 +97,22 @@ class ChipState:
         """Provisioned cost: chip-seconds weighted by the chip's rate."""
         return self.alive_s(horizon_s) * self.config.chip_cost_rate
 
+    def down_total_s(self, horizon_s: float) -> float:
+        """Total downtime up to ``horizon_s``, including an outage that
+        is still open at the horizon (a permanent crash)."""
+        down = self.down_s
+        if self.down_since_s is not None:
+            down += max(0.0, horizon_s - self.down_since_s)
+        return down
+
+    def availability(self, horizon_s: float) -> float:
+        """Up fraction of the chip's provisioned lifetime (1.0 when the
+        chip never crashed)."""
+        alive = self.alive_s(horizon_s)
+        if alive <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.down_total_s(horizon_s) / alive)
+
     def to_dict(self, horizon_s: float) -> dict:
         """JSON summary; ``horizon_s`` is the absolute end time both
         utilization and provisioned cost are scored against."""
@@ -103,6 +131,10 @@ class ChipState:
             "retired_at_s": self.retired_at_s,
             "alive_s": self.alive_s(horizon_s),
             "cost_units": self.cost_units(horizon_s),
+            "n_crashes": self.n_crashes,
+            "down_s": self.down_total_s(horizon_s),
+            "lost_work_s": self.lost_work_s,
+            "availability": self.availability(horizon_s),
         }
 
 
@@ -295,6 +327,12 @@ class ServeCluster:
         return sum(1 for chip in self.chips if chip.active)
 
     @property
+    def n_available(self) -> int:
+        """Active chips that are actually up — provisioned capacity
+        minus crashed chips. Equals :attr:`n_active` on healthy runs."""
+        return sum(1 for chip in self.chips if chip.available)
+
+    @property
     def lifetime_dirty(self) -> bool:
         """True once any chip has served work or the fleet has flexed —
         the state that makes reuse across runs unsound."""
@@ -303,6 +341,8 @@ class ServeCluster:
             or chip.busy_s > 0
             or chip.retired_at_s is not None
             or chip.added_at_s > 0
+            or chip.n_crashes > 0
+            or chip.down_since_s is not None
             for chip in self.chips
         )
 

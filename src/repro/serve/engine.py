@@ -72,7 +72,7 @@ import math
 import time
 import zlib
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Container, Iterable, Optional, Sequence
 
@@ -86,6 +86,8 @@ from repro.serve.admission import AdmissionPolicy, ShedRecord
 from repro.serve.autoscaler import Autoscaler
 from repro.serve.batcher import Batch, PipelineBatcher
 from repro.serve.cluster import ChipState, ServeCluster
+from repro.serve.faults import (FailedRecord, FaultPlan, HedgePolicy,
+                                resolve_faults, resolve_hedge)
 from repro.serve.metrics import ServiceReport, publish_report
 from repro.serve.request import RenderRequest, RenderResponse, TraceKey
 from repro.serve.trace_cache import TraceCache
@@ -107,6 +109,18 @@ _ARRIVAL = 0
 _COMPILE_DONE = 1
 _CHIP_FREE = 2
 _SCALE_TICK = 3
+# Chaos events (fault injection & hedging): crash/recover points of an
+# attached FaultPlan enter the heap at init; a hedge-settle event fires
+# at each hedged copy's finish so first-completion-wins resolves in
+# event order, never by peeking ahead.
+_CHIP_CRASH = 4
+_CHIP_RECOVER = 5
+_HEDGE_SETTLE = 6
+
+#: EWMA smoothing for the per-chip effective-speed model (fault mode
+#: only): admission's projected-wait capacity tracks observed straggler
+#: dilation with this gain instead of reading the plan like an oracle.
+_SPEED_EWMA_ALPHA = 0.3
 
 
 # ----------------------------------------------------------------------
@@ -647,6 +661,16 @@ class _PendingIndex:
         self.counts[pipeline] += len(requests)
         self.n_pending += len(requests)
 
+    def cancel(self, request: RenderRequest) -> None:
+        """Remove a still-queued request outright (hedge cancellation:
+        its sibling copy won). The caller guarantees the request is
+        physically pending — it was pushed/restored and never taken —
+        so both structures get a tombstone and the counters drop."""
+        self._gone_master.add(request.request_id)
+        self._gone_lane.add(request.request_id)
+        self.counts[request.pipeline] -= 1
+        self.n_pending -= 1
+
     @staticmethod
     def _merge_missing(queue: deque, requests: Sequence[RenderRequest]) -> None:
         resident = {r.request_id for r in queue}
@@ -705,6 +729,8 @@ class EventEngine:
         preempt: bool = False,
         trace_library: "TraceLibrary | str | Path | None" = None,
         observer: Optional[Observer] = None,
+        faults: Optional[FaultPlan] = None,
+        hedge: "HedgePolicy | bool | None" = None,
     ) -> None:
         ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
         if not ordered:
@@ -840,6 +866,48 @@ class EventEngine:
         heapq.heapify(self._events)
         self._event_seq = len(ordered)
 
+        # -- chaos: fault injection & request hedging --------------------
+        # An attached-but-empty plan normalizes to None, so fault-free
+        # runs (reports included) stay byte-identical whether or not a
+        # FaultPlan object was passed.
+        self._faults = resolve_faults(faults)
+        self._hedge = resolve_hedge(hedge)
+        self._down_chips: set[int] = set()
+        # Work truncated off a crashing chip waits here until the crash
+        # instant actually arrives (the engine executes batches eagerly;
+        # re-queueing at dispatch time would let the scheduler react to
+        # a failure before it happened).
+        self._crash_limbo: dict[int, list[RenderRequest]] = {}
+        self._requeue_count: dict[int, int] = {}
+        self._chip_speed: dict[int, float] = {}
+        self._failed: list[FailedRecord] = []
+        self._fault_counts = {"crashes": 0, "permanent": 0,
+                              "recoveries": 0, "requeued": 0}
+        self._rollback_charged_s = 0.0
+        self._recovery_total_s = 0.0
+        if self._hedge is not None:
+            self._hedge_waits: deque[float] = deque(
+                maxlen=self._hedge.window)
+            self._n_wait_samples = 0
+            self._hedge_threshold_cache: Optional[float] = None
+            self._hedge_cached_at = -1
+            # Pair state, keyed by the *original* request id; a clone's
+            # id is the bitwise complement (~id < 0 never collides with
+            # a real request id, and ~~id round-trips).
+            self._hedge_state: dict[int, dict] = {}
+            self._hedge_of: dict[int, int] = {}      # clone id -> original
+            self._hedge_queued: dict[int, RenderRequest] = {}
+            self.n_hedges = 0
+            self.n_hedge_wins = 0
+            self.n_hedge_wasted = 0
+            self.n_hedge_cancelled = 0
+            self._hedge_wasted_s = 0.0
+        if self._faults is not None:
+            for crash in self._faults.crashes:
+                self._push(crash.at_s, _CHIP_CRASH, crash)
+                if crash.down_s is not None:
+                    self._push(crash.recover_at_s, _CHIP_RECOVER, crash)
+
     # -- service-time estimation ---------------------------------------
     def _estimate(self, pipeline: str) -> float:
         """EWMA service time of one request; 0 until anything finished
@@ -892,6 +960,12 @@ class EventEngine:
         wall = time.perf_counter() - began
         self._programs[key] = program
         latency = self.latency_model.latency_s(program)
+        if self._faults is not None:
+            # A compile stall dilates jobs *issued* inside its window
+            # (the stalled latency is what the pool occupies a worker
+            # for, what demand requests wait on, and what the cache
+            # records as this trace's compile cost).
+            latency *= self._faults.compile_dilation(now)
         pool = self.pool
         done = pool.submit(now, latency, demand=demand)
         self._waiting_done_s[key] = done
@@ -924,6 +998,27 @@ class EventEngine:
             if self._obs is not None:
                 self._obs.on_prefetch_issue(now, key)
 
+    # -- fleet capacity (fault-aware) -----------------------------------
+    def _fleet_capacity(self) -> float:
+        """Effective parallel capacity the admission projection divides
+        by. Fault-free: exactly ``max(1, n_active)`` (the historical
+        model, bit for bit). Under a fault plan: the sum of learned
+        per-chip speeds over chips that are actually *up* — a crashed
+        chip contributes nothing and a straggling chip contributes
+        ``1/dilation``, so projected waits stretch and slo-shed starts
+        refusing work the degraded fleet could never serve in time."""
+        cluster = self.cluster
+        if self._faults is None:
+            return float(max(1, cluster.n_active))
+        speed = self._chip_speed
+        capacity = 0.0
+        for chip in cluster.chips:
+            if chip.available:
+                capacity += 1.0 / speed.get(chip.chip_id, 1.0)
+        # A fully-down fleet still projects against half a chip rather
+        # than dividing by zero; the wait is enormous either way.
+        return max(capacity, 0.5)
+
     # -- arrival ingestion ----------------------------------------------
     def _project_wait(self, request: RenderRequest, at: float) -> float:
         """Projected queue wait at the arrival instant: time until a chip
@@ -939,7 +1034,7 @@ class EventEngine:
         for queued_pipeline, count in counts.items():
             if queued_pipeline != pipeline and count:
                 other += count * self._estimate(queued_pipeline)
-        wait = wait + same + other / max(1, cluster.n_active)
+        wait = wait + same + other / self._fleet_capacity()
         if self.async_compile:
             done = self._waiting_done_s.get(request.trace_key)
             if done is not None:
@@ -972,7 +1067,7 @@ class EventEngine:
             if counts and any(counts.values()):
                 total_weight += weight
         share = tenant.weight / total_weight
-        capacity = max(1, cluster.n_active) * share
+        capacity = self._fleet_capacity() * share
         wait = wait + own_backlog / capacity
         if self.async_compile:
             done = self._waiting_done_s.get(request.trace_key)
@@ -1077,6 +1172,8 @@ class EventEngine:
         if self._tenant_aware:
             for member in members:
                 self._tenant_add(member)
+        if self._hedge is not None:
+            self._note_restored(members)
         for member in members:
             rid = member.request_id
             self._preempt_count[rid] = self._preempt_count.get(rid, 0) + 1
@@ -1122,7 +1219,17 @@ class EventEngine:
     # -- batch execution -------------------------------------------------
     def _execute_batch(self, chip: ChipState, batch: Batch,
                        start_s: float, dispatched_s: float) -> None:
-        """Run a batch back to back on one chip (the pricing hot path)."""
+        """Run a batch back to back on one chip (the pricing hot path).
+
+        Under a fault plan the batch may not survive whole: any frame
+        whose finish would cross the chip's next crash instant aborts
+        the rest of the batch — completed frames stand (results are
+        checkpointed off-chip), the partial frame's chip time becomes
+        lost work, and the un-run tail sits in crash limbo until the
+        crash event re-queues it. Hedged copies execute physically here
+        but defer their logical completion to the settle event, where
+        first-completion-wins picks exactly one response per pair.
+        """
         cache = self.cache
         cost = self._cost
         accelerator = chip.accelerator
@@ -1133,24 +1240,29 @@ class EventEngine:
         feed = self.autoscaler is not None
         est = self._est_by_pipeline
         obs = self._obs
+        faults = self._faults
+        hedge_mode = self._hedge is not None
+        crash = None
+        if faults is not None:
+            crash = faults.next_crash(chip.chip_id, dispatched_s)
         t = start_s
-        for request in batch.requests:
+        aborted = False
+        for index, request in enumerate(batch.requests):
             key = request.trace_key
+            rid = request.request_id
             compile_wait = 0.0
             compile_s = 0.0
             origin = None
             prefetched = False
             if async_mode:
-                cache_hit = self._ingest_hit.pop(request.request_id, False)
-                prefetched = self._ingest_prefetched.pop(
-                    request.request_id, False)
-                charge = self._compile_charge.pop(request.request_id, None)
+                cache_hit = self._ingest_hit.get(rid, False)
+                prefetched = self._ingest_prefetched.get(rid, False)
+                charge = self._compile_charge.get(rid)
                 if charge is not None:
                     compile_s = charge
                     origin = "worker"
                 elif prefetched:
                     origin = "prefetch"
-                cache.touch(key)
                 program = self._programs.get(key) or cache.peek(key)
                 if program is None and not cost.has(key, accelerator.config):
                     # Evicted before this design point priced it (the
@@ -1165,6 +1277,8 @@ class EventEngine:
                     # Synchronous visible compile: the dispatch path
                     # stalls on the chip for the simulated compile time.
                     compile_wait = cache.compile_cost_s(key)
+                    if faults is not None:
+                        compile_wait *= faults.compile_dilation(t)
                     compile_s = compile_wait
                     origin = "sync"
             cycles, reconfig_cycles, energy_j = cost.price(
@@ -1175,12 +1289,42 @@ class EventEngine:
                 switch = float(chip.config.reconfigure_cycles)
                 chip.pipeline_switches += 1
                 chip.configured_pipeline = request.pipeline
-            finish = t + compile_wait + (cycles + switch) / clock
+            service = (cycles + switch) / clock
+            requeues = 0
+            rollback = 0.0
+            if faults is not None:
+                dilation = faults.dilation(chip.chip_id, t)
+                if dilation != 1.0:
+                    service *= dilation
+                requeues = self._requeue_count.get(rid, 0)
+                if requeues:
+                    # A crash already ate one attempt: this retry first
+                    # restores the frame's last checkpoint.
+                    rollback = faults.rollback_s
+                speed = self._chip_speed
+                prior_speed = speed.get(chip.chip_id, 1.0)
+                speed[chip.chip_id] = prior_speed + _SPEED_EWMA_ALPHA * (
+                    dilation - prior_speed)
+            finish = t + compile_wait + rollback + service
+
+            if crash is not None and finish > crash.at_s:
+                self._abort_crash(chip, batch.requests[index:], crash,
+                                  t, start_s)
+                aborted = True
+                break
+            # -- the frame commits: settle its dispatch bookkeeping.
+            if rollback:
+                self._rollback_charged_s += rollback
+                self._requeue_count.pop(rid, None)
+            if async_mode:
+                self._ingest_hit.pop(rid, None)
+                self._ingest_prefetched.pop(rid, None)
+                self._compile_charge.pop(rid, None)
+                cache.touch(key)
 
             preemptions = 0
             migrated = False
             if preempt_mode:
-                rid = request.request_id
                 preemptions = self._preempt_count.pop(rid, 0)
                 displaced_from = self._displaced_from.pop(rid, None)
                 # Displaced work that completes on a different chip than
@@ -1188,6 +1332,53 @@ class EventEngine:
                 # autoscaler this is how it reaches newly warmed chips.
                 migrated = (displaced_from is not None
                             and chip.chip_id != displaced_from)
+
+            hstate = None
+            orig_id = rid
+            if hedge_mode:
+                orig_id = self._hedge_of.get(rid, rid)
+                hstate = self._hedge_state.get(orig_id)
+            if hstate is not None:
+                # One copy of a hedged pair: the chip really spends the
+                # cycles, but the response waits for the settle event.
+                span = finish - t
+                chip.frame_cycles += cycles
+                chip.switch_cycles += switch
+                chip.frame_reconfig_cycles += reconfig_cycles
+                chip.energy_j += energy_j
+                if hstate["settled"]:
+                    # Late duplicate: it sat staged while its sibling
+                    # settled. Pure wasted work, no second response.
+                    self.n_hedge_wasted += 1
+                    self._hedge_wasted_s += span
+                    chip.lost_work_s += span
+                else:
+                    original = hstate["requests"][orig_id]
+                    response = RenderResponse(
+                        request=original,
+                        chip_id=chip.chip_id,
+                        batch_id=batch.batch_id,
+                        start_s=t,
+                        finish_s=finish,
+                        cycles=cycles,
+                        switch_cycles=switch,
+                        frame_reconfig_cycles=reconfig_cycles,
+                        energy_j=energy_j,
+                        cache_hit=cache_hit,
+                        compile_s=compile_s,
+                        compile_origin=origin,
+                        prefetched=prefetched,
+                        dispatched_s=dispatched_s,
+                        preemptions=preemptions,
+                        migrated=migrated,
+                        requeues=requeues,
+                        hedged=rid != orig_id,
+                    )
+                    hstate["chips"][rid] = chip.chip_id
+                    hstate["candidates"].append((rid, response, chip))
+                    self._push(finish, _HEDGE_SETTLE, orig_id)
+                t = finish
+                continue
             response = RenderResponse(
                 request=request,
                 chip_id=chip.chip_id,
@@ -1205,6 +1396,7 @@ class EventEngine:
                 dispatched_s=dispatched_s,
                 preemptions=preemptions,
                 migrated=migrated,
+                requeues=requeues,
             )
             responses.append(response)
             if obs is not None:
@@ -1240,7 +1432,15 @@ class EventEngine:
                     (finish, self._inflight_seq, response.slo_met),
                 )
                 self._inflight_seq += 1
+            if hedge_mode:
+                self._note_wait(response.queue_s)
 
+        if aborted:
+            if obs is not None:
+                obs.on_batch(start_s, max(start_s, crash.at_s), chip.chip_id,
+                             batch.batch_id, len(batch.requests),
+                             batch.pipeline, batch.requests[0].tenant.tier)
+            return
         if obs is not None:
             obs.on_batch(start_s, t, chip.chip_id, batch.batch_id,
                          len(batch.requests), batch.pipeline,
@@ -1248,6 +1448,345 @@ class EventEngine:
         chip.busy_s += t - start_s
         chip.free_at_s = t
         self._push(t, _CHIP_FREE, chip.chip_id)
+
+    # -- chaos: crash handling -------------------------------------------
+    def _abort_crash(self, chip: ChipState, members: Sequence[RenderRequest],
+                     crash, frame_start_s: float, batch_start_s: float) -> None:
+        """The chip dies mid-batch: charge the truncated timeline.
+
+        Chip time up to the crash instant counts as busy; the partial
+        frame's share of it is lost work. The un-run members (partial
+        frame included) go to crash limbo — the crash *event* re-queues
+        them, so the scheduler cannot clairvoyantly react before the
+        failure actually happens. The chip stays unselectable until its
+        recovery (``free_at_s`` = recover instant, or forever).
+        """
+        chip.busy_s += max(0.0, crash.at_s - batch_start_s)
+        chip.lost_work_s += max(0.0, crash.at_s - frame_start_s)
+        chip.free_at_s = max(chip.free_at_s, crash.recover_at_s)
+        self._crash_limbo.setdefault(chip.chip_id, []).extend(members)
+
+    def _restore_members(self, members: Sequence[RenderRequest]) -> None:
+        """Put one batch's members (single pipeline) back in pending."""
+        self._pending.restore(members)
+        if self._tenant_aware:
+            for member in members:
+                self._tenant_add(member)
+        if self._hedge is not None:
+            self._note_restored(members)
+
+    def _on_crash(self, now: float, crash) -> None:
+        """A chip fails: mark it down and re-queue whatever it held."""
+        chips = self.cluster.chips
+        if crash.chip_id >= len(chips):
+            return  # the plan names a chip this fleet never had
+        chip = chips[crash.chip_id]
+        if not chip.active or chip.down_since_s is not None:
+            return  # retired or already down: the crash is a no-op
+        chip.down_since_s = now
+        chip.n_crashes += 1
+        chip.free_at_s = max(chip.free_at_s, crash.recover_at_s)
+        self._down_chips.add(chip.chip_id)
+        self._fault_counts["crashes"] += 1
+        if crash.down_s is None:
+            self._fault_counts["permanent"] += 1
+        n_requeued = 0
+        staged = self._staged.pop(chip.chip_id, None)
+        if staged is not None:
+            # A staged reservation on the dead chip never started: it
+            # re-queues without a rollback charge (nothing ran yet).
+            self.batcher.retract(staged.batch)
+            self._restore_members(staged.batch.requests)
+            n_requeued += len(staged.batch.requests)
+        limbo = self._crash_limbo.pop(chip.chip_id, None)
+        if limbo:
+            for member in limbo:
+                rid = member.request_id
+                self._requeue_count[rid] = self._requeue_count.get(rid, 0) + 1
+            self._restore_members(limbo)
+            self._fault_counts["requeued"] += len(limbo)
+            n_requeued += len(limbo)
+        if self._obs is not None:
+            self._obs.on_crash(now, chip.chip_id, crash.down_s, n_requeued)
+
+    def _on_recover(self, now: float, crash) -> None:
+        chips = self.cluster.chips
+        if crash.chip_id >= len(chips):
+            return
+        chip = chips[crash.chip_id]
+        if chip.down_since_s is None:
+            return  # the matching crash never took effect
+        chip.down_s += now - chip.down_since_s
+        chip.down_since_s = None
+        self._down_chips.discard(chip.chip_id)
+        self._fault_counts["recoveries"] += 1
+        self._recovery_total_s += now - crash.at_s
+        if self._obs is not None:
+            self._obs.on_recover(now, chip.chip_id, now - crash.at_s)
+
+    def _fail_pending(self, now: float) -> None:
+        """Every chip is gone for good and admitted work remains: drain
+        it into failed-unrecoverable records (a hedged pair fails once,
+        as its original), keeping the conservation ledger closed."""
+        pending = self._pending
+        gone = pending._gone_master
+        seen: set[int] = set()
+        stranded: list[RenderRequest] = []
+        for tier in pending._tiers:
+            for request in pending.masters[tier]:
+                rid = request.request_id
+                if rid in gone:
+                    continue
+                orig_id = self._hedge_of.get(rid, rid) if (
+                    self._hedge is not None) else rid
+                if orig_id in seen:
+                    continue
+                seen.add(orig_id)
+                original = request
+                if orig_id != rid:
+                    original = self._hedge_state[orig_id]["requests"][orig_id]
+                stranded.append(original)
+        stranded.sort(key=lambda r: (r.arrival_s, r.request_id))
+        for request in stranded:
+            self._failed.append(FailedRecord(request, now, "fleet-lost"))
+
+    # -- chaos: request hedging ------------------------------------------
+    def _note_wait(self, wait_s: float) -> None:
+        self._hedge_waits.append(wait_s)
+        self._n_wait_samples += 1
+
+    def _hedge_threshold(self) -> Optional[float]:
+        """Quantile-derived queue-age threshold (None while warming up).
+
+        Recomputed lazily from the sliding sample window — at most once
+        per 8 new samples, so the sort stays off the hot path.
+        """
+        policy = self._hedge
+        n = self._n_wait_samples
+        if n < policy.min_samples:
+            return None
+        if (self._hedge_threshold_cache is None
+                or n - self._hedge_cached_at >= 8):
+            ordered = sorted(self._hedge_waits)
+            idx = min(len(ordered) - 1, int(policy.quantile * len(ordered)))
+            self._hedge_threshold_cache = policy.multiplier * ordered[idx]
+            self._hedge_cached_at = n
+        return self._hedge_threshold_cache
+
+    def _maybe_hedge(self, now: float) -> None:
+        """Duplicate queued requests whose age crossed the threshold.
+
+        The clone goes back through the pending index (so dispatch
+        places it like any other request, on a *different* chip via the
+        selection mask); whichever copy finishes first wins at settle.
+        """
+        threshold = self._hedge_threshold()
+        if threshold is None:
+            return
+        if sum(1 for chip in self.cluster.chips if chip.available) < 2:
+            return  # a duplicate on the same chip helps nobody
+        pending = self._pending
+        gone = pending._gone_master
+        victims: list[RenderRequest] = []
+        for tier in pending._tiers:
+            for request in pending.masters[tier]:
+                rid = request.request_id
+                if rid in gone:
+                    continue
+                if now - request.arrival_s <= threshold:
+                    break  # master lanes are arrival-ordered
+                if rid < 0 or rid in self._hedge_state:
+                    continue  # a clone, or already hedged
+                if not self._is_ready(request):
+                    continue
+                victims.append(request)
+        # Issue after the walk: restore() rebuilds the deque under us.
+        for request in victims:
+            self._issue_hedge(request, now)
+
+    def _issue_hedge(self, request: RenderRequest, now: float) -> None:
+        orig_id = request.request_id
+        clone = replace(request, request_id=~orig_id)
+        self._hedge_state[orig_id] = {
+            "requests": {orig_id: request, clone.request_id: clone},
+            "chips": {},
+            "candidates": [],
+            "settled": False,
+        }
+        self._hedge_of[clone.request_id] = orig_id
+        self._pending.restore([clone])
+        if self._tenant_aware:
+            self._tenant_add(clone)
+        self._hedge_queued[orig_id] = request
+        self._hedge_queued[clone.request_id] = clone
+        self.n_hedges += 1
+        if self._obs is not None:
+            self._obs.on_hedge(now, orig_id, now - request.arrival_s)
+
+    def _note_taken(self, taken: Sequence[RenderRequest]) -> None:
+        queued = self._hedge_queued
+        for request in taken:
+            queued.pop(request.request_id, None)
+
+    def _note_restored(self, members: Sequence[RenderRequest]) -> None:
+        """Re-queued members re-register as queued hedge copies — except
+        a copy whose pair already settled, which is cancelled on the
+        spot (its sibling's response is final; letting it re-queue
+        would strand a tombstone-less duplicate in pending)."""
+        for member in members:
+            rid = member.request_id
+            orig_id = self._hedge_of.get(rid, rid)
+            state = self._hedge_state.get(orig_id)
+            if state is None:
+                continue
+            if state["settled"]:
+                self._pending.cancel(member)
+                if self._tenant_aware:
+                    self._tenant_pending[member.tenant.name][
+                        member.pipeline] -= 1
+                self.n_hedge_cancelled += 1
+            else:
+                self._hedge_queued[rid] = member
+
+    def _split_hedge_pairs(
+            self, taken: list[RenderRequest]) -> list[RenderRequest]:
+        """Both copies of a pair in one batch defeats the hedge: keep
+        the first copy of each pair, put the rest straight back."""
+        seen: set[int] = set()
+        keep: list[RenderRequest] = []
+        put_back: list[RenderRequest] = []
+        for request in taken:
+            rid = request.request_id
+            orig_id = self._hedge_of.get(rid, rid)
+            if orig_id in self._hedge_state and orig_id in seen:
+                put_back.append(request)
+            else:
+                seen.add(orig_id)
+                keep.append(request)
+        if put_back:
+            self._restore_members(put_back)
+        return keep
+
+    def _feed_completion(self, response: RenderResponse) -> None:
+        """Logical-completion feeds for a settled hedge winner (the
+        mirror of the inline feeds on the unhedged path)."""
+        est = self._est_by_pipeline
+        pipeline = response.request.pipeline
+        prior = est.get(pipeline)
+        if prior is None:
+            est[pipeline] = response.service_s
+        else:
+            est[pipeline] = prior + _SERVICE_EWMA_ALPHA * (
+                response.service_s - prior)
+        if self._feed_forecast:
+            mean = self._svc_ewma
+            self._svc_ewma = (
+                response.service_s if mean is None
+                else mean + _FORECAST_EWMA_ALPHA * (
+                    response.service_s - mean))
+        if self.autoscaler is not None:
+            heapq.heappush(
+                self._inflight,
+                (response.finish_s, self._inflight_seq, response.slo_met))
+            self._inflight_seq += 1
+        self._note_wait(response.queue_s)
+
+    def _on_settle(self, now: float, orig_id: int) -> None:
+        """First-completion-wins: the earliest-finishing copy becomes
+        the pair's one response; every other copy is wasted work and
+        any still-queued copy is cancelled."""
+        state = self._hedge_state.get(orig_id)
+        if state is None or state["settled"]:
+            return  # already resolved at the first copy's finish
+        state["settled"] = True
+        candidates = state["candidates"]
+        winner = min(
+            candidates,
+            key=lambda entry: (entry[1].finish_s,
+                               0 if entry[0] == orig_id else 1))
+        rid_w, response, chip = winner
+        self._responses.append(response)
+        chip.requests_served += 1
+        self._feed_completion(response)
+        if rid_w != orig_id:
+            self.n_hedge_wins += 1
+        for rid_l, loser, chip_l in candidates:
+            if rid_l == rid_w:
+                continue
+            self.n_hedge_wasted += 1
+            self._hedge_wasted_s += loser.service_s
+            chip_l.lost_work_s += loser.service_s
+        for copy_id in (orig_id, ~orig_id):
+            queued = self._hedge_queued.pop(copy_id, None)
+            if queued is not None:
+                self._pending.cancel(queued)
+                if self._tenant_aware:
+                    self._tenant_pending[queued.tenant.name][
+                        queued.pipeline] -= 1
+                self.n_hedge_cancelled += 1
+        if self._obs is not None:
+            self._obs.on_hedge_settle(
+                now, orig_id, "clone" if rid_w != orig_id else "primary")
+            self._obs.on_response(
+                response, self._obs.wants(response.request.request_id))
+
+    def _dispatch_exclude(self, members=None):
+        """Chip-id mask for selection: staged reservations (preempt),
+        down chips (faults), and — best effort — chips where a member's
+        hedge sibling ran, so the duplicate lands somewhere else."""
+        base = self._staged if self.preempt else None
+        if self._faults is None and self._hedge is None:
+            return base
+        merged: set[int] = set()
+        if base:
+            merged.update(base)
+        if self._down_chips:
+            merged.update(self._down_chips)
+        if self._hedge is not None and members:
+            avoid: set[int] = set()
+            for request in members:
+                rid = request.request_id
+                state = self._hedge_state.get(self._hedge_of.get(rid, rid))
+                if state is not None:
+                    sibling_chip = state["chips"].get(~rid)
+                    if sibling_chip is not None:
+                        avoid.add(sibling_chip)
+            if avoid:
+                widened = merged | avoid
+                if any(chip.active and chip.chip_id not in widened
+                       for chip in self.cluster.chips):
+                    merged = widened  # only avoid siblings if a chip is left
+        if not merged:
+            return base
+        if not any(chip.active and chip.chip_id not in merged
+                   for chip in self.cluster.chips):
+            return base  # never mask the whole fleet
+        return merged
+
+    def _fault_stats_dict(self) -> dict:
+        counts = self._fault_counts
+        recoveries = counts["recoveries"]
+        return {
+            "n_crashes": counts["crashes"],
+            "n_permanent": counts["permanent"],
+            "n_recoveries": recoveries,
+            "n_requeued": counts["requeued"],
+            "n_failed": len(self._failed),
+            "lost_work_s": sum(c.lost_work_s for c in self.cluster.chips),
+            "rollback_s": self._rollback_charged_s,
+            "mean_recovery_s": (self._recovery_total_s / recoveries
+                                if recoveries else None),
+        }
+
+    def _hedge_stats_dict(self) -> dict:
+        return {
+            "policy": self._hedge.to_dict(),
+            "n_hedged": self.n_hedges,
+            "n_wins": self.n_hedge_wins,
+            "n_wasted": self.n_hedge_wasted,
+            "n_cancelled": self.n_hedge_cancelled,
+            "wasted_work_s": self._hedge_wasted_s,
+        }
 
     # -- dispatch --------------------------------------------------------
     def _flush_staged(self, now: float) -> None:
@@ -1288,10 +1827,14 @@ class EventEngine:
                 tier=anchor.tenant.tier if qos_tier else None)
             if tenant_aware:
                 self._tenant_remove(taken)
+            if self._hedge is not None:
+                self._note_taken(taken)
+                if len(taken) > 1:
+                    taken = self._split_hedge_pairs(taken)
             batch = batcher.make_batch(anchor.pipeline, taken)
             chip = cluster.select_chip(
                 batch, now, self._estimate(batch.pipeline),
-                exclude=self._staged if preempt else None)
+                exclude=self._dispatch_exclude(taken))
             start = max(now, chip.free_at_s)
             if preempt and start > now:
                 # The policy picked a busy chip (e.g. a warm
@@ -1319,8 +1862,11 @@ class EventEngine:
         cluster = self.cluster
         batcher = self.batcher
         staged = self._staged
+        down = self._down_chips
         while self._n_ready > 0:
-            if not any(chip.chip_id not in staged and chip.free_at_s > now
+            if not any(chip.chip_id not in staged
+                       and chip.chip_id not in down
+                       and chip.free_at_s > now
                        for chip in cluster.active_chips):
                 return
             anchor = pending.anchor(self._is_ready)
@@ -1331,9 +1877,14 @@ class EventEngine:
                 tier=anchor.tenant.tier)
             if self._tenant_aware:
                 self._tenant_remove(taken)
+            if self._hedge is not None:
+                self._note_taken(taken)
+                if len(taken) > 1:
+                    taken = self._split_hedge_pairs(taken)
             batch = batcher.make_batch(anchor.pipeline, taken)
             chip = cluster.select_chip(
-                batch, now, self._estimate(batch.pipeline), exclude=staged)
+                batch, now, self._estimate(batch.pipeline),
+                exclude=self._dispatch_exclude(taken))
             staged[chip.chip_id] = _StagedBatch(
                 batch, chip, max(now, chip.free_at_s), now)
 
@@ -1357,6 +1908,12 @@ class EventEngine:
                 elif kind == _SCALE_TICK:
                     if self.autoscaler is not None and pending.n_pending == 0:
                         self._controller_tick(now, 0)
+                elif kind == _CHIP_CRASH:
+                    self._on_crash(now, payload)
+                elif kind == _CHIP_RECOVER:
+                    self._on_recover(now, payload)
+                elif kind == _HEDGE_SETTLE:
+                    self._on_settle(now, payload)
                 # _CHIP_FREE carries no state change — the chip already
                 # knows its free_at_s; the pop just wakes the dispatcher.
             if ingested:
@@ -1367,6 +1924,8 @@ class EventEngine:
                     # the controller still observes the queue building.
                     self._controller_tick(now, pending.n_pending)
                 self._issue_prefetches(now)
+            if self._hedge is not None and pending.n_pending > 0:
+                self._maybe_hedge(now)
             self._dispatch_all(now)
             if self._obs is not None:
                 self._obs.maybe_snapshot(now)
@@ -1379,10 +1938,15 @@ class EventEngine:
                 self._push(now, _SCALE_TICK)
 
         if pending.n_pending > 0:
-            raise SimulationError(
-                f"event queue drained with {pending.n_pending} requests "
-                "still pending (engine bug)"
-            )
+            if self._faults is not None and self.cluster.n_available == 0:
+                # Not a bug: the whole fleet died for good with admitted
+                # work still queued. Close the ledger as failures.
+                self._fail_pending(now)
+            else:
+                raise SimulationError(
+                    f"event queue drained with {pending.n_pending} requests "
+                    "still pending (engine bug)"
+                )
         if self._staged:
             raise SimulationError(
                 f"event queue drained with {len(self._staged)} staged "
@@ -1397,6 +1961,11 @@ class EventEngine:
                 self.autoscaler.record_response(finish_s, slo_met)
             self._inflight.clear()
         if not self._responses:
+            if self._failed:
+                raise SimulationError(
+                    "no request ever completed: the whole fleet went down "
+                    f"and {len(self._failed)} admitted requests failed"
+                )
             raise SimulationError(
                 f"admission policy {self.admission.name!r} shed all "
                 f"{len(self._shed)} requests"
@@ -1431,6 +2000,11 @@ class EventEngine:
                             if self.prefetcher is not None else {}),
             preempt_enabled=self.preempt,
             n_preemption_events=self.n_preemptions,
+            failed=list(self._failed),
+            fault_stats=(self._fault_stats_dict()
+                         if self._faults is not None else {}),
+            hedge_stats=(self._hedge_stats_dict()
+                         if self._hedge is not None else {}),
         )
         obs = self._obs
         if obs is not None:

@@ -23,6 +23,7 @@ from repro.errors import SimulationError
 from repro.serve.admission import ShedRecord
 from repro.serve.autoscaler import FleetEvent
 from repro.serve.cluster import ChipState
+from repro.serve.faults import FailedRecord
 from repro.serve.request import RenderResponse
 
 
@@ -50,6 +51,11 @@ class ServiceReport:
     prefetch_stats: dict = field(default_factory=dict)
     preempt_enabled: bool = False
     n_preemption_events: int = 0  # displacement events (batches, not requests)
+    # Chaos accounting: requests stranded by an unrecoverable fleet
+    # loss, plus the engine's fault/hedging counters ({} on clean runs).
+    failed: list[FailedRecord] = field(default_factory=list)
+    fault_stats: dict = field(default_factory=dict)
+    hedge_stats: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.responses:
@@ -111,9 +117,19 @@ class ServiceReport:
         return len(self.shed)
 
     @property
+    def n_failed(self) -> int:
+        """Admitted requests lost to an unrecoverable fleet failure."""
+        return len(self.failed)
+
+    @property
     def n_offered(self) -> int:
-        """Requests that arrived, whether or not they were admitted."""
-        return self.n_requests + self.n_shed
+        """Requests that arrived, whether or not they were admitted.
+
+        Conservation: ``n_offered == n_requests + n_shed + n_failed`` —
+        every arrival completes, is refused at admission, or is lost to
+        an unrecoverable fleet failure. Nothing else can happen to it.
+        """
+        return self.n_requests + self.n_shed + self.n_failed
 
     @property
     def shed_rate(self) -> float:
@@ -147,6 +163,38 @@ class ServiceReport:
         the one they were displaced from — under an autoscaler that
         includes chips warmed after the displacement."""
         return sum(1 for r in self.responses if r.migrated)
+
+    # -- chaos metrics ---------------------------------------------------
+    @property
+    def n_requeued(self) -> int:
+        """Completed requests that survived at least one chip crash."""
+        return sum(1 for r in self.responses if r.requeues > 0)
+
+    @property
+    def n_hedge_won(self) -> int:
+        """Completed requests whose response came from the hedged
+        duplicate rather than the primary dispatch."""
+        return sum(1 for r in self.responses if r.hedged)
+
+    @property
+    def fleet_availability(self) -> float:
+        """Mean per-chip availability (up fraction of provisioned life):
+        1.0 on a fault-free run."""
+        horizon = self.end_s
+        values = [c.availability(horizon) for c in self.chips]
+        return sum(values) / len(values)
+
+    @property
+    def mtbf_s(self) -> float | None:
+        """Mean time between failures: fleet up-time per crash (None
+        when nothing ever crashed)."""
+        n_crashes = sum(c.n_crashes for c in self.chips)
+        if n_crashes == 0:
+            return None
+        horizon = self.end_s
+        up_s = sum(c.alive_s(horizon) - c.down_total_s(horizon)
+                   for c in self.chips)
+        return up_s / n_crashes
 
     def tenant_report(self) -> dict[str, dict]:
         """Per-tenant-class service metrics (the QoS scoreboard)."""
@@ -321,6 +369,7 @@ class ServiceReport:
             "n_requests": self.n_requests,
             "n_offered": self.n_offered,
             "n_shed": self.n_shed,
+            "n_failed": self.n_failed,
             "n_degraded": self.n_degraded,
             "shed_rate": self.shed_rate,
             "makespan_s": self.makespan_s,
@@ -353,9 +402,16 @@ class ServiceReport:
             "fleet_size_timeline": self.fleet_size_timeline,
             "fleet_events": [e.to_dict() for e in self.fleet_events],
             "shed": [s.to_dict() for s in self.shed],
+            "failed": [f.to_dict() for f in self.failed],
             "chips": [c.to_dict(self.end_s) for c in self.chips],
             "compile": dict(self.compile_stats),
             "prefetch": dict(self.prefetch_stats),
+            "fleet_availability": self.fleet_availability,
+            "mtbf_s": self.mtbf_s,
+            "n_requeued": self.n_requeued,
+            "n_hedge_won": self.n_hedge_won,
+            "faults": dict(self.fault_stats),
+            "hedging": dict(self.hedge_stats),
         }
 
 
@@ -388,6 +444,14 @@ def publish_report(report: ServiceReport, registry) -> None:
     gauge("report.total_cost_units").set(report.total_cost_units)
     gauge("report.peak_fleet_size").set(report.peak_fleet_size)
     gauge("report.n_preemption_events").set(report.n_preemption_events)
+    gauge("report.n_failed").set(report.n_failed)
+    gauge("report.fleet_availability").set(report.fleet_availability)
+    for name, value in report.fault_stats.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            gauge(f"fault.{name}").set(value)
+    for name, value in report.hedge_stats.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            gauge(f"hedge.{name}").set(value)
     for name, value in report.compile_stats.items():
         if isinstance(value, (int, float)):
             gauge(f"compile.{name}").set(value)
@@ -445,6 +509,27 @@ def format_service_report(report: ServiceReport) -> str:
             f"preemption        {report.n_preemption_events:10d} events "
             f"({report.n_preempted} requests displaced, "
             f"{report.n_migrated} migrated to another chip)"
+        )
+    if report.fault_stats:
+        f = report.fault_stats
+        mtbf = report.mtbf_s
+        lines.append(
+            f"faults            {f.get('n_crashes', 0):10d} crashes "
+            f"({f.get('n_recoveries', 0)} recovered, "
+            f"{f.get('n_requeued', 0)} frames requeued, "
+            f"{report.n_failed} requests lost)"
+        )
+        lines.append(
+            f"availability      {report.fleet_availability * 100:10.1f} %"
+            + (f"  (MTBF {mtbf * 1e3:.1f} ms)" if mtbf is not None else "")
+        )
+    if report.hedge_stats:
+        h = report.hedge_stats
+        lines.append(
+            f"hedging           {h.get('n_hedged', 0):10d} hedged "
+            f"({h.get('n_wins', 0)} clone wins, "
+            f"{h.get('n_wasted', 0)} duplicates wasted, "
+            f"{h.get('wasted_work_s', 0.0) * 1e3:.1f} ms duplicate work)"
         )
     tenant_rows = report.tenant_report()
     if len(tenant_rows) > 1:

@@ -135,6 +135,12 @@ class RenderResponse:
     dispatched_s: float = 0.0
     preemptions: int = 0
     migrated: bool = False
+    # Chaos history: how many times a chip crash re-queued this request
+    # before the attempt that completed (each retry pays the fault
+    # plan's checkpoint-rollback cost), and whether this response was
+    # won by a hedged duplicate rather than the primary dispatch.
+    requeues: int = 0
+    hedged: bool = False
 
     @property
     def service_s(self) -> float:
@@ -185,5 +191,7 @@ class RenderResponse:
             "dispatched_s": self.dispatched_s,
             "preemptions": self.preemptions,
             "migrated": self.migrated,
+            "requeues": self.requeues,
+            "hedged": self.hedged,
             "slo_met": self.slo_met,
         }

@@ -35,6 +35,7 @@ from repro.serve.autoscaler import Autoscaler
 from repro.serve.batcher import PipelineBatcher
 from repro.serve.cluster import ServeCluster
 from repro.serve.engine import EventEngine, TracePrefetcher
+from repro.serve.faults import FaultPlan, HedgePolicy
 from repro.serve.metrics import ServiceReport
 from repro.serve.request import RenderRequest
 from repro.serve.trace_cache import TraceCache
@@ -55,6 +56,8 @@ def simulate_service(
     preempt: bool = False,
     trace_library: TraceLibrary | str | None = None,
     observer: object | None = None,
+    faults: "FaultPlan | None" = None,
+    hedge: "HedgePolicy | bool | None" = None,
 ) -> ServiceReport:
     """Serve every admitted request on the fleet; returns the report.
 
@@ -94,6 +97,17 @@ def simulate_service(
     (the default) or an observer with no sinks records nothing and costs
     one pointer check per instrumentation site; either way the returned
     report is byte-identical.
+
+    ``faults`` (a :class:`repro.serve.faults.FaultPlan`) injects chip
+    crashes, straggler windows, and compile-worker stalls as first-class
+    events: in-flight work on a crashed chip re-queues (paying the
+    plan's checkpoint-rollback cost on retry), the autoscaler sees dead
+    chips as lost capacity, and admission's projected-wait model learns
+    per-chip effective speed. An empty plan is byte-identical to none.
+    ``hedge`` (``True`` or a :class:`~repro.serve.faults.HedgePolicy`)
+    duplicates requests whose queue age crosses a quantile-derived
+    threshold onto a second chip; the first copy to finish wins and the
+    report stays exactly-once.
     """
     prefetcher = None
     if prefetch:
@@ -112,5 +126,7 @@ def simulate_service(
         preempt=preempt,
         trace_library=trace_library,
         observer=observer,
+        faults=faults,
+        hedge=hedge,
     )
     return engine.run()

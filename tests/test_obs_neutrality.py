@@ -133,3 +133,49 @@ class TestHardScenarioNeutrality:
         bare = self.run_compile_pool()
         observed = self.run_compile_pool(Observer())
         assert serialized(bare) == serialized(observed)
+
+
+class TestChaosNeutrality:
+    """Fault and hedging hooks (on_crash / on_recover / on_hedge /
+    on_hedge_settle, plus the flight recorder's chip-crash trigger) are
+    the newest observer surface; a crash-recovery run with hedging must
+    stay byte-identical observed or not."""
+
+    def run_chaos(self, observer=None):
+        from repro.serve import ChipCrash, FaultPlan, HedgePolicy, \
+            StragglerWindow
+
+        trace = generate_traffic("bursty", n_requests=80, rate_rps=8000.0,
+                                 seed=9, resolution=(64, 64), slo_s=0.002)
+        horizon = max(r.arrival_s for r in trace)
+        plan = FaultPlan(
+            crashes=[ChipCrash(0, horizon * 0.3, horizon * 0.4),
+                     ChipCrash(2, horizon * 0.6, None)],
+            stragglers=[StragglerWindow(1, 0.0, horizon, 4.0)],
+            rollback_s=0.0005,
+        )
+        return simulate_service(
+            trace,
+            ServeCluster(3),
+            cache=TraceCache(capacity=64,
+                             compile_fn=lambda key: stub_program(key[1])),
+            batcher=PipelineBatcher(),
+            faults=plan,
+            hedge=HedgePolicy(quantile=0.5, min_samples=8, window=64),
+            observer=observer,
+        )
+
+    def test_crash_recovery_run_is_neutral(self):
+        bare = self.run_chaos()
+        observer = full_observer()
+        observed = self.run_chaos(observer)
+        # The scenario really exercised the chaos hooks...
+        assert bare.fault_stats["n_crashes"] == 2
+        assert bare.fault_stats["n_recoveries"] == 1
+        assert bare.hedge_stats["n_hedged"] > 0
+        # ...the flight recorder caught the crashes...
+        assert observer.flight is not None
+        reasons = [d["reason"] for d in observer.flight.dumps]
+        assert any(r.startswith("chip-crash") for r in reasons)
+        # ...and none of it moved a single number.
+        assert serialized(bare) == serialized(observed)

@@ -514,3 +514,145 @@ def test_warm_start_is_schedule_neutral_without_compile_latency():
     assert cold_cache["warmed"] == 0
     assert warm_cache["warmed"] > 0
     assert warm_cache["misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Chaos goldens: the ext_chaos storm (permanent chip loss + straggler
+# window) replayed clean / naive / chaos-hardened, frozen arm by arm.
+# ----------------------------------------------------------------------
+#: The scenario is imported from the analysis experiment itself so the
+#: goldens pin exactly what ``repro report ext_chaos`` prints: one
+#: deterministic bursty trace, chip 0 lost for good a quarter in, chip 1
+#: straggling at 8x for most of the rest, 2 ms rollback per retry.
+from repro.analysis.chaos import (   # noqa: E402
+    CHAOS_HEDGE,
+    CHAOS_WORKLOAD,
+    _autoscaler as chaos_autoscaler,
+    _run as chaos_run,
+    chaos_plan,
+)
+from repro.serve import FaultPlan, StragglerWindow, generate_traffic as _gen  # noqa: E402
+
+
+def run_chaos_arm(arm):
+    trace = _gen(**CHAOS_WORKLOAD)
+    plan = chaos_plan(max(r.arrival_s for r in trace))
+    if arm == "clean":
+        return chaos_run(trace)
+    if arm == "naive":
+        return chaos_run(trace, faults=plan)
+    return chaos_run(trace, faults=plan, hedge=CHAOS_HEDGE,
+                     autoscaler=chaos_autoscaler())
+
+
+@dataclass(frozen=True)
+class ChaosGolden:
+    slo_attainment: float
+    p50_ms: float
+    p99_ms: float
+    availability: float
+    n_requeued: int
+    n_hedge_won: int
+    peak_fleet: int
+
+
+GOLDEN_CHAOS = {
+    "clean": ChaosGolden(
+        slo_attainment=0.7291666666667, p50_ms=28.437346686,
+        p99_ms=115.013130671, availability=1.000000000,
+        n_requeued=0, n_hedge_won=0, peak_fleet=3),
+    "naive": ChaosGolden(
+        slo_attainment=0.2208333333333, p50_ms=144.438033567,
+        p99_ms=460.568908117, availability=0.732422749,
+        n_requeued=3, n_hedge_won=0, peak_fleet=3),
+    "hardened": ChaosGolden(
+        slo_attainment=0.862500000, p50_ms=22.893048503,
+        p99_ms=118.771989129, availability=0.974549592,
+        n_requeued=0, n_hedge_won=43, peak_fleet=9),
+}
+
+
+@pytest.mark.parametrize("arm", sorted(GOLDEN_CHAOS))
+def test_chaos_numbers_are_frozen(arm):
+    golden = GOLDEN_CHAOS[arm]
+    report = run_chaos_arm(arm)
+    assert report.slo_attainment == pytest.approx(
+        golden.slo_attainment, rel=1e-9)
+    assert report.latency_p(50) * 1e3 == pytest.approx(golden.p50_ms, rel=1e-6)
+    assert report.latency_p(99) * 1e3 == pytest.approx(golden.p99_ms, rel=1e-6)
+    assert report.fleet_availability == pytest.approx(
+        golden.availability, rel=1e-9)
+    assert report.n_requeued == golden.n_requeued
+    assert report.n_hedge_won == golden.n_hedge_won
+    assert report.peak_fleet_size == golden.peak_fleet
+    # Conservation closes on every arm, chaos or not.
+    assert report.n_offered == (report.n_requests + report.n_shed
+                                + report.n_failed)
+
+
+def test_hedging_recovers_the_slo_cliff():
+    # The acceptance headline: on the chip-loss storm, hedging plus
+    # fault-aware autoscaling wins back >= 20 SLO points over the naive
+    # engine (the frozen numbers above say 64), at an availability the
+    # naive fleet cannot reach because it never replaces the dead chip.
+    naive = run_chaos_arm("naive")
+    hardened = run_chaos_arm("hardened")
+    assert (hardened.slo_attainment - naive.slo_attainment) >= 0.20
+    assert hardened.fleet_availability > naive.fleet_availability
+    assert hardened.hedge_stats["n_wins"] > 0
+
+
+# ----------------------------------------------------------------------
+# Straggler-heavy fleet golden: the bursty scheduler scenario with two
+# of three chips dilated (6x and 3x) for the whole run — the tail moves
+# almost 3x while the schedule stays deterministic.
+# ----------------------------------------------------------------------
+_STRAGGLER_PLAN = FaultPlan(stragglers=[
+    StragglerWindow(0, 0.0, 1.0, 6.0),
+    StragglerWindow(1, 0.0, 1.0, 3.0),
+])
+
+GOLDEN_STRAGGLER = {
+    # (p99 ms, SLO attainment); None == fault-free reference.
+    None: (1.428536610, 0.7833333333333),
+    _STRAGGLER_PLAN: (4.013006559, 0.4833333333333),
+}
+
+
+@pytest.mark.parametrize("plan", GOLDEN_STRAGGLER, ids=["base", "straggler"])
+def test_straggler_numbers_are_frozen(plan):
+    p99_ms, slo = GOLDEN_STRAGGLER[plan]
+    trace = _gen(pattern="bursty", n_requests=60, rate_rps=12000.0, seed=42,
+                 resolution=(64, 64), slo_s=0.0005)
+    report = simulate_service(
+        trace,
+        ServeCluster(3),
+        cache=TraceCache(capacity=64,
+                         compile_fn=lambda key: stub_program(key[1])),
+        batcher=PipelineBatcher(),
+        faults=plan,
+    )
+    assert report.latency_p(99) * 1e3 == pytest.approx(p99_ms, rel=1e-6)
+    assert report.slo_attainment == pytest.approx(slo, rel=1e-9)
+
+
+def test_empty_fault_plan_is_schedule_neutral():
+    # An attached-but-empty FaultPlan must reproduce the fault-free
+    # golden scenario byte for byte — the engine normalizes it away.
+    import json
+
+    def one_run(faults):
+        return run_scenario("bursty", "cost-aware") if faults is None else \
+            simulate_service(
+                _gen(pattern="bursty", n_requests=60, rate_rps=12000.0,
+                     seed=42, resolution=(64, 64), slo_s=0.0005),
+                ServeCluster(3, policy="cost-aware"),
+                cache=TraceCache(capacity=64,
+                                 compile_fn=lambda key: stub_program(key[1])),
+                batcher=PipelineBatcher(),
+                faults=faults,
+            )
+
+    bare = json.dumps(one_run(None).to_dict(), sort_keys=True)
+    attached = json.dumps(one_run(FaultPlan()).to_dict(), sort_keys=True)
+    assert bare == attached
