@@ -4,15 +4,22 @@ Every benchmark regenerates one table or figure of the paper on the
 *full* scene sets, saves the paper-style text under
 ``benchmarks/results/``, asserts its shape claims, and times a
 representative kernel with pytest-benchmark.
+
+The engine perf smokes additionally record their measured simulation
+rates into ``BENCH_engine.json`` at the repo root — the machine-read
+perf trajectory (scenario -> measured req/s + asserted floor) that CI
+uploads as a build artifact.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
 
 
 @pytest.fixture(scope="session")
@@ -29,3 +36,34 @@ def save_text(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def record_bench():
+    """Accumulate engine-floor measurements; flush to BENCH_engine.json.
+
+    Scenarios merge into whatever the file already holds, so a partial
+    run (``pytest benchmarks/test_engine_perf.py -k bare``) refreshes
+    only the scenarios it measured.
+    """
+    entries: dict[str, dict] = {}
+
+    def _record(scenario: str, measured_rps: float, floor_rps: float,
+                n_requests: int) -> None:
+        entries[scenario] = {
+            "measured_rps": round(measured_rps, 1),
+            "floor_rps": floor_rps,
+            "n_requests": n_requests,
+        }
+
+    yield _record
+
+    if not entries:
+        return
+    merged: dict[str, dict] = {}
+    if BENCH_JSON.exists():
+        merged = json.loads(BENCH_JSON.read_text()).get("scenarios", {})
+    merged.update(entries)
+    BENCH_JSON.write_text(json.dumps(
+        {"scenarios": {name: merged[name] for name in sorted(merged)}},
+        indent=2) + "\n")

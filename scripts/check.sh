@@ -12,6 +12,9 @@
 # a trace library through a temp dir (the second invocation must
 # warm-start from what the first one flushed), and an observability
 # run whose --trace-out artifact must schema-validate and summarize.
+# Finally, pin the sweep runner's determinism contract: the same sweep
+# run serially and across 2 worker processes must merge to
+# byte-identical JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,3 +82,12 @@ PY
 python -m repro trace "$LIBDIR/serve.trace.json" > "$LIBDIR/trace_summary.txt"
 grep -q "trace events" "$LIBDIR/trace_summary.txt"
 head -1 "$LIBDIR/metrics.csv" | grep -q '^t_s,'
+
+# Parallel sweep runner: 2 configurations across 2 worker processes
+# must merge byte-identically to the serial run (seeded traces, no
+# wall-clock in the artifact, name-sorted merge).
+python -m repro sweep --set requests=80 --set rate=400 \
+  --vary chips=2,3 --workers 1 --out "$LIBDIR/sweep_serial.json"
+python -m repro sweep --set requests=80 --set rate=400 \
+  --vary chips=2,3 --workers 2 --out "$LIBDIR/sweep_parallel.json"
+diff "$LIBDIR/sweep_serial.json" "$LIBDIR/sweep_parallel.json"

@@ -22,6 +22,7 @@ failed-unrecoverable).
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
+from repro.errors import ConfigError
 from repro.serve import (
     Autoscaler,
     ChipCrash,
@@ -82,6 +83,34 @@ def _run(trace, faults=None, hedge=None, autoscaler=None):
     )
 
 
+#: The experiment's independent arms, in presentation order.
+CHAOS_ARMS = ("clean", "naive", "hardened")
+
+
+def chaos_arm(name: str, workload: dict | None = None):
+    """Run one chaos arm as a self-contained unit of work.
+
+    Each arm regenerates its trace and fault plan deterministically
+    from the workload (``generate_traffic`` is seeded), so arms can run
+    in separate worker processes — the sweep runner's unit of
+    parallelism — and still produce reports byte-identical to the
+    sequential :func:`chaos_summary` path.
+    """
+    workload = dict(CHAOS_WORKLOAD, **(workload or {}))
+    trace = generate_traffic(**workload)
+    if name == "clean":
+        return _run(trace)
+    horizon_s = max(r.arrival_s for r in trace)
+    plan = chaos_plan(horizon_s)
+    if name == "naive":
+        return _run(trace, faults=plan)
+    if name == "hardened":
+        return _run(trace, faults=plan, hedge=CHAOS_HEDGE,
+                    autoscaler=_autoscaler())
+    raise ConfigError(
+        f"unknown chaos arm {name!r}; choose from {CHAOS_ARMS}")
+
+
 def chaos_summary(workload: dict | None = None) -> dict:
     """Clean vs naive-chaos vs chaos-hardened serving, one fault plan."""
     workload = dict(CHAOS_WORKLOAD, **(workload or {}))
@@ -89,10 +118,9 @@ def chaos_summary(workload: dict | None = None) -> dict:
     horizon_s = max(r.arrival_s for r in trace)
     plan = chaos_plan(horizon_s)
 
-    clean = _run(trace)
-    naive = _run(trace, faults=plan)
-    hardened = _run(trace, faults=plan, hedge=CHAOS_HEDGE,
-                    autoscaler=_autoscaler())
+    clean = chaos_arm("clean", workload)
+    naive = chaos_arm("naive", workload)
+    hardened = chaos_arm("hardened", workload)
 
     recovery_pts = (hardened.slo_attainment - naive.slo_attainment) * 100
 

@@ -46,6 +46,7 @@ from dataclasses import replace
 
 from repro.core.config import CompileLatencyModel
 from repro.analysis.tables import format_table
+from repro.errors import ConfigError
 from repro.serve import (
     Autoscaler,
     DEFAULT_TENANT,
@@ -217,6 +218,47 @@ TENANT_WORKLOAD = dict(
 
 TENANT_CHIPS = 3
 
+#: The experiment's independent arms, in presentation order.
+TENANT_ARMS = ("single-class", "tiered", "weighted+preempt",
+               "weighted+preempt+autoscale")
+
+
+def _tenant_run(requests, admission=None, preempt=False, autoscaler=None):
+    return simulate_service(
+        requests,
+        ServeCluster(TENANT_CHIPS, policy="pipeline-affinity"),
+        cache=TraceCache(),
+        batcher=PipelineBatcher(),
+        admission=make_admission_policy(admission) if admission else None,
+        autoscaler=autoscaler,
+        preempt=preempt,
+    )
+
+
+def tenant_arm(name: str, workload: dict | None = None):
+    """Run one multi-tenant arm as a self-contained unit of work.
+
+    Regenerates the tenant-tagged trace deterministically in-process
+    (``generate_tenant_traffic`` is seeded), so each arm can run in its
+    own worker process under the sweep runner and still produce a
+    report byte-identical to the sequential :func:`tenant_summary`.
+    """
+    workload = dict(TENANT_WORKLOAD, **(workload or {}))
+    trace = generate_tenant_traffic(list(TENANT_MIX), **workload)
+    if name == "single-class":
+        return _tenant_run([replace(r, tenant=DEFAULT_TENANT) for r in trace])
+    if name == "tiered":
+        return _tenant_run(trace)
+    if name == "weighted+preempt":
+        return _tenant_run(trace, admission="weighted", preempt=True)
+    if name == "weighted+preempt+autoscale":
+        return _tenant_run(
+            trace, admission="weighted", preempt=True,
+            autoscaler=make_elastic_autoscaler(
+                min_chips=TENANT_CHIPS, max_chips=TENANT_CHIPS + 3))
+    raise ConfigError(
+        f"unknown tenant arm {name!r}; choose from {TENANT_ARMS}")
+
 
 def tenant_summary(workload: dict | None = None) -> dict:
     """Multi-tenant QoS ladder on one two-class overload trace.
@@ -233,26 +275,14 @@ def tenant_summary(workload: dict | None = None) -> dict:
     """
     workload = dict(workload or TENANT_WORKLOAD)
     trace = generate_tenant_traffic(list(TENANT_MIX), **workload)
-    stripped = [replace(r, tenant=DEFAULT_TENANT) for r in trace]
     effective_slo = {r.request_id: r.effective_slo_s for r in trace}
     tenant_of = {r.request_id: r.tenant.name for r in trace}
-
-    def run(requests, admission=None, preempt=False, autoscaler=None):
-        return simulate_service(
-            requests,
-            ServeCluster(TENANT_CHIPS, policy="pipeline-affinity"),
-            cache=TraceCache(),
-            batcher=PipelineBatcher(),
-            admission=make_admission_policy(admission) if admission else None,
-            autoscaler=autoscaler,
-            preempt=preempt,
-        )
 
     reports = {}
     rows = []
 
     # Single-class baseline: the fleet cannot tell the tenants apart.
-    baseline = run(stripped)
+    baseline = tenant_arm("single-class", workload)
     reports["single-class"] = baseline.to_dict()
     per_class: dict[str, list] = {}
     for response in baseline.responses:
@@ -269,16 +299,8 @@ def tenant_summary(workload: dict | None = None) -> dict:
             f"{p99 * 1e3:.1f}", 0, 0, 0, "-",
         ])
 
-    variants = {
-        "tiered": dict(),
-        "weighted+preempt": dict(admission="weighted", preempt=True),
-        "weighted+preempt+autoscale": dict(
-            admission="weighted", preempt=True,
-            autoscaler=make_elastic_autoscaler(
-                min_chips=TENANT_CHIPS, max_chips=TENANT_CHIPS + 3)),
-    }
-    for name, kwargs in variants.items():
-        report = run(trace, **kwargs)
+    for name in TENANT_ARMS[1:]:
+        report = tenant_arm(name, workload)
         reports[name] = report.to_dict()
         tenants = report.tenant_report()
         for tenant_name, e in tenants.items():
@@ -404,6 +426,45 @@ def make_wave_autoscaler(mode: str) -> Autoscaler:
     )
 
 
+#: The experiment's independent fleet arms, in presentation order. The
+#: warm/cold restart phases are deliberately *not* arms: they share one
+#: TraceLibrary sequentially (warm depends on cold's flush), so they
+#: cannot be fanned out.
+PREDICTIVE_ARMS = ("static", "reactive", "predictive")
+
+
+def predictive_arm(name: str, workload: dict | None = None):
+    """Run one predictive-serving fleet arm as a self-contained unit.
+
+    Regenerates the diurnal trace deterministically in-process, so each
+    arm can run in its own worker process under the sweep runner and
+    still produce a report byte-identical to the sequential
+    :func:`predictive_summary` fleet table.
+    """
+    workload = dict(PREDICTIVE_WORKLOAD, **(workload or {}))
+    trace = generate_traffic(**workload)
+    if name == "static":
+        kwargs = dict(
+            cluster=ServeCluster(PREDICTIVE_MAX_CHIPS,
+                                 policy="pipeline-affinity"),
+        )
+    elif name in ("reactive", "predictive"):
+        kwargs = dict(
+            cluster=ServeCluster(PREDICTIVE_MIN_CHIPS,
+                                 policy="pipeline-affinity"),
+            autoscaler=make_wave_autoscaler(name),
+        )
+    else:
+        raise ConfigError(
+            f"unknown predictive arm {name!r}; choose from {PREDICTIVE_ARMS}")
+    return simulate_service(
+        trace,
+        cache=TraceCache(),
+        batcher=PipelineBatcher(),
+        **kwargs,
+    )
+
+
 def predictive_summary(workload: dict | None = None) -> dict:
     """Reactive vs forecast-led autoscaling on a diurnal wave, plus the
     trace library's warm-vs-cold restart.
@@ -420,31 +481,10 @@ def predictive_summary(workload: dict | None = None) -> dict:
     workload = dict(workload or PREDICTIVE_WORKLOAD)
     trace = generate_traffic(**workload)
 
-    variants = {
-        "static": dict(
-            cluster=ServeCluster(PREDICTIVE_MAX_CHIPS,
-                                 policy="pipeline-affinity"),
-        ),
-        "reactive": dict(
-            cluster=ServeCluster(PREDICTIVE_MIN_CHIPS,
-                                 policy="pipeline-affinity"),
-            autoscaler=make_wave_autoscaler("reactive"),
-        ),
-        "predictive": dict(
-            cluster=ServeCluster(PREDICTIVE_MIN_CHIPS,
-                                 policy="pipeline-affinity"),
-            autoscaler=make_wave_autoscaler("predictive"),
-        ),
-    }
     rows = []
     reports: dict[str, dict] = {}
-    for name, kwargs in variants.items():
-        report = simulate_service(
-            trace,
-            cache=TraceCache(),
-            batcher=PipelineBatcher(),
-            **kwargs,
-        )
+    for name in PREDICTIVE_ARMS:
+        report = predictive_arm(name, workload)
         reports[name] = report.to_dict()
         rows.append([
             name,

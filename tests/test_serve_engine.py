@@ -403,3 +403,87 @@ class TestCacheEvictionOrder:
         )
         assert report.cache_stats["evictions"] > 0
         assert len(report.responses) == 120
+
+
+class TestTieBreakContract:
+    """The pinned ``(t, kind, seq)`` event ordering.
+
+    The engine's correctness under the columnar refactor hangs on one
+    total order (documented at the event-kind constants in
+    ``engine.py``): events sort by timestamp, then by *kind* — arrivals
+    (kind 0) before every dynamic event — then by monotonic insertion
+    seq within a kind. These tests pin both halves: the heap's pop
+    order under a shuffled same-instant burst, and the user-visible
+    consequence (an arrival racing a compile completion at the same
+    instant must observe the cache *before* the compile lands).
+    """
+
+    def test_shuffled_same_instant_events_pop_in_kind_seq_order(self):
+        import heapq
+        import random
+
+        from repro.serve.engine import (
+            EventEngine,
+            _CHIP_CRASH,
+            _CHIP_FREE,
+            _CHIP_RECOVER,
+            _COMPILE_DONE,
+            _HEDGE_SETTLE,
+            _SCALE_TICK,
+        )
+
+        engine = EventEngine([request(0)], cache=stub_cache())
+        kinds = [_COMPILE_DONE, _CHIP_FREE, _SCALE_TICK, _CHIP_CRASH,
+                 _CHIP_RECOVER, _HEDGE_SETTLE] * 3
+        random.Random(42).shuffle(kinds)
+        for index, kind in enumerate(kinds):
+            engine._push(1.0, kind, payload=index)
+        popped = [heapq.heappop(engine._events)
+                  for _ in range(len(engine._events))]
+        assert popped == sorted(popped), \
+            "heap must yield strict (t, kind, seq) order"
+        # Within one kind, seq preserves push order exactly.
+        for kind in set(kinds):
+            same = [payload for (_t, k, _s, payload) in popped
+                    if k == kind and payload is not None]
+            assert same == sorted(same)
+
+    def test_arrival_seqs_precede_dynamic_seqs(self):
+        from repro.serve.engine import EventEngine, _SCALE_TICK
+
+        requests = [request(i, arrival=0.001 * i) for i in range(5)]
+        engine = EventEngine(requests, cache=stub_cache())
+        # Arrivals own seqs 0..n-1 (their sorted order); the first
+        # dynamic push continues the numbering after them, so at equal
+        # (t, kind) an arrival-era seq can never lose to a dynamic one.
+        assert engine._event_seq == len(requests)
+        engine._push(0.0, _SCALE_TICK)
+        assert engine._events[0][2] == len(requests)
+
+    def test_arrival_at_compile_done_instant_misses(self):
+        # Request A misses and submits an async compile finishing at
+        # instant d. Request B (same trace key) arrives at exactly d:
+        # the arrival (kind 0) ingests before the compile-done event
+        # (kind 1) lands the program, so B must register as a miss that
+        # joins the in-flight compile — never as a hit.
+        done_s = MODEL.latency_s(stub_program("hashgrid"))
+        requests = [request(0, arrival=0.0),
+                    request(1, arrival=done_s)]
+        report = simulate_service(
+            requests, ServeCluster(1),
+            cache=stub_cache(model=MODEL),
+            batcher=PipelineBatcher(),
+            compile_workers=1, compile_latency=MODEL,
+        )
+        by_id = {r.request.request_id: r for r in report.responses}
+        assert not by_id[0].cache_hit
+        assert not by_id[1].cache_hit
+        # A third request strictly after d sees the landed program.
+        late = simulate_service(
+            [request(0, arrival=0.0), request(1, arrival=done_s * 2)],
+            ServeCluster(1), cache=stub_cache(model=MODEL),
+            batcher=PipelineBatcher(),
+            compile_workers=1, compile_latency=MODEL,
+        )
+        by_id = {r.request.request_id: r for r in late.responses}
+        assert by_id[1].cache_hit
