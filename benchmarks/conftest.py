@@ -21,6 +21,35 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: merge without inter-process locking
+    fcntl = None
+
+
+def merge_bench_file(path: pathlib.Path, entries: dict[str, dict]) -> dict:
+    """Merge scenario measurements into the JSON recorder at ``path``.
+
+    A partial run (``pytest benchmarks/test_engine_perf.py -k bare``, or
+    one ``-n`` worker's slice) must refresh only the scenarios it
+    measured — never clobber the rest. The read-modify-write happens
+    under an exclusive ``flock`` so concurrent workers serialize instead
+    of losing each other's scenarios. Returns the merged mapping.
+    """
+    with open(path, "a+", encoding="utf-8") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        handle.seek(0)
+        raw = handle.read()
+        merged = json.loads(raw).get("scenarios", {}) if raw.strip() else {}
+        merged.update(entries)
+        handle.seek(0)
+        handle.truncate()
+        handle.write(json.dumps(
+            {"scenarios": {name: merged[name] for name in sorted(merged)}},
+            indent=2) + "\n")
+    return merged
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
@@ -58,12 +87,5 @@ def record_bench():
 
     yield _record
 
-    if not entries:
-        return
-    merged: dict[str, dict] = {}
-    if BENCH_JSON.exists():
-        merged = json.loads(BENCH_JSON.read_text()).get("scenarios", {})
-    merged.update(entries)
-    BENCH_JSON.write_text(json.dumps(
-        {"scenarios": {name: merged[name] for name in sorted(merged)}},
-        indent=2) + "\n")
+    if entries:
+        merge_bench_file(BENCH_JSON, entries)

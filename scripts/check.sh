@@ -7,7 +7,9 @@
 # the observer on/off floors, and the fault path), then smoke-run the
 # serving CLI end to end — static fleet, autoscaled heterogeneous
 # fleet with admission, async compile with prefetch, a two-tenant QoS
-# run with weighted admission and preemption, a chaos run with fault
+# run with weighted admission and preemption, a strict-tier QoS run
+# diffed columnar-vs---no-columnar (the per-tier lanes must be
+# byte-identical to the scalar loop), a chaos run with fault
 # injection and hedging, a predictive-autoscaling run that round-trips
 # a trace library through a temp dir (the second invocation must
 # warm-start from what the first one flushed), and an observability
@@ -31,6 +33,8 @@ python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py \
 python -m pytest -q tests/test_obs_tracer.py tests/test_obs_metrics.py \
   tests/test_obs_export.py tests/test_obs_flight.py tests/test_obs_neutrality.py
 python -m pytest -q benchmarks/test_engine_perf.py
+LIBDIR="$(mktemp -d)"
+trap 'rm -rf "$LIBDIR"' EXIT
 python -m repro serve --requests 50 --chips 2 --width 320 --height 180
 python -m repro serve --requests 40 --chips 3 --min-chips 1 \
   --traffic bursty --width 320 --height 180 \
@@ -41,6 +45,20 @@ python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
   --traffic bursty --rate 300 \
   --tenants 'premium:tier=0,weight=4,share=0.25;economy:tier=1,slo=2' \
   --admission weighted --preempt
+
+# QoS-columnar smoke: a strict-tier two-tenant run (no weighted
+# budgets, no preemption) rides the columnar per-tier lanes; its
+# report must be byte-identical to the same run forced onto the
+# scalar reference loop with --no-columnar.
+python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
+  --traffic bursty --rate 300 --seed 5 \
+  --tenants 'premium:tier=0,share=0.25;economy:tier=1,slo=2' \
+  > "$LIBDIR/qos_columnar.txt"
+python -m repro serve --requests 40 --chips 2 --width 160 --height 90 \
+  --traffic bursty --rate 300 --seed 5 \
+  --tenants 'premium:tier=0,share=0.25;economy:tier=1,slo=2' \
+  --no-columnar > "$LIBDIR/qos_scalar.txt"
+diff "$LIBDIR/qos_columnar.txt" "$LIBDIR/qos_scalar.txt"
 
 # Chaos serving: literal fault spec (recoverable crash + straggler +
 # rollback) with hedging, and a seeded random plan; both must report
@@ -55,8 +73,6 @@ python -m repro serve --requests 60 --chips 3 --width 160 --height 90 \
   | grep "crashes" > /dev/null
 
 # Predictive serving: trace-library round trip + forecast-led autoscaling.
-LIBDIR="$(mktemp -d)"
-trap 'rm -rf "$LIBDIR"' EXIT
 python -m repro serve --requests 40 --chips 3 --min-chips 1 \
   --traffic diurnal --width 160 --height 90 \
   --trace-library "$LIBDIR/traces.json" --autoscale predictive
@@ -85,9 +101,12 @@ head -1 "$LIBDIR/metrics.csv" | grep -q '^t_s,'
 
 # Parallel sweep runner: 2 configurations across 2 worker processes
 # must merge byte-identically to the serial run (seeded traces, no
-# wall-clock in the artifact, name-sorted merge).
-python -m repro sweep --set requests=80 --set rate=400 \
+# wall-clock in the artifact, name-sorted merge). The rate axis lists
+# one value twice in different float spellings — the parser must
+# collapse them to one arm instead of minting colliding merge keys.
+python -m repro sweep --set requests=80 --vary 'rate=400.0,400' \
   --vary chips=2,3 --workers 1 --out "$LIBDIR/sweep_serial.json"
-python -m repro sweep --set requests=80 --set rate=400 \
+python -m repro sweep --set requests=80 --vary 'rate=400.0,400' \
   --vary chips=2,3 --workers 2 --out "$LIBDIR/sweep_parallel.json"
 diff "$LIBDIR/sweep_serial.json" "$LIBDIR/sweep_parallel.json"
+grep -c '"name": "chips=' "$LIBDIR/sweep_serial.json" | grep -qx 2

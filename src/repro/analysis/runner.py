@@ -161,6 +161,10 @@ def scenario_points(base: dict | None = None,
     if not vary:
         return [dict(spec, kind="scenario", name="base")]
     axes = sorted(vary)
+    # Point names encode parsed values, so equal values ("0.50" and
+    # "0.5" both coerce to 0.5) would mint two points under one merge
+    # key; collapse duplicates per axis, first occurrence wins.
+    vary = {axis: list(dict.fromkeys(vary[axis])) for axis in axes}
     points = []
     for values in itertools.product(*(vary[axis] for axis in axes)):
         point = dict(spec)

@@ -160,6 +160,7 @@ def _cmd_serve(args) -> int:
             observer=observer if index == 0 else None,
             faults=faults,
             hedge=args.hedge,
+            columnar=not args.no_columnar,
         )
         print(format_service_report(static))
         if library is not None:
@@ -199,6 +200,7 @@ def _cmd_serve(args) -> int:
                 trace_library=fresh_library(),
                 faults=faults,
                 hedge=args.hedge,
+                columnar=not args.no_columnar,
             )
             print()
             print(format_service_report(autoscaled))
@@ -287,7 +289,11 @@ def _cmd_sweep(args) -> int:
         vary: dict = {}
         for entry in args.vary or []:
             key, raw = parse_assignment(entry)
-            vary[key] = [coerce(key, value) for value in raw.split(",")]
+            # Dedupe on *parsed* values: "0.50" and "0.5" are one float,
+            # and two points with one name would collide in the
+            # name-sorted sweep merge.
+            vary[key] = list(dict.fromkeys(
+                coerce(key, value) for value in raw.split(",")))
         points = scenario_points(base, vary)
 
     started = time.perf_counter()
@@ -463,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. 'crash=1@0.010+0.050;slow=2@0-0.1x4'; "
                             "or 'seeded:seed=S,chips=N,horizon=H[,...]' "
                             "for a randomized plan")
+    serve.add_argument("--no-columnar", action="store_true",
+                       help="force the scalar reference event loop even "
+                            "for configurations the columnar fast path "
+                            "accepts (reports are byte-identical either "
+                            "way; this is the escape hatch / A-B knob)")
     serve.add_argument("--hedge", action="store_true",
                        help="arm request hedging: duplicate a queued "
                             "request onto a second chip once its queue "

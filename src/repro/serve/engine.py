@@ -86,7 +86,7 @@ from repro.obs.observer import Observer, resolve_observer
 from repro.serve.admission import AdmissionPolicy, ShedRecord
 from repro.serve.autoscaler import Autoscaler
 from repro.serve.batcher import Batch, PipelineBatcher
-from repro.serve.cluster import ChipState, ServeCluster
+from repro.serve.cluster import ChipScoreLanes, ChipState, ServeCluster
 from repro.serve.faults import (FailedRecord, FaultPlan, HedgePolicy,
                                 resolve_faults, resolve_hedge)
 from repro.serve.metrics import ServiceReport, publish_report
@@ -701,6 +701,166 @@ class _PendingIndex:
 
 
 # ----------------------------------------------------------------------
+# Deferred observability (the columnar loop's event buffer)
+# ----------------------------------------------------------------------
+class _ColumnarObsLog:
+    """Event buffer the columnar loop records into instead of calling
+    the observer per event.
+
+    Rows live in preallocated (kind, t, int, float) columns that double
+    on demand, plus one aligned object slot (request / response /
+    pipeline name) — the hot loop pays a handful of array stores per
+    event instead of a Python observer dispatch. :meth:`replay` then
+    drives the real :class:`~repro.obs.observer.Observer` at the end of
+    the run, firing every hook in exactly the scalar loop's call order.
+
+    Why replay is exact: each row is stamped with the scalar iteration
+    instant it would have fired at (the arrival instant for ingest
+    hooks, the dispatch instant for batch/frame hooks), and rows are
+    appended in non-decreasing stamp order with ingest-before-dispatch
+    at equal stamps — the scalar order. The scalar loop additionally
+    calls ``maybe_snapshot(now)`` once per event-loop instant; for a
+    columnar-eligible run those instants are exactly the distinct
+    arrival timestamps plus the batch-finish (chip-free) instants, both
+    of which the buffer has, so the replay interleaves snapshot calls
+    at every recorded instant strictly below the next row's stamp.
+    Duplicate snapshot calls are no-ops (the cadence gate), so the
+    dedup changes nothing. Cache hit/miss/eviction counters — live
+    mirrors on the scalar path — are unbound during the run and
+    replayed here per frame from the recorded deltas, so a mid-run
+    flight-recorder capture sees the same registry state either way.
+    """
+
+    _ARRIVE = 0
+    _ADMIT = 1
+    _SHED = 2
+    _CACHE = 3
+    _COMPILE = 4
+    _RESPONSE = 5
+    _BATCH = 6
+
+    __slots__ = ("kind", "t", "i0", "i1", "i2", "i3", "f0", "f1",
+                 "obj", "n", "finishes", "record_cache")
+
+    def __init__(self, capacity: int, record_cache: bool) -> None:
+        capacity = max(capacity, 64)
+        self.kind = np.empty(capacity, dtype=np.int8)
+        self.t = np.empty(capacity, dtype=np.float64)
+        self.i0 = np.zeros(capacity, dtype=np.int64)
+        self.i1 = np.zeros(capacity, dtype=np.int64)
+        self.i2 = np.zeros(capacity, dtype=np.int64)
+        self.i3 = np.zeros(capacity, dtype=np.int64)
+        self.f0 = np.zeros(capacity, dtype=np.float64)
+        self.f1 = np.zeros(capacity, dtype=np.float64)
+        self.obj: list[object] = []
+        self.n = 0
+        #: Batch-finish instants (the chip-free events the columnar loop
+        #: never pushes) — with the arrival column, the snapshot grid.
+        self.finishes: list[float] = []
+        self.record_cache = record_cache
+
+    def _grow(self, need: int) -> None:
+        cap = len(self.kind)
+        while cap < need:
+            cap *= 2
+        for field in ("kind", "t", "i0", "i1", "i2", "i3", "f0", "f1"):
+            old = getattr(self, field)
+            new = np.zeros(cap, dtype=old.dtype)
+            new[:self.n] = old[:self.n]
+            setattr(self, field, new)
+
+    def append(self, kind: int, t: float, obj: object = None,
+               i0: int = 0, i1: int = 0, i2: int = 0, i3: int = 0,
+               f0: float = 0.0, f1: float = 0.0) -> None:
+        n = self.n
+        if n == len(self.kind):
+            self._grow(n + 1)
+        self.kind[n] = kind
+        self.t[n] = t
+        self.i0[n] = i0
+        self.i1[n] = i1
+        self.i2[n] = i2
+        self.i3[n] = i3
+        self.f0[n] = f0
+        self.f1[n] = f1
+        self.obj.append(obj)
+        self.n = n + 1
+
+    def append_arrivals(self, arr_np: np.ndarray, lo: int, hi: int,
+                        requests: Sequence) -> None:
+        """Bulk-record on_arrival rows for one ingest window (the
+        vectorized no-admission path)."""
+        w = hi - lo
+        n = self.n
+        if n + w > len(self.kind):
+            self._grow(n + w)
+        self.kind[n:n + w] = self._ARRIVE
+        self.t[n:n + w] = arr_np[lo:hi]
+        self.obj.extend(requests[lo:hi])
+        self.n = n + w
+
+    def replay(self, engine, arr_np: np.ndarray) -> None:
+        """Fire the recorded run into the observer, scalar order."""
+        obs = engine._obs
+        admission = engine.admission
+        metrics = obs.metrics
+        m_hits = m_misses = m_evictions = None
+        if metrics is not None:
+            m_hits = metrics.counter("cache.hits")
+            m_misses = metrics.counter("cache.misses")
+            m_evictions = metrics.counter("cache.evictions")
+        if self.finishes:
+            snap_ts = np.union1d(arr_np, np.asarray(self.finishes))
+        else:
+            snap_ts = np.unique(arr_np)
+        si = 0
+        ns = len(snap_ts)
+        kinds = self.kind
+        ts = self.t
+        objs = self.obj
+        wants = obs.wants
+        snapshot = obs.maybe_snapshot
+        for r in range(self.n):
+            t_row = ts[r]
+            while si < ns and snap_ts[si] < t_row:
+                snapshot(float(snap_ts[si]))
+                si += 1
+            kind = kinds[r]
+            if kind == self._CACHE:
+                if self.i0[r]:
+                    m_hits.inc()
+                else:
+                    m_misses.inc()
+                    if self.i1[r]:
+                        m_evictions.inc(int(self.i1[r]))
+            elif kind == self._RESPONSE:
+                resp = objs[r]
+                obs.on_response(resp, wants(resp.request.request_id))
+            elif kind == self._ARRIVE:
+                req = objs[r]
+                obs.on_arrival(float(t_row), req, wants(req.request_id))
+            elif kind == self._BATCH:
+                obs.on_batch(float(self.f0[r]), float(self.f1[r]),
+                             int(self.i0[r]), int(self.i1[r]),
+                             int(self.i2[r]), objs[r], int(self.i3[r]))
+            elif kind == self._COMPILE:
+                obs.on_compile_sync(float(self.f0[r]), float(self.f1[r]),
+                                    int(self.i0[r]), objs[r])
+            elif kind == self._ADMIT:
+                req = objs[r]
+                admission.note_verdict("admitted")
+                obs.on_admit(float(t_row), req, "admit",
+                             wants(req.request_id))
+            else:  # _SHED
+                req = objs[r]
+                admission.note_verdict("shed")
+                obs.on_shed(float(t_row), req, wants(req.request_id))
+        while si < ns:
+            snapshot(float(snap_ts[si]))
+            si += 1
+
+
+# ----------------------------------------------------------------------
 # Batch staging (the preemption unit)
 # ----------------------------------------------------------------------
 @dataclass
@@ -934,15 +1094,20 @@ class EventEngine:
 
         # -- columnar fast path eligibility ------------------------------
         # The de-interpreted run loop (:meth:`_run_columnar`) holds the
-        # pending set as index lanes over NumPy arrival/pipeline columns
-        # and skips the event heap entirely. It is taken only for
-        # configurations whose scalar schedule it reproduces bit for bit:
-        # a static fleet (no autoscaler, no faults), synchronous compile
-        # (no worker pool, no prefetch), one tenant class (no QoS, no
-        # preemption, no weighted admission), no observer, no hedging,
-        # and an admission policy that never rewrites requests (an
-        # unknown policy subclass conservatively falls back to scalar).
-        # ``columnar=False`` is the explicit escape hatch.
+        # pending set as per-(tier, pipeline) index lanes over NumPy
+        # arrival columns and skips the event heap entirely. It is taken
+        # only for configurations whose scalar schedule it reproduces
+        # bit for bit: a static fleet (no autoscaler, no faults, no
+        # hedging — chaos must stay on the reference loop), synchronous
+        # compile (no worker pool, no prefetch), no preemption (staging
+        # reorders dispatch mid-flight), no weighted admission (its
+        # per-tenant budgets rewrite the backlog projection), and an
+        # admission policy that never rewrites requests (an unknown
+        # policy subclass conservatively falls back to scalar). Strict-
+        # tier multi-tenant traffic and an attached observer *are*
+        # eligible: tiers get their own lanes, and observability is
+        # recorded into a :class:`_ColumnarObsLog` and replayed at
+        # finalize. ``columnar=False`` is the explicit escape hatch.
         self._price_memo: dict[int, dict[TraceKey,
                                          tuple[float, float, float]]] = {}
         self._columnar = bool(
@@ -950,14 +1115,32 @@ class EventEngine:
             and self.autoscaler is None
             and not self.async_compile
             and self.prefetcher is None
-            and not self._qos
-            and self._obs is None
+            and not self.preempt
             and self._faults is None
             and self._hedge is None
             and not self._tenant_aware
             and (admission is None
                  or not getattr(admission, "may_degrade", True))
         )
+        # Price-memo hygiene (both loops): an eviction may force a later
+        # recompile of the same key, and the memoized price row must not
+        # outlive the program it was priced for.
+        self.cache.on_evict = self._note_evicted
+        if self._columnar:
+            if self._obs is not None and self._obs.metrics is not None:
+                # Observability defers to the replay pass; detach the
+                # cache's live metric mirrors so the hot loop pays no
+                # per-access increments (the warm-start counts above
+                # landed live, before this point, in both run modes).
+                self.cache.unbind_metrics()
+
+    def _note_evicted(self, key: TraceKey) -> None:
+        """Cache eviction listener (columnar runs): drop the evicted
+        trace's price row from every chip's memo. A later recompile of
+        the key re-prices through the cost table instead of riding a
+        row memoized for the evicted program."""
+        for memo in self._price_memo.values():
+            memo.pop(key, None)
 
     # -- service-time estimation ---------------------------------------
     def _estimate(self, pipeline: str) -> float:
@@ -1941,10 +2124,15 @@ class EventEngine:
 
     # -- main loop -------------------------------------------------------
     def run(self) -> ServiceReport:
-        if self._columnar:
-            now = self._run_columnar()
-        else:
-            now = self._run_scalar()
+        try:
+            if self._columnar:
+                now = self._run_columnar()
+            else:
+                now = self._run_scalar()
+        finally:
+            # A shared cache outlives this engine; don't leave the
+            # eviction listener pointing at a finished run's memo.
+            self.cache.on_evict = None
         return self._finalize(now)
 
     def _run_scalar(self) -> float:
@@ -2043,6 +2231,21 @@ class EventEngine:
         within one instant arrivals ingest in sorted order, exactly the
         arrival-seq order. Float order inside a batch is preserved
         operation for operation in :meth:`_execute_columnar`.
+
+        Three extensions keep heavier configurations on this loop:
+
+        * **Per-tier lanes** — strict-tier multi-tenant traffic gets one
+          lane per (tier, pipeline); the anchor scan walks tiers most
+          premium first, so QoS dispatch order (premium drains first,
+          batches never mix tiers) is reproduced without the deque walk.
+          With one tier the addressing degenerates to the flat lanes.
+        * **Vectorized chip scoring** — stateless sharding policies
+          score over :class:`ChipScoreLanes` NumPy columns instead of
+          re-walking chip objects (round-robin keeps its stateful
+          cluster closure).
+        * **Deferred observability** — with an observer attached, every
+          would-be hook is recorded into a :class:`_ColumnarObsLog` and
+          replayed in scalar call order after the loop drains.
         """
         ordered = self._arrivals
         arrival_t = self._arrival_t
@@ -2058,9 +2261,26 @@ class EventEngine:
                 code = vocab[name] = len(vocab)
             codes[j] = code
         names = list(vocab)
-        # Per-pipeline index lanes over the columns + head cursors.
-        lanes: list[list[int]] = [[] for _ in names]
-        heads = [0] * len(names)
+        n_codes = len(names)
+        # Per-(tier, pipeline) index lanes over the columns + head
+        # cursors; lane ``tier_rank * n_codes + code``. A single tenant
+        # class collapses to the flat per-pipeline addressing.
+        tiers = sorted({request.tenant.tier for request in ordered})
+        n_tiers = len(tiers)
+        multi_tier = n_tiers > 1
+        if multi_tier:
+            tier_rank = {tier: k for k, tier in enumerate(tiers)}
+            tier_of = np.empty(n, dtype=np.int64)
+            for j, request in enumerate(ordered):
+                tier_of[j] = tier_rank[request.tenant.tier]
+            lane_code = tier_of * n_codes + codes
+            tier_pending = [0] * n_tiers
+        else:
+            lane_code = codes
+            tier_pending = None
+        n_lanes = n_tiers * n_codes
+        lanes: list[list[int]] = [[] for _ in range(n_lanes)]
+        heads = [0] * n_lanes
         pending = self._pending
         counts = pending.counts
         admission = self.admission
@@ -2070,6 +2290,15 @@ class EventEngine:
         max_batch = batcher.max_batch
         estimate = self._estimate
         shed = self._shed
+        # Stateless policies score over NumPy chip columns; round-robin
+        # (stateful rotation pointer) keeps the cluster's closure.
+        policy = cluster.policy_name
+        score = (ChipScoreLanes(chips, policy, vocab)
+                 if policy in ChipScoreLanes.SUPPORTED else None)
+        cost_aware = policy == "cost-aware"
+        obs = self._obs
+        log = (_ColumnarObsLog(2 * n, obs.metrics is not None)
+               if obs is not None else None)
 
         i = 0
         now = 0.0
@@ -2088,19 +2317,31 @@ class EventEngine:
                     hi = int(arr_np.searchsorted(bound, side="right"))
                     # -- ingest the arrival window [i, hi) --------------
                     if admission is None:
+                        if log is not None:
+                            log.append_arrivals(arr_np, i, hi, ordered)
                         if hi - i >= 64:
-                            window = codes[i:hi]
+                            window = lane_code[i:hi]
                             for code in np.unique(window):
                                 idx = np.nonzero(window == code)[0]
                                 lanes[code].extend((idx + i).tolist())
+                                if multi_tier:
+                                    tier_pending[int(code) // n_codes] += \
+                                        len(idx)
                         else:
-                            for j in range(i, hi):
-                                lanes[codes[j]].append(j)
+                            if multi_tier:
+                                for j in range(i, hi):
+                                    lanes[lane_code[j]].append(j)
+                                    tier_pending[tier_of[j]] += 1
+                            else:
+                                for j in range(i, hi):
+                                    lanes[lane_code[j]].append(j)
                         pending.n_pending += hi - i
                     else:
                         for j in range(i, hi):
                             request = ordered[j]
                             at = arrival_t[j]
+                            if log is not None:
+                                log.append(log._ARRIVE, at, request)
                             projected = self._project_wait(request, at)
                             verdict = admission.admit(
                                 request, at, projected,
@@ -2110,9 +2351,15 @@ class EventEngine:
                             if verdict is None:
                                 shed.append(ShedRecord(
                                     request, at, admission.name, projected))
+                                if log is not None:
+                                    log.append(log._SHED, at, request)
                                 continue
+                            if log is not None:
+                                log.append(log._ADMIT, at, request)
                             name = pipes[j]
-                            lanes[codes[j]].append(j)
+                            lanes[lane_code[j]].append(j)
+                            if multi_tier:
+                                tier_pending[tier_of[j]] += 1
                             counts[name] = counts.get(name, 0) + 1
                             pending.n_pending += 1
                     i = hi
@@ -2129,41 +2376,83 @@ class EventEngine:
                 if free > now:
                     break
                 anchor = -1
-                anchor_code = -1
-                for code in range(len(lanes)):
-                    lane = lanes[code]
-                    head = heads[code]
-                    if head < len(lane) and (
-                            anchor < 0 or lane[head] < anchor):
-                        anchor = lane[head]
-                        anchor_code = code
-                lane = lanes[anchor_code]
-                head = heads[anchor_code]
+                anchor_lane = -1
+                if multi_tier:
+                    # Most premium tier with pending work anchors; its
+                    # oldest request picks the (tier, pipeline) lane.
+                    for k in range(n_tiers):
+                        if tier_pending[k] == 0:
+                            continue
+                        base = k * n_codes
+                        for code in range(base, base + n_codes):
+                            lane = lanes[code]
+                            head = heads[code]
+                            if head < len(lane) and (
+                                    anchor < 0 or lane[head] < anchor):
+                                anchor = lane[head]
+                                anchor_lane = code
+                        break
+                else:
+                    for code in range(n_lanes):
+                        lane = lanes[code]
+                        head = heads[code]
+                        if head < len(lane) and (
+                                anchor < 0 or lane[head] < anchor):
+                            anchor = lane[head]
+                            anchor_lane = code
+                lane = lanes[anchor_lane]
+                head = heads[anchor_lane]
                 take = head + max_batch
                 idx = lane[head:take]
-                heads[anchor_code] = head + len(idx)
+                heads[anchor_lane] = head + len(idx)
                 pending.n_pending -= len(idx)
-                name = names[anchor_code]
+                if multi_tier:
+                    tier_pending[anchor_lane // n_codes] -= len(idx)
+                    pipe_code = anchor_lane % n_codes
+                else:
+                    pipe_code = anchor_lane
+                name = names[pipe_code]
                 if admission is not None:
                     counts[name] -= len(idx)
                 taken = [ordered[j] for j in idx]
                 batch = batcher.make_batch(name, taken)
-                chip = cluster.select_chip(batch, now, estimate(name))
+                est_s = estimate(name)
+                if score is not None:
+                    if cost_aware:
+                        deadline = min(
+                            r.arrival_s + r.effective_slo_s for r in taken)
+                        chip = chips[score.select(
+                            pipe_code, now, est_s, deadline)]
+                    else:
+                        chip = chips[score.select(pipe_code, now, est_s)]
+                else:
+                    chip = cluster.select_chip(batch, now, est_s)
                 start = now if now >= chip.free_at_s else chip.free_at_s
-                self._execute_columnar(chip, batch, start, now)
+                self._execute_columnar(chip, batch, start, now, log)
+                if score is not None:
+                    score.note_dispatch(chip.chip_id, pipe_code,
+                                        chip.free_at_s)
+        if log is not None:
+            log.replay(self, arr_np)
         return now
 
     def _execute_columnar(self, chip: ChipState, batch: Batch,
-                          start_s: float, dispatched_s: float) -> None:
+                          start_s: float, dispatched_s: float,
+                          log: "Optional[_ColumnarObsLog]" = None) -> None:
         """Batch execution for the columnar path — the scalar pricing
         loop with every disarmed feature's branches deleted, float
-        operation order intact. The pipeline switch is hoisted (only a
+        operation order intact. The batch's trace keys resolve through
+        one :meth:`TraceCache.get_many` pass (byte-identical ordering
+        to per-frame ``get`` calls, which run strictly back to back in
+        the scalar loop anyway), the pipeline switch is hoisted (only a
         batch's first frame can switch; ``cycles + 0.0`` is bitwise
         ``cycles``), per-chip counters accumulate through locals seeded
         from — and written back to — the chip fields in the same order,
         and priced rows memoize per chip so repeat frames skip the
         cost table's config hashing. No chip-free event is pushed: the
-        columnar loop recomputes the fleet's earliest free instant."""
+        columnar loop recomputes the fleet's earliest free instant.
+        With ``log`` attached, every would-be observer hook lands in
+        the buffer for the deferred replay instead of firing here."""
         cache = self.cache
         cost = self._cost
         accelerator = chip.accelerator
@@ -2178,6 +2467,8 @@ class EventEngine:
         batch_id = batch.batch_id
         requests = batch.requests
         pipeline = requests[0].pipeline
+        accesses = cache.get_many([r.trace_key for r in requests])
+        record_cache = log is not None and log.record_cache
         switch = 0.0
         if chip.configured_pipeline != pipeline:
             switch = float(chip.config.reconfigure_cycles)
@@ -2189,14 +2480,20 @@ class EventEngine:
         reconfig_total = chip.frame_reconfig_cycles
         energy_total = chip.energy_j
         t = start_s
-        for request in requests:
-            key = request.trace_key
-            program, cache_hit = cache.get(key)
+        for request, access in zip(requests, accesses):
+            program, cache_hit, cost_s, n_evicted = access
             compile_wait = 0.0
             origin = None
             if not cache_hit and latency_model is not None:
-                compile_wait = cache.compile_cost_s(key)
+                # Synchronous visible compile: ``cost_s`` is the sim
+                # latency this miss just charged — the value the scalar
+                # loop reads back via ``cache.compile_cost_s``.
+                compile_wait = cost_s
                 origin = "sync"
+            if record_cache:
+                log.append(log._CACHE, dispatched_s,
+                           i0=cache_hit, i1=n_evicted)
+            key = request.trace_key
             row = memo.get(key)
             if row is None:
                 row = memo[key] = cost.price(key, accelerator, program)
@@ -2219,6 +2516,11 @@ class EventEngine:
                 dispatched_s=dispatched_s,
             )
             responses.append(response)
+            if log is not None:
+                if origin == "sync" and compile_wait > 0.0:
+                    log.append(log._COMPILE, dispatched_s, pipeline,
+                               i0=chip_id, f0=t, f1=t + compile_wait)
+                log.append(log._RESPONSE, dispatched_s, response)
             served += 1
             frame_cycles += cycles
             switch_cycles += switch
@@ -2239,6 +2541,11 @@ class EventEngine:
         chip.energy_j = energy_total
         chip.busy_s += t - start_s
         chip.free_at_s = t
+        if log is not None:
+            log.append(log._BATCH, dispatched_s, pipeline,
+                       i0=chip_id, i1=batch_id, i2=len(requests),
+                       i3=requests[0].tenant.tier, f0=start_s, f1=t)
+            log.finishes.append(t)
 
     def _finalize(self, now: float) -> ServiceReport:
         pending = self._pending

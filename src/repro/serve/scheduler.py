@@ -111,11 +111,15 @@ def simulate_service(
     report stays exactly-once.
 
     ``columnar`` (default ``True``) lets eligible configurations — a
-    static single-tenant fleet with synchronous compile, no observer,
-    and a non-degrading admission policy — take the engine's columnar
-    fast loop. The report is byte-identical either way (pinned by the
-    equivalence suite); ``columnar=False`` is a one-release escape
-    hatch forcing the scalar event loop.
+    static fleet with synchronous compile and a non-rewriting admission
+    policy, including strict-tier multi-tenant traffic (tiers without
+    weighted budgets or preemption) and fully observed runs (events are
+    buffered and replayed into the sinks at finalize) — take the
+    engine's columnar fast loop. Autoscaling, faults, hedging,
+    weighted admission, preemption, and async compile/prefetch still
+    force the scalar reference loop. The report is byte-identical
+    either way (pinned by the equivalence suite); ``columnar=False``
+    is the explicit escape hatch forcing the scalar event loop.
     """
     prefetcher = None
     if prefetch:

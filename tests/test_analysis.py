@@ -113,3 +113,41 @@ class TestAblations:
         assert data["TRAM"]["uni_speedup"] == pytest.approx(25.0, rel=0.35)
         assert data["FPGA-NVR"]["uni_speedup"] == pytest.approx(15.0, rel=0.35)
         assert data["FPGA-NVR"]["energy_ratio"] == pytest.approx(10.0, rel=0.4)
+
+
+class TestScenarioPoints:
+    """Sweep point construction — names key the name-sorted merge, so
+    duplicate names (from values that parse equal) must never mint two
+    points."""
+
+    def test_float_formatted_duplicates_collapse(self):
+        from repro.analysis.runner import scenario_points
+
+        # "0.50" and "0.5" both coerce to 0.5: the CLI (and any caller
+        # passing parsed values) must end up with one point per value.
+        points = scenario_points(vary={"rate": [200.0, 200.0, 400.0]})
+        names = [p["name"] for p in points]
+        assert names == ["rate=200.0", "rate=400.0"]
+        assert len(names) == len(set(names))
+
+    def test_cross_product_dedupes_per_axis(self):
+        from repro.analysis.runner import scenario_points
+
+        points = scenario_points(vary={"chips": [2, 2, 3],
+                                       "rate": [100.0, 100.0]})
+        names = sorted(p["name"] for p in points)
+        assert names == ["chips=2,rate=100.0", "chips=3,rate=100.0"]
+
+    def test_cli_vary_parsing_dedupes(self, capsys):
+        # End to end through the sweep command: a float-formatted
+        # duplicate ("0.50"-style) yields one arm, not two colliding
+        # merge keys.
+        from repro.cli import main
+
+        code = main(["sweep", "--vary", "rate=4000.0,4000,8000",
+                     "--set", "requests=12", "--set", "width=32",
+                     "--set", "height=32", "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 point(s)" in out
+        assert out.count("rate=4000.0") == 1
