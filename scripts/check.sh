@@ -16,7 +16,10 @@
 # run whose --trace-out artifact must schema-validate and summarize.
 # Finally, pin the sweep runner's determinism contract: the same sweep
 # run serially and across 2 worker processes must merge to
-# byte-identical JSON.
+# byte-identical JSON — then smoke the federation layer: a two-region
+# `repro federate` outage run diffed for determinism (federated arm
+# fails over, naive arm strands the wave), and the ext_federation
+# experiment written under benchmarks/results/ for the CI artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +32,8 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest --co -q > /dev/null
 python -m pytest -x -q
 python -m pytest -q tests/test_serve_invariants.py tests/test_serve_tenants.py \
-  tests/test_serve_predictive.py tests/test_serve_faults.py
+  tests/test_serve_predictive.py tests/test_serve_faults.py \
+  tests/test_serve_federation.py tests/test_artifact_durability.py
 python -m pytest -q tests/test_obs_tracer.py tests/test_obs_metrics.py \
   tests/test_obs_export.py tests/test_obs_flight.py tests/test_obs_neutrality.py
 python -m pytest -q benchmarks/test_engine_perf.py
@@ -103,10 +107,39 @@ head -1 "$LIBDIR/metrics.csv" | grep -q '^t_s,'
 # must merge byte-identically to the serial run (seeded traces, no
 # wall-clock in the artifact, name-sorted merge). The rate axis lists
 # one value twice in different float spellings — the parser must
-# collapse them to one arm instead of minting colliding merge keys.
+# collapse them to one arm instead of minting colliding merge keys,
+# so the artifact must merge to exactly 2 points (each point also
+# echoes its spec, so counting "name" lines would double-count).
 python -m repro sweep --set requests=80 --vary 'rate=400.0,400' \
   --vary chips=2,3 --workers 1 --out "$LIBDIR/sweep_serial.json"
 python -m repro sweep --set requests=80 --vary 'rate=400.0,400' \
   --vary chips=2,3 --workers 2 --out "$LIBDIR/sweep_parallel.json"
 diff "$LIBDIR/sweep_serial.json" "$LIBDIR/sweep_parallel.json"
-grep -c '"name": "chips=' "$LIBDIR/sweep_serial.json" | grep -qx 2
+grep -qx '  "n_points": 2,' "$LIBDIR/sweep_serial.json"
+
+# Federated serving: a two-region planet whose western wave rides
+# behind an outage window. The federated run must fail the stranded
+# wave over (no hard failures), the naive control arm must strand it,
+# and the same invocation twice must diff byte-identically — the
+# federation loop's determinism contract.
+python -m repro federate --regions 'east:chips=2;west:tz=8,chips=2' \
+  --requests 40 --rate 200 --traffic steady \
+  --faults 'outage=west@1.3+0.5' > "$LIBDIR/federate_one.txt"
+python -m repro federate --regions 'east:chips=2;west:tz=8,chips=2' \
+  --requests 40 --rate 200 --traffic steady \
+  --faults 'outage=west@1.3+0.5' > "$LIBDIR/federate_two.txt"
+diff "$LIBDIR/federate_one.txt" "$LIBDIR/federate_two.txt"
+grep -q "failed 0" "$LIBDIR/federate_one.txt"
+grep -q "failovers 40" "$LIBDIR/federate_one.txt"
+python -m repro federate --regions 'east:chips=2;west:tz=8,chips=2' \
+  --requests 40 --rate 200 --traffic steady --router naive --no-gossip \
+  --faults 'outage=west@1.3+0.5' > "$LIBDIR/federate_naive.txt"
+grep -q "failed 40" "$LIBDIR/federate_naive.txt"
+
+# The ext_federation experiment (healthy / naive / federated arms over
+# the frozen three-region chaos plan), written under benchmarks/results/
+# so CI uploads it next to BENCH_engine.json.
+mkdir -p benchmarks/results
+python -m repro sweep --experiment ext_federation --workers 3 \
+  --out benchmarks/results/ext_federation.json
+grep -q '"name": "ext_federation/federated"' benchmarks/results/ext_federation.json

@@ -48,6 +48,7 @@ from repro.analysis.serving import (
     tenant_summary,
 )
 from repro.analysis.chaos import chaos_summary
+from repro.analysis.federation import federation_summary
 from repro.analysis.observability import observability_summary
 from repro.analysis.report import ALL_EXPERIMENTS, full_report, run_all
 
@@ -85,6 +86,7 @@ __all__ = [
     "tenant_summary",
     "observability_summary",
     "chaos_summary",
+    "federation_summary",
     "ALL_EXPERIMENTS",
     "run_all",
     "full_report",

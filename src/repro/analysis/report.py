@@ -14,6 +14,7 @@ from repro.analysis.figures import (
     figure17_hybrid,
 )
 from repro.analysis.chaos import chaos_summary
+from repro.analysis.federation import federation_summary
 from repro.analysis.observability import observability_summary
 from repro.analysis.scaling_scenes import scene_scaling_study
 from repro.analysis.serving import (elastic_summary, engine_summary,
@@ -65,6 +66,9 @@ ALL_EXPERIMENTS = {
                 observability_summary),
     "ext_chaos": ("Extension — chaos serving: faults, stragglers, hedging",
                   chaos_summary),
+    "ext_federation": ("Extension — planet-scale federation: multi-region "
+                       "serving with trace-library gossip",
+                       federation_summary),
 }
 
 

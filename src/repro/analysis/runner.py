@@ -9,7 +9,8 @@ A sweep *point* is a plain dict (picklable, JSON-able) describing one
 self-contained ``simulate_service`` configuration. Two kinds exist:
 
 * **experiment points** name one arm of a registered ``analysis/``
-  experiment (``ext_chaos``, ``ext_tenants``, ``ext_predictive``).
+  experiment (``ext_chaos``, ``ext_tenants``, ``ext_predictive``,
+``ext_federation``).
   Each arm function regenerates its trace deterministically in-process,
   so an arm is a unit of work with no shared state — exactly what a
   worker process needs.
@@ -93,6 +94,8 @@ def uni_fps(scene_name: str, pipeline: str, **kwargs) -> float:
 #: registry itself stays picklable and import-light.
 SWEEP_EXPERIMENTS: dict[str, tuple[str, str, str]] = {
     "ext_chaos": ("repro.analysis.chaos", "chaos_arm", "CHAOS_ARMS"),
+    "ext_federation": ("repro.analysis.federation", "federation_arm",
+                       "FEDERATION_ARMS"),
     "ext_tenants": ("repro.analysis.serving", "tenant_arm", "TENANT_ARMS"),
     "ext_predictive": ("repro.analysis.serving", "predictive_arm",
                        "PREDICTIVE_ARMS"),

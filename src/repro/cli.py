@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday workflows:
+Seven commands cover the everyday workflows:
 
 * ``render``   — build a representation and render a probe frame.
 * ``simulate`` — compile a frame and run the accelerator model.
 * ``serve``    — run the multi-chip rendering service on synthetic load.
+* ``federate`` — compose regions behind a global router with
+  trace-library gossip and serve a planet-wide workload.
 * ``sweep``    — fan independent service configurations across worker
   processes and merge the results deterministically.
 * ``trace``    — summarize a ``serve --trace-out`` artifact.
@@ -165,7 +167,9 @@ def _cmd_serve(args) -> int:
         print(format_service_report(static))
         if library is not None:
             if index == 0:
-                library.save(args.trace_library)
+                # Merge-on-save: a concurrent process sharing this
+                # library path must not lose its hits to ours.
+                library.save(args.trace_library, merge=True)
                 destination = f"-> {args.trace_library}"
             else:
                 destination = "(comparison run, not persisted)"
@@ -244,6 +248,52 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_federate(args) -> int:
+    from repro.serve import (
+        FederationConfig,
+        FederationPlan,
+        format_federation_report,
+        generate_federation_traffic,
+        parse_region_spec,
+        simulate_federation,
+    )
+
+    specs = parse_region_spec(args.regions)
+    config = FederationConfig(
+        router=args.router,
+        gossip=not args.no_gossip,
+        sync_cadence_s=args.sync_ms / 1e3,
+        gossip_delay_s=args.gossip_delay_ms / 1e3,
+        failover_cost_s=args.failover_ms / 1e3,
+        admission=None if args.admission == "admit-all" else args.admission,
+    )
+    plan = (FederationPlan.parse(args.faults) if args.faults
+            else FederationPlan())
+    streams = generate_federation_traffic(
+        specs,
+        n_requests_per_region=args.requests,
+        rate_rps=args.rate,
+        seed=args.seed,
+        pattern=args.traffic,
+        scenes=tuple(args.scenes.split(",")),
+        pipelines=tuple(args.pipelines.split(",")),
+        resolution=(args.width, args.height),
+        slo_s=args.slo_ms / 1e3,
+    )
+    report = simulate_federation(specs, streams, config=config, plan=plan)
+    print(format_federation_report(report))
+    if args.out:
+        import json
+
+        from repro.persist import atomic_write_text
+
+        atomic_write_text(
+            args.out, json.dumps(report.to_dict(), indent=2,
+                                 sort_keys=True) + "\n")
+        print(f"federation report -> {args.out}")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import json
     import time
@@ -303,7 +353,10 @@ def _cmd_sweep(args) -> int:
     print(f"\n{sweep['n_points']} point(s), {args.workers} worker(s), "
           f"{elapsed:.1f}s wall")
     if args.out:
-        Path(args.out).write_text(
+        from repro.persist import atomic_write_text
+
+        atomic_write_text(
+            Path(args.out),
             json.dumps(sweep, indent=2, sort_keys=True) + "\n")
         print(f"sweep results -> {args.out}")
     return 0
@@ -483,6 +536,66 @@ def build_parser() -> argparse.ArgumentParser:
                             "(exactly-once in the report)")
     serve.set_defaults(fn=_cmd_serve)
 
+    federate = sub.add_parser(
+        "federate",
+        help="serve a planet-wide workload across federated regions "
+             "with trace-library gossip replication")
+    federate.add_argument("--regions",
+                          default="us-east:tz=-5,chips=3;"
+                                  "eu-west:tz=1,chips=3,cost=1.2;"
+                                  "ap-tokyo:tz=9,chips=3",
+                          help="region topology: ';'-separated "
+                               "name[:tz=H,chips=N,cost=F,cap=N,"
+                               "policy=P] entries")
+    federate.add_argument("--router", default="federated",
+                          choices=["naive", "federated"],
+                          help="naive pins requests to their home region "
+                               "(and fails them when it is down); "
+                               "federated scores latency + load + cost "
+                               "with sticky sessions and failover")
+    federate.add_argument("--no-gossip", action="store_true",
+                          help="disable trace-library replication between "
+                               "regions (every region compiles cold)")
+    federate.add_argument("--requests", type=int, default=150,
+                          help="requests per region")
+    federate.add_argument("--traffic", default="diurnal",
+                          help="steady | bursty | diurnal | mixed (each "
+                               "region's wave is phase-shifted by its "
+                               "time zone)")
+    federate.add_argument("--rate", type=float, default=150.0,
+                          help="mean arrival rate per region, requests/s")
+    federate.add_argument("--seed", type=int, default=0)
+    federate.add_argument("--scenes", default="lego,room")
+    federate.add_argument("--pipelines", default="hashgrid,gaussian,mesh")
+    federate.add_argument("--width", type=int, default=640)
+    federate.add_argument("--height", type=int, default=360)
+    federate.add_argument("--slo-ms", type=float, default=120.0,
+                          help="per-request latency SLO (the planetary "
+                               "budget: cross-region failover pays RTT + "
+                               "migration cost against it)")
+    federate.add_argument("--sync-ms", type=float, default=500.0,
+                          help="gossip sync cadence, milliseconds")
+    federate.add_argument("--gossip-delay-ms", type=float, default=250.0,
+                          help="replication transit time; staleness bound "
+                               "= cadence + delay")
+    federate.add_argument("--failover-ms", type=float, default=20.0,
+                          help="session-migration cost charged on a "
+                               "cross-region failover")
+    federate.add_argument("--admission", default="admit-all",
+                          help="per-region admission policy: admit-all | "
+                               "tail-drop | slo-shed | downgrade")
+    federate.add_argument("--faults", default=None, metavar="SPEC",
+                          help="federation fault plan: ';'-separated "
+                               "outage=REGION@START[+DUR] (omit +DUR for "
+                               "a permanent loss) and "
+                               "partition=A|B@START[+DUR] (replication "
+                               "channel severed), e.g. "
+                               "'outage=eu-west@0.6+1.2;"
+                               "partition=us-east|ap-tokyo@0.4+0.8'")
+    federate.add_argument("--out", default=None, metavar="PATH",
+                          help="write the federation report JSON here")
+    federate.set_defaults(fn=_cmd_federate)
+
     sweep = sub.add_parser(
         "sweep",
         help="fan independent service configurations across worker "
@@ -490,8 +603,8 @@ def build_parser() -> argparse.ArgumentParser:
              "serial run (every point regenerates its seeded trace, "
              "results merge sorted by name)")
     sweep.add_argument("--experiment", default=None,
-                       choices=["ext_chaos", "ext_tenants",
-                                "ext_predictive"],
+                       choices=["ext_chaos", "ext_federation",
+                                "ext_tenants", "ext_predictive"],
                        help="sweep the registered arms of one analysis "
                             "experiment instead of an ad-hoc scenario "
                             "grid (ext_predictive covers the fleet arms; "

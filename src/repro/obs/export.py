@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import ObsError
+from repro.persist import atomic_write_text
 from repro.obs.tracer import TraceEvent, Tracer
 
 #: Track group -> Chrome trace pid. One process per lane family keeps
@@ -149,7 +150,7 @@ def save_chrome_trace(tracer: Tracer | Iterable[TraceEvent],
                       path: str | Path, metrics=None) -> Path:
     """Write :func:`chrome_trace` output as a JSON file."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, metrics=metrics)))
+    atomic_write_text(path, json.dumps(chrome_trace(tracer, metrics=metrics)))
     return path
 
 
@@ -219,9 +220,9 @@ def save_metrics(registry, path: str | Path) -> Path:
     anything else JSON rows."""
     path = Path(path)
     if path.suffix.lower() == ".csv":
-        path.write_text(metrics_csv(registry))
+        atomic_write_text(path, metrics_csv(registry))
     else:
-        path.write_text(json.dumps(metrics_rows(registry), indent=2))
+        atomic_write_text(path, json.dumps(metrics_rows(registry), indent=2))
     return path
 
 

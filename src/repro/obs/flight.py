@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.persist import atomic_write_text
 
 
 class FlightRecorder:
@@ -143,5 +144,6 @@ class FlightRecorder:
     def save(self, path: str | Path) -> Path:
         """Write every dump as one JSON artifact; returns the path."""
         path = Path(path)
-        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        atomic_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True))
         return path

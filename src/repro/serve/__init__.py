@@ -120,6 +120,22 @@ from repro.serve.metrics import (
     publish_report,
 )
 from repro.serve.scheduler import simulate_service
+from repro.serve.federation import (
+    ChannelPartition,
+    FederatedResponse,
+    FederationConfig,
+    FederationPlan,
+    FederationReport,
+    GlobalRouter,
+    Region,
+    RegionOutage,
+    RegionSpec,
+    format_federation_report,
+    generate_federation_traffic,
+    parse_region_spec,
+    region_rtt_s,
+    simulate_federation,
+)
 from repro.core.config import CompileLatencyModel
 from repro.serve.traffic import (
     DEFAULT_PIPELINES,
@@ -177,6 +193,20 @@ __all__ = [
     "latency_percentile",
     "publish_report",
     "simulate_service",
+    "RegionSpec",
+    "Region",
+    "GlobalRouter",
+    "FederationConfig",
+    "FederationPlan",
+    "FederationReport",
+    "FederatedResponse",
+    "RegionOutage",
+    "ChannelPartition",
+    "parse_region_spec",
+    "region_rtt_s",
+    "generate_federation_traffic",
+    "simulate_federation",
+    "format_federation_report",
     "generate_traffic",
     "generate_tenant_traffic",
     "parse_tenant_spec",

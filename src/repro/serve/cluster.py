@@ -360,16 +360,17 @@ def parse_fleet_spec(
             head, _, entry = entry.partition("*")
             try:
                 count = int(head)
-            except ValueError:
-                raise ConfigError(f"bad fleet-spec count in {raw!r}")
+            except ValueError as err:
+                raise ConfigError(
+                    f"bad fleet-spec count in {raw!r}") from err
             if count < 1:
                 raise ConfigError(f"fleet-spec count must be >= 1 in {raw!r}")
         try:
             pe_s, sram_s = (int(part) for part in entry.split("x"))
-        except ValueError:
+        except ValueError as err:
             raise ConfigError(
                 f"bad fleet-spec entry {raw!r}; expected [count*]PExSRAM"
-            )
+            ) from err
         configs.extend([base.scaled(pe_s, sram_s)] * count)
     if not configs:
         raise ConfigError(f"fleet spec {spec!r} describes no chips")

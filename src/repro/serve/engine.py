@@ -2593,7 +2593,9 @@ class EventEngine:
             }
             self.trace_library.absorb(self.cache, run_hits=run_hits)
             if self._library_path is not None:
-                self.trace_library.save(self._library_path)
+                # Merge-on-save: another process sharing the library
+                # path must not lose its hits to ours.
+                self.trace_library.save(self._library_path, merge=True)
         report = ServiceReport(
             policy=self.cluster.policy_name,
             responses=self._responses,

@@ -108,6 +108,13 @@ class TraceCache:
         #: Demand hits per key over this cache's lifetime — the signal
         #: the persistent trace library accumulates across runs.
         self.hits_by_key: dict[TraceKey, int] = {}
+        #: Metadata of evicted entries, ``key -> (invocations, pixels,
+        #: compile_s)`` captured the moment the entry left the cache.
+        #: Without it a trace that was hit and then evicted mid-run has
+        #: no program to describe it at absorb time and its lifetime
+        #: hits would vanish from the library. Overwritten on
+        #: re-eviction, cleared when the key is re-admitted.
+        self.evicted_meta: dict[TraceKey, tuple[int, int, float]] = {}
         # Observability mirrors, resolved once by bind_metrics(); None
         # keeps the unobserved hot path at a single pointer check.
         self._m_hits = None
@@ -313,9 +320,12 @@ class TraceCache:
     def _admit(self, key: TraceKey, program: MicroOpProgram) -> None:
         if self.capacity > 0:
             self._entries[key] = program
+            self.evicted_meta.pop(key, None)
             while len(self._entries) > self.capacity:
-                evicted, _ = self._entries.popitem(last=False)
-                self._compile_cost_s.pop(evicted, None)
+                evicted, victim = self._entries.popitem(last=False)
+                cost = self._compile_cost_s.pop(evicted, 0.0)
+                self.evicted_meta[evicted] = (
+                    len(victim.invocations), victim.pixels, cost)
                 self.stats.evictions += 1
                 if self._m_evictions is not None:
                     self._m_evictions.inc()

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Iterable, Mapping, Optional
 
 from repro.errors import ConfigError
+from repro.persist import atomic_write_text, locked
 from repro.serve.request import TraceKey
 from repro.serve.trace_cache import TraceCache
 
@@ -93,7 +94,7 @@ class TraceRecord:
                 hits=int(payload["hits"]),
             )
         except (KeyError, TypeError, ValueError) as err:
-            raise ConfigError(f"malformed trace-library entry: {err}")
+            raise ConfigError(f"malformed trace-library entry: {err}") from err
 
 
 class TraceLibrary:
@@ -111,6 +112,11 @@ class TraceLibrary:
                 raise ConfigError(
                     f"trace library repeats key {record.key!r}")
             self._records[record.key] = record
+        # Hit counts at construction time: everything present now is
+        # treated as already persisted, so a merge-on-save adds only the
+        # hits *this process* accumulated on top (see :meth:`save`).
+        self._baseline_hits: dict[TraceKey, int] = {
+            key: record.hits for key, record in self._records.items()}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -125,6 +131,12 @@ class TraceLibrary:
 
     def get(self, key: TraceKey) -> Optional[TraceRecord]:
         return self._records.get(key)
+
+    def merge_record(self, record: TraceRecord) -> None:
+        """Insert or replace one record, moving it to the most-recent
+        end — the adoption step of cross-region gossip replication."""
+        self._records.pop(record.key, None)
+        self._records[record.key] = record
 
     @property
     def total_hits(self) -> int:
@@ -155,8 +167,50 @@ class TraceLibrary:
         """Canonical byte-stable JSON text of the library."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
-    def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.dumps())
+    def save(self, path: str | Path, merge: bool = False) -> None:
+        """Persist the library to ``path`` — atomically, always.
+
+        The bytes are staged and renamed over the target
+        (:func:`repro.persist.atomic_write_text`), so a crash mid-save
+        leaves the previous artifact intact instead of a truncated one.
+
+        ``merge=True`` additionally makes the save safe for a *shared*
+        library path: under an exclusive sidecar lock the on-disk
+        library is re-read and this library's **hit deltas since it was
+        constructed** are folded onto the disk counters (disk-only keys
+        are kept, least-recent first), so two processes that loaded the
+        same artifact and saved concurrently lose neither's hits. The
+        in-memory library is brought up to date with the merged result,
+        which keeps repeated merge-saves idempotent. With a
+        single writer ``merge=True`` writes byte-identical output to
+        ``merge=False``.
+        """
+        if not merge:
+            atomic_write_text(path, self.dumps())
+            return
+        with locked(path):
+            disk = TraceLibrary.load(path)
+            merged: "OrderedDict[TraceKey, TraceRecord]" = OrderedDict()
+            for key, record in disk._records.items():
+                if key not in self._records:
+                    merged[key] = record
+            for key, record in self._records.items():
+                disk_record = disk._records.get(key)
+                if disk_record is None:
+                    merged[key] = record
+                else:
+                    delta = max(
+                        record.hits - self._baseline_hits.get(key, 0), 0)
+                    merged[key] = replace(
+                        record, hits=disk_record.hits + delta)
+            staged = TraceLibrary(merged.values())
+            atomic_write_text(path, staged.dumps())
+            # Only a durable write advances the baseline: if the save
+            # crashes, this library still owes its deltas and a retry
+            # folds them in again.
+            self._records = merged
+            self._baseline_hits = {
+                key: rec.hits for key, rec in merged.items()}
 
     @classmethod
     def load(cls, path: str | Path) -> "TraceLibrary":
@@ -168,7 +222,8 @@ class TraceLibrary:
         try:
             payload = json.loads(path.read_text())
         except json.JSONDecodeError as err:
-            raise ConfigError(f"trace library {path} is not valid JSON: {err}")
+            raise ConfigError(
+                f"trace library {path} is not valid JSON: {err}") from err
         if not isinstance(payload, dict):
             raise ConfigError(f"trace library {path} is not a JSON object")
         return cls.from_dict(payload)
@@ -208,7 +263,9 @@ class TraceLibrary:
         size and compile cost and move to the recent end in the cache's
         LRU order; traces known to the library but evicted during the
         run keep their stale metadata (they may warm a future, larger
-        cache). ``run_hits`` is *this run's* per-key demand-hit counts,
+        cache); traces *unknown* to the library that were hit and then
+        evicted mid-run are recorded from the cache's eviction-time
+        metadata — their lifetime hits must not vanish with the entry. ``run_hits`` is *this run's* per-key demand-hit counts,
         accumulated onto the lifetime counters; it defaults to the
         cache's own ``hits_by_key``, which is only correct for a cache
         that served exactly one run — callers sharing a cache across
@@ -221,6 +278,25 @@ class TraceLibrary:
             record = self._records.get(key)
             if record is not None and hits:
                 self._records[key] = replace(record, hits=record.hits + hits)
+            elif record is None and hits and key not in cache:
+                # Hit during the run, then evicted: the program is gone,
+                # but the cache kept its eviction-time metadata — record
+                # the trace so the hits survive into the lifetime
+                # counters (and may warm a future, larger cache).
+                meta = cache.evicted_meta.get(key)
+                if meta is not None:
+                    invocations, pixels, compile_s = meta
+                    scene, pipeline, width, height = key
+                    self._records[key] = TraceRecord(
+                        scene=scene,
+                        pipeline=pipeline,
+                        width=width,
+                        height=height,
+                        invocations=invocations,
+                        pixels=pixels,
+                        compile_s=compile_s,
+                        hits=hits,
+                    )
         for key in cache.keys:  # least recently used first
             program = cache.peek(key)
             prior = self._records.pop(key, None)

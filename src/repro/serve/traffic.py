@@ -176,9 +176,10 @@ def parse_tenant_spec(spec: str) -> list[tuple[TenantClass, float]]:
                     )
                 try:
                     fields[key] = float(value)
-                except ValueError:
+                except ValueError as err:
                     raise ConfigError(
-                        f"tenant field {pair!r} in {raw!r} is not a number")
+                        f"tenant field {pair!r} in {raw!r} is not a number"
+                    ) from err
         tier = fields["tier"]
         if tier != int(tier):
             raise ConfigError(
